@@ -1,0 +1,394 @@
+(* hsched — command-line front end.
+
+   Subcommands operate on .hsc system descriptions:
+
+     hsched validate    sys.hsc      static architecture checks
+     hsched derive      sys.hsc      print the derived transactions
+     hsched analyze     sys.hsc      holistic schedulability analysis
+     hsched simulate    sys.hsc      discrete-event simulation (+ Gantt)
+     hsched design      sys.hsc      platform parameter synthesis
+     hsched sensitivity sys.hsc      per-task margins, per-txn slack
+     hsched format      sys.hsc      canonical re-formatting
+     hsched example                  run the paper's worked example    *)
+
+open Cmdliner
+module Q = Rational
+module Report = Analysis.Report
+
+let load_assembly path =
+  match Spec.load_file path with
+  | Ok asm -> Ok asm
+  | Error es -> Error (String.concat "\n" es)
+
+let load_system path =
+  match load_assembly path with
+  | Error e -> Error e
+  | Ok asm -> (
+      match Transaction.Derive.derive asm with
+      | Ok sys -> Ok sys
+      | Error es -> Error (String.concat "\n" es))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+
+(* --- common args --- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"System description (.hsc).")
+
+let exact_flag =
+  Arg.(
+    value & flag
+    & info [ "exact" ]
+        ~doc:
+          "Use the exact scenario enumeration (Section 3.1.1) instead of the \
+           reduced analysis.  Exponential in the number of interfering tasks.")
+
+let params_of_exact exact =
+  if exact then Analysis.Params.exact else Analysis.Params.default
+
+(* --- validate --- *)
+
+let validate_cmd =
+  let run file =
+    let asm = or_die (load_assembly file) in
+    match Component.Assembly.validate asm with
+    | Ok () ->
+        print_endline "valid";
+        0
+    | Error es ->
+        List.iter prerr_endline es;
+        1
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check the architecture of a system description.")
+    Term.(const run $ file_arg)
+
+(* --- derive --- *)
+
+let derive_cmd =
+  let run file =
+    let sys = or_die (load_system file) in
+    Format.printf "%a@." Transaction.System.pp sys;
+    0
+  in
+  Cmd.v
+    (Cmd.info "derive"
+       ~doc:"Print the real-time transactions derived from the components (§2.4).")
+    Term.(const run $ file_arg)
+
+(* --- analyze --- *)
+
+let history_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history" ] ~docv:"TXN"
+        ~doc:"Also print the per-iteration history of the named transaction.")
+
+let csv_flag =
+  Arg.(
+    value & flag
+    & info [ "csv" ]
+        ~doc:"Emit machine-readable CSV (one row per task) instead of the table.")
+
+let analyze_cmd =
+  let run file exact history csv =
+    let sys = or_die (load_system file) in
+    let m = Analysis.Model.of_system sys in
+    let report = Analysis.Holistic.analyze ~params:(params_of_exact exact) m in
+    let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
+    if csv then begin
+      print_endline
+        "transaction,task,platform,priority,wcet,bcet,offset,jitter,rbest,response,deadline,meets_deadline";
+      Array.iteri
+        (fun a row ->
+          Array.iteri
+            (fun b (res : Report.task_result) ->
+              let tk = Analysis.Model.task m a b in
+              let tx = m.Analysis.Model.txns.(a) in
+              let response, meets =
+                match res.Report.response with
+                | Report.Divergent -> ("inf", false)
+                | Report.Finite r ->
+                    (Q.to_string r, Q.(r <= tx.Analysis.Model.deadline))
+              in
+              Printf.printf "%s,%s,%d,%d,%s,%s,%s,%s,%s,%s,%s,%b\n"
+                tx.Analysis.Model.tname (names a b) tk.Analysis.Model.res
+                tk.Analysis.Model.prio
+                (Q.to_string tk.Analysis.Model.c)
+                (Q.to_string tk.Analysis.Model.cb)
+                (Q.to_string res.Report.offset)
+                (Q.to_string res.Report.jitter)
+                (Q.to_string res.Report.rbest)
+                response
+                (Q.to_string tx.Analysis.Model.deadline)
+                meets)
+            row)
+        report.Report.results
+    end
+    else Format.printf "%a@." (Report.pp ~names) report;
+    (match history with
+    | None -> ()
+    | Some name -> (
+        match Transaction.System.find_transaction sys name with
+        | None -> Format.printf "no transaction named %s@." name
+        | Some txn ->
+            Format.printf "@.iteration history of %s:@.%a@." name
+              (Report.pp_history ~names ~txn)
+              report));
+    if report.Report.schedulable then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Holistic schedulability analysis on abstract platforms (Section 3).  \
+          Exits 0 when schedulable, 2 when not.")
+    Term.(const run $ file_arg $ exact_flag $ history_arg $ csv_flag)
+
+(* --- simulate --- *)
+
+let horizon_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time span.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let exec_arg =
+  let models =
+    [ ("worst", Simulator.Engine.Worst); ("best", Simulator.Engine.Best);
+      ("uniform", Simulator.Engine.Uniform) ]
+  in
+  Arg.(
+    value
+    & opt (enum models) Simulator.Engine.Worst
+    & info [ "exec" ] ~docv:"MODEL"
+        ~doc:"Execution-demand model: $(b,worst), $(b,best) or $(b,uniform).")
+
+let trace_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "trace" ] ~docv:"N" ~doc:"Print the first $(docv) events.")
+
+let policy_arg =
+  let policies =
+    [ ("fp", Simulator.Engine.Fixed_priority); ("edf", Simulator.Engine.Edf) ]
+  in
+  Arg.(
+    value
+    & opt (enum policies) Simulator.Engine.Fixed_priority
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:
+          "Local dispatching on every platform: $(b,fp) (the paper's fixed \
+           priorities) or $(b,edf).")
+
+let gantt_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "gantt" ] ~docv:"T"
+        ~doc:
+          "Render a Gantt chart of the first $(docv) time units (implies \
+           tracing).")
+
+let simulate_cmd =
+  let run file horizon seed exec trace policy gantt =
+    let sys = or_die (load_system file) in
+    let trace_limit =
+      match gantt with None -> trace | Some _ -> max trace 100_000
+    in
+    let config =
+      {
+        Simulator.Engine.default_config with
+        horizon = Q.of_int horizon;
+        seed;
+        exec;
+        trace_limit;
+        policy;
+      }
+    in
+    let res = Simulator.Engine.run ~config sys in
+    let m = Analysis.Model.of_system sys in
+    let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
+    Format.printf "%a@." (Simulator.Stats.pp ~names) res.Simulator.Engine.stats;
+    Format.printf "deadline misses: %d@." res.Simulator.Engine.deadline_misses;
+    if trace > 0 then begin
+      Format.printf "@.trace:@.";
+      List.iteri
+        (fun i e ->
+          if i < trace then
+            Format.printf "  %a@." Simulator.Engine.pp_event e)
+        res.Simulator.Engine.trace
+    end;
+    (match gantt with
+    | None -> ()
+    | Some window ->
+        Format.printf "@.%s@."
+          (Simulator.Trace.gantt ~names ~horizon:(Q.of_int window)
+             ~n_platforms:(Transaction.System.n_resources sys)
+             res.Simulator.Engine.trace));
+    if res.Simulator.Engine.deadline_misses = 0 then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Execute the system in the discrete-event simulator (reservation \
+          servers, local fixed-priority or EDF dispatching, synchronous RPC).")
+    Term.(
+      const run $ file_arg $ horizon_arg $ seed_arg $ exec_arg $ trace_arg
+      $ policy_arg $ gantt_arg)
+
+(* --- sensitivity --- *)
+
+let sensitivity_cmd =
+  let run file precision =
+    let sys = or_die (load_system file) in
+    Format.printf "per-task WCET scaling margins (most critical first):@.%a@."
+      Design.Sensitivity.pp_margins
+      (Design.Sensitivity.all_task_margins ~precision sys);
+    Format.printf "@.end-to-end slack per transaction:@.";
+    List.iter
+      (fun (name, response, deadline) ->
+        match response with
+        | Analysis.Report.Divergent ->
+            Format.printf "  %-28s response unbounded@." name
+        | Analysis.Report.Finite r ->
+            Format.printf "  %-28s R = %a, D = %a, slack = %a@." name
+              Q.pp_decimal r Q.pp_decimal deadline Q.pp_decimal Q.(deadline - r))
+      (Design.Sensitivity.transaction_slack sys);
+    0
+  in
+  let precision_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "precision" ] ~docv:"BITS" ~doc:"Search-grid precision.")
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Per-task growth margins and per-transaction slack.")
+    Term.(const run $ file_arg $ precision_arg)
+
+(* --- design --- *)
+
+let precision_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "precision" ] ~docv:"BITS"
+        ~doc:"Rates are searched on the grid k/2^$(docv).")
+
+let server_period_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "server-period" ] ~docv:"P"
+        ~doc:
+          "Realise every platform as a periodic server of period $(docv) \
+           (rate and latency then trade off); default keeps each platform's \
+           delay and burstiness fixed.")
+
+let design_cmd =
+  let run file precision server_period =
+    let sys = or_die (load_system file) in
+    let resources = sys.Transaction.System.resources in
+    let families =
+      match server_period with
+      | Some p ->
+          let period = Q.of_decimal_string p in
+          Array.map
+            (fun (_ : Platform.Resource.t) ->
+              Design.Param_search.periodic_server_family ~period)
+            resources
+      | None ->
+          Array.map
+            (fun (r : Platform.Resource.t) ->
+              let b = r.Platform.Resource.bound in
+              Design.Param_search.fixed_latency_family
+                ~delta:b.Platform.Linear_bound.delta
+                ~beta:b.Platform.Linear_bound.beta)
+            resources
+    in
+    (match Design.Param_search.balance_rates ~precision sys ~families with
+    | None ->
+        print_endline "not schedulable even at full rates";
+        exit 2
+    | Some rates ->
+        Format.printf "minimal balanced rates:@.";
+        Array.iteri
+          (fun i a ->
+            Format.printf "  %-12s α = %a  (%s)@."
+              resources.(i).Platform.Resource.name Q.pp_decimal a
+              families.(i).Design.Param_search.describe)
+          rates;
+        Format.printf "  Σα = %a@." Q.pp_decimal
+          (Array.fold_left Q.add Q.zero rates));
+    Format.printf "breakdown utilization: %a@." Q.pp_decimal
+      (Design.Param_search.breakdown_utilization ~precision sys);
+    0
+  in
+  Cmd.v
+    (Cmd.info "design"
+       ~doc:
+         "Search minimal platform rates keeping the system schedulable (the \
+          optimisation of the paper's Section 5).")
+    Term.(const run $ file_arg $ precision_arg $ server_period_arg)
+
+(* --- format --- *)
+
+let format_cmd =
+  let run file =
+    let asm = or_die (load_assembly file) in
+    print_string (Spec.to_string asm);
+    0
+  in
+  Cmd.v
+    (Cmd.info "format"
+       ~doc:
+         "Parse a system description and print its canonical form (stable \
+          under re-formatting).")
+    Term.(const run $ file_arg)
+
+(* --- example --- *)
+
+let example_cmd =
+  let run exact =
+    let m = Hsched.Paper_example.model () in
+    let report =
+      Analysis.Holistic.analyze ~params:(params_of_exact exact) m
+    in
+    let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
+    Format.printf "%a@.@.Γ1 iteration history (the paper's Table 3):@.%a@."
+      (Report.pp ~names) report
+      (Report.pp_history ~names ~txn:0)
+      report;
+    if report.Report.schedulable then 0 else 2
+  in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Analyze the paper's sensor-fusion example.")
+    Term.(const run $ exact_flag)
+
+let main =
+  Cmd.group
+    (Cmd.info "hsched" ~version:Hsched.version
+       ~doc:
+         "Hierarchical scheduling analysis for component-based real-time \
+          systems (Lorente, Lipari & Bini, IPPS 2006).")
+    [
+      validate_cmd;
+      derive_cmd;
+      analyze_cmd;
+      simulate_cmd;
+      design_cmd;
+      sensitivity_cmd;
+      format_cmd;
+      example_cmd;
+    ]
+
+let () = exit (Cmd.eval' main)

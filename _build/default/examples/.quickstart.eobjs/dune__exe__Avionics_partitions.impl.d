@@ -1,0 +1,1 @@
+examples/avionics_partitions.ml: Analysis Component Format List Platform Rational Simulator Spec Transaction

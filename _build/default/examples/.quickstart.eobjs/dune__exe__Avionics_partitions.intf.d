@@ -1,0 +1,1 @@
+examples/avionics_partitions.mli:

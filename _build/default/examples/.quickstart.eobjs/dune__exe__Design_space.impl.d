@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Design Format Hsched List Platform Rational Transaction

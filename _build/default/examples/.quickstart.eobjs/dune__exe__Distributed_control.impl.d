@@ -1,0 +1,1 @@
+examples/distributed_control.ml: Analysis Array Design Format List Platform Rational Simulator Spec Transaction

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis Array Component Format Hsched List Rational Simulator Transaction

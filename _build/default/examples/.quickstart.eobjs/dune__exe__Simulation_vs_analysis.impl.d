@@ -1,0 +1,1 @@
+examples/simulation_vs_analysis.ml: Analysis Array Format List Rational Simulator Sys Workload

@@ -1,0 +1,1 @@
+examples/simulation_vs_analysis.mli:

@@ -1,0 +1,123 @@
+// Adaptive cruise control across three ECUs and two CAN segments.
+//
+// front ECU:  radar + camera drivers, each in its own reservation
+// center ECU: sensor fusion and the ACC controller, sharing the node
+//             through two periodic servers
+// act ECU:    actuator manager (torque requests), plus a safety monitor
+//
+// The fusion thread pulls targets and lanes from the front ECU over
+// CAN1 (request/reply each); the controller reads the fused object list
+// locally and pushes torque over CAN2.  End-to-end deadlines are
+// pipelined (2 periods) as usual for control loops.
+//
+// Try:
+//   hsched analyze  examples/cruise_control.hsc
+//   hsched simulate examples/cruise_control.hsc --gantt 80
+//   hsched design   examples/cruise_control.hsc
+
+platform RADAR_RES  { server(budget = 2, period = 4);  host = "front"; }
+platform CAM_RES    { server(budget = 3/2, period = 4);  host = "front"; }
+platform FUSION_RES { server(budget = 6, period = 10); host = "center"; }
+platform CTRL_RES   { server(budget = 4, period = 10); host = "center"; }
+platform ACT_RES    { server(budget = 2, period = 3);  host = "act"; }
+
+// CAN segments modelled as network reservations (§2.2.1): the fraction
+// of bandwidth reserved for this function, with one-frame blocking
+// folded into delta
+platform CAN1 network { alpha = 0.5; delta = 1; host = "bus1"; }
+platform CAN2 network { alpha = 0.5; delta = 1; host = "bus2"; }
+
+component RadarDriver {
+  provided:
+    getTargets() mit 40;
+  implementation:
+    scheduler fixed_priority;
+    // descending section priorities: equal-priority peers of one thread
+    // would count as mutual interference in the holistic analysis
+    thread Sample periodic(period = 20, deadline = 20) priority 2 {
+      task fft(wcet = 2, bcet = 1) priority 3;
+      task track(wcet = 1, bcet = 1/2);
+    }
+    thread Serve realizes getTargets() priority 1 {
+      task pack(wcet = 1, bcet = 1/2);
+    }
+}
+
+component CameraDriver {
+  provided:
+    getLanes() mit 40;
+  implementation:
+    scheduler fixed_priority;
+    thread Grab periodic(period = 40, deadline = 40, jitter = 2) priority 2 {
+      task expose(wcet = 2, bcet = 1) priority 3;
+      task lanes(wcet = 3, bcet = 2);
+    }
+    thread Serve realizes getLanes() priority 1 {
+      task pack(wcet = 1, bcet = 1/2);
+    }
+}
+
+component Fusion {
+  provided:
+    objectList() mit 20;
+  required:
+    targets() mit 40;
+    lanes() mit 40;
+  implementation:
+    scheduler fixed_priority;
+    thread Fuse periodic(period = 40, deadline = 80) priority 2 {
+      task predict(wcet = 2, bcet = 1) priority 3;
+      call targets();
+      call lanes();
+      task associate(wcet = 3, bcet = 2);
+    }
+    thread Publish realizes objectList() priority 1 {
+      task copy(wcet = 1/2, bcet = 1/4);
+    }
+}
+
+component AccController {
+  required:
+    objects() mit 40;
+    torque() mit 40;
+  implementation:
+    scheduler fixed_priority;
+    thread Control periodic(period = 40, deadline = 80) priority 2 {
+      task observe(wcet = 1, bcet = 1/2) priority 3;
+      call objects();
+      task law(wcet = 2, bcet = 1);
+      call torque();
+    }
+}
+
+component ActuatorManager {
+  provided:
+    applyTorque() mit 40;
+  implementation:
+    scheduler fixed_priority;
+    thread Safety periodic(period = 6, deadline = 6) priority 2 {
+      task check(wcet = 1/2, bcet = 1/4);
+    }
+    thread Apply realizes applyTorque() priority 1 {
+      task ramp(wcet = 1, bcet = 1/2, blocking = 1/2);
+    }
+}
+
+instance radar  : RadarDriver     on RADAR_RES;
+instance camera : CameraDriver    on CAM_RES;
+instance fusion : Fusion          on FUSION_RES;
+instance acc    : AccController   on CTRL_RES;
+instance act    : ActuatorManager on ACT_RES;
+
+// cross-host pulls over CAN1 (request + reply frames)
+bind fusion.targets -> radar.getTargets
+  via CAN1 priority 3 request(wcet = 1/2, bcet = 1/2) reply(wcet = 1, bcet = 1/2);
+bind fusion.lanes -> camera.getLanes
+  via CAN1 priority 2 request(wcet = 1/2, bcet = 1/2) reply(wcet = 1, bcet = 1/2);
+
+// same-host read: a plain call
+bind acc.objects -> fusion.objectList;
+
+// torque command over CAN2 (no reply: the ack rides the next frame)
+bind acc.torque -> act.applyTorque
+  via CAN2 priority 3 request(wcet = 1, bcet = 1/2);

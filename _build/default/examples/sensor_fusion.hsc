@@ -1,0 +1,47 @@
+// The paper's sensor-fusion example (Sections 2.2 and 4), in the .hsc
+// system-description language.  Three abstract platforms carved out of
+// one physical node host two SensorReading instances and the
+// SensorIntegration component that fuses their readings.
+
+platform P1 { alpha = 0.4; delta = 1; beta = 1; host = "node1"; }
+platform P2 { alpha = 0.4; delta = 1; beta = 1; host = "node1"; }
+platform P3 { alpha = 0.2; delta = 2; beta = 1; host = "node1"; }
+
+component SensorReading {
+  provided:
+    read() mit 50;
+  implementation:
+    scheduler fixed_priority;
+    thread Thread1 periodic(period = 15, deadline = 15) priority 2 {
+      task poll(wcet = 1, bcet = 0.25);
+    }
+    thread Thread2 realizes read() priority 1 {
+      task serve(wcet = 1, bcet = 0.8);
+    }
+}
+
+component SensorIntegration {
+  provided:
+    read() mit 70;
+  required:
+    readSensor1() mit 50;
+    readSensor2() mit 50;
+  implementation:
+    scheduler fixed_priority;
+    thread Thread1 realizes read() priority 1 {
+      task serve(wcet = 7, bcet = 5);
+    }
+    thread Thread2 periodic(period = 50, deadline = 50) priority 2 {
+      task init(wcet = 1, bcet = 0.8);
+      call readSensor1();
+      call readSensor2();
+      task compute(wcet = 1, bcet = 0.8) priority 3;
+    }
+}
+
+instance Integrator : SensorIntegration on P3;
+instance Sensor1 : SensorReading on P1;
+instance Sensor2 : SensorReading on P2;
+
+bind Integrator.readSensor1 -> Sensor1.read;
+bind Integrator.readSensor2 -> Sensor2.read;

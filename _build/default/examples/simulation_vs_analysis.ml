@@ -1,0 +1,64 @@
+(* Analysis-vs-simulation tightness study on randomly generated
+   component systems.
+
+   The analysis bounds the worst case over every legal platform
+   behaviour and phasing; the simulator executes one of them.  This
+   program quantifies the gap: for a batch of random systems it reports,
+   per task, the ratio between the observed maximum response and the
+   analytic bound, under the adversarial execution model (worst-case
+   demands, maximal release jitter).
+
+   Run with: dune exec examples/simulation_vs_analysis.exe [n-systems] *)
+
+module Q = Rational
+module Report = Analysis.Report
+module Engine = Simulator.Engine
+module Stats = Simulator.Stats
+
+let () =
+  let n_systems =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 25
+  in
+  let ratios = ref [] in
+  let divergent = ref 0 and tasks = ref 0 and skipped_systems = ref 0 in
+  for seed = 1 to n_systems do
+    (* servers rather than fluid rates: the simulator then exercises
+       budget exhaustion and replenishment *)
+    let spec = { Workload.Gen.default_spec with Workload.Gen.server_platforms = true } in
+    let sys = Workload.Gen.system ~seed spec in
+    let report = Analysis.Holistic.analyze (Analysis.Model.of_system sys) in
+    (* only a converged report's values are upper bounds; early-exited
+       analyses of unschedulable systems are partial iterates *)
+    if not report.Report.converged then incr skipped_systems
+    else begin
+      let sim =
+        Engine.run
+          ~config:
+            { Engine.default_config with horizon = Q.of_int 50_000; exec = Engine.Worst; seed }
+          sys
+      in
+      Stats.iter sim.Engine.stats (fun ~txn ~task s ->
+          incr tasks;
+          match report.Report.results.(txn).(task).Report.response with
+          | Report.Divergent -> incr divergent
+          | Report.Finite bound ->
+              if Q.(s.Stats.max_response > bound) then begin
+                Format.printf "UNSOUND at seed %d τ%d,%d@." seed txn task;
+                exit 1
+              end;
+              ratios := Q.to_float (Q.div s.Stats.max_response bound) :: !ratios)
+    end
+  done;
+  let ratios = List.sort compare !ratios in
+  let n = List.length ratios in
+  let pick p = List.nth ratios (min (n - 1) (p * n / 100)) in
+  let mean = List.fold_left ( +. ) 0. ratios /. float_of_int n in
+  Format.printf
+    "systems: %d (%d unschedulable skipped), tasks observed: %d, divergent bounds: %d@."
+    n_systems !skipped_systems !tasks !divergent;
+  Format.printf
+    "observed/bound ratio: mean %.2f  p10 %.2f  median %.2f  p90 %.2f  max %.2f@."
+    mean (pick 10) (pick 50) (pick 90) (pick 99);
+  Format.printf
+    "(a ratio of 1.0 means the simulator hit the analytic bound; lower@.\
+     values quantify the pessimism of the holistic abstraction)@."

@@ -1,0 +1,1 @@
+lib/analysis/analysis.ml: Best_case Busy Classical Edf Holistic Interference Model Params Report Rta

@@ -1,0 +1,1 @@
+lib/analysis/best_case.ml: Array Busy Interference List Model Rational Stdlib

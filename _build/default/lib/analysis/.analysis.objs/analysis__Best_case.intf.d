@@ -1,0 +1,1 @@
+lib/analysis/best_case.mli: Model Rational

@@ -1,0 +1,1 @@
+lib/analysis/busy.mli: Rational

@@ -1,0 +1,1 @@
+lib/analysis/classical.ml: Busy List Platform Rational Report Stdlib

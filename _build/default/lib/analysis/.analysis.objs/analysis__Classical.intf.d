@@ -1,0 +1,1 @@
+lib/analysis/classical.mli: Platform Rational Report

@@ -1,0 +1,1 @@
+lib/analysis/edf.ml: List Option Platform Rational

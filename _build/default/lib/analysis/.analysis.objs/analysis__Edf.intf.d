@@ -1,0 +1,1 @@
+lib/analysis/edf.mli: Platform Rational

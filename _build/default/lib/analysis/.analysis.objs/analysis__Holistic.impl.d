@@ -1,0 +1,1 @@
+lib/analysis/holistic.ml: Array Best_case List Model Params Rational Report Rta

@@ -1,0 +1,1 @@
+lib/analysis/holistic.mli: Model Params Report Transaction

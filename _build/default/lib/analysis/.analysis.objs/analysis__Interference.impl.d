@@ -1,0 +1,1 @@
+lib/analysis/interference.ml: Array List Model Rational Stdlib

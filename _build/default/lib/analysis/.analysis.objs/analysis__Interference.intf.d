@@ -1,0 +1,1 @@
+lib/analysis/interference.mli: Model Rational

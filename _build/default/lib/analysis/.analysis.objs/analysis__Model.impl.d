@@ -1,0 +1,1 @@
+lib/analysis/model.ml: Array List Platform Rational String Transaction

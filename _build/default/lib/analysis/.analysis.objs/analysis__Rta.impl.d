@@ -1,0 +1,1 @@
+lib/analysis/rta.ml: Array Busy Interference List Model Params Rational Report Stdlib

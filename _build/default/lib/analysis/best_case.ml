@@ -1,0 +1,55 @@
+module Q = Rational
+
+let best_time m (tk : Model.task) cycles =
+  Q.(max zero ((cycles / Model.alpha m tk) - Model.beta m tk))
+
+let simple m =
+  Array.mapi
+    (fun _a (tx : Model.txn) ->
+      let acc = ref Q.zero in
+      Array.map
+        (fun (tk : Model.task) ->
+          acc := Q.(!acc + best_time m tk tk.Model.cb);
+          !acc)
+        tx.Model.tasks)
+    m.Model.txns
+
+let refined m ~jit =
+  let n = Model.n_txns m in
+  let out = Array.init n (fun a -> Array.make (Model.n_tasks m a) Q.zero) in
+  for a = 0 to n - 1 do
+    let start = ref Q.zero in
+    for b = 0 to Model.n_tasks m a - 1 do
+      let tk = Model.task m a b in
+      (* Guaranteed demand of interferers within a window of length r:
+         at least ceil((r - J)/T) - 1 full arrivals, each of at least the
+         best-case cycles.  Least fixed point from below. *)
+      let guaranteed r =
+        let demand = ref tk.Model.cb in
+        for i = 0 to n - 1 do
+          List.iter
+            (fun j ->
+              let itk = Model.task m i j in
+              let ti = m.Model.txns.(i).Model.period in
+              let arrivals =
+                Stdlib.max 0 (Q.ceil Q.((r - jit.(i).(j)) / ti) - 1)
+              in
+              demand := Q.(!demand + (of_int arrivals * itk.Model.cb)))
+            (Interference.hp m ~i ~a ~b)
+        done;
+        best_time m tk !demand
+      in
+      let horizon = Q.(of_int 1024 * m.Model.txns.(a).Model.period) in
+      let own =
+        match Busy.fixpoint ~horizon guaranteed Q.zero with
+        | Some r -> r
+        | None ->
+            (* Overloaded platform: fall back to the simple term; the
+               refinement is only a tightening, never a requirement. *)
+            best_time m tk tk.Model.cb
+      in
+      start := Q.(!start + max own (best_time m tk tk.Model.cb));
+      out.(a).(b) <- !start
+    done
+  done;
+  out

@@ -1,0 +1,12 @@
+module Q = Rational
+
+let fixpoint ~horizon f w0 =
+  let rec go w =
+    if Q.(w > horizon) then None
+    else
+      let w' = f w in
+      if Q.(w' < w) then invalid_arg "Busy.fixpoint: non-monotone recurrence"
+      else if Q.equal w' w then Some w
+      else go w'
+  in
+  go w0

@@ -1,0 +1,71 @@
+module Q = Rational
+module LB = Platform.Linear_bound
+
+type task = {
+  name : string;
+  c : Q.t;
+  period : Q.t;
+  deadline : Q.t;
+  jitter : Q.t;
+  prio : int;
+}
+
+let check tasks =
+  List.iter
+    (fun t ->
+      if Q.(t.c <= zero) then invalid_arg ("Classical: " ^ t.name ^ ": wcet <= 0");
+      if Q.(t.period <= zero) then
+        invalid_arg ("Classical: " ^ t.name ^ ": period <= 0");
+      if Q.(t.deadline <= zero) then
+        invalid_arg ("Classical: " ^ t.name ^ ": deadline <= 0");
+      if Q.(t.jitter < zero) then
+        invalid_arg ("Classical: " ^ t.name ^ ": jitter < 0"))
+    tasks
+
+let response_times ?(bound = LB.full) ?(horizon_factor = 64) tasks =
+  check tasks;
+  let alpha = bound.LB.alpha and delta = bound.LB.delta in
+  List.map
+    (fun t ->
+      let hp = List.filter (fun u -> u.prio >= t.prio && u != t) tasks in
+      let horizon =
+        Q.(of_int horizon_factor * max t.period t.deadline)
+      in
+      let demand w =
+        List.fold_left
+          (fun acc u ->
+            let jobs = Q.ceil Q.((w + u.jitter) / u.period) in
+            Q.(acc + (of_int (Stdlib.max 0 jobs) * u.c / alpha)))
+          Q.(delta + (t.c / alpha))
+          hp
+      in
+      match Busy.fixpoint ~horizon demand Q.zero with
+      | None -> (t, Report.Divergent)
+      | Some w -> (t, Report.Finite Q.(w + t.jitter)))
+    tasks
+
+let schedulable ?bound ?horizon_factor tasks =
+  response_times ?bound ?horizon_factor tasks
+  |> List.for_all (fun (t, r) -> Report.bound_le r t.deadline)
+
+let utilization tasks =
+  List.fold_left (fun acc t -> Q.(acc + (t.c / t.period))) Q.zero tasks
+
+let liu_layland_test ?(bound = LB.full) tasks =
+  check tasks;
+  match tasks with
+  | [] -> true
+  | _ ->
+      let n = List.length tasks in
+      let u = Q.to_float Q.(utilization tasks / bound.LB.alpha) in
+      let limit = float_of_int n *. ((2. ** (1. /. float_of_int n)) -. 1.) in
+      u <= limit -. 1e-9
+
+let hyperbolic_test ?(bound = LB.full) tasks =
+  check tasks;
+  let product =
+    List.fold_left
+      (fun acc t -> Q.(acc * ((t.c / t.period / bound.LB.alpha) + one)))
+      Q.one tasks
+  in
+  Q.(product <= of_int 2)

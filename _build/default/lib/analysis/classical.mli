@@ -1,0 +1,42 @@
+(** Classical fixed-priority response-time analysis — the baseline the
+    paper generalises.
+
+    Independent periodic tasks with release jitter on one platform.  With
+    the platform at (1, 0, 0) this is the textbook recurrence
+    [w = C + Σ ⌈(w + J_k)/T_k⌉ C_k]; on an abstract platform demands are
+    scaled by 1/α and the busy period pays Δ once, exactly as the
+    holistic analysis degenerates when every transaction has a single
+    task (the equivalence is exercised by the test suite). *)
+
+type task = {
+  name : string;
+  c : Rational.t;
+  period : Rational.t;
+  deadline : Rational.t;
+  jitter : Rational.t;
+  prio : int;  (** greater is higher *)
+}
+
+val response_times :
+  ?bound:Platform.Linear_bound.t ->
+  ?horizon_factor:int ->
+  task list ->
+  (task * Report.bound) list
+(** Worst-case response times (including the release jitter: measured
+    from the nominal activation).  [bound] defaults to a dedicated
+    processor. *)
+
+val schedulable :
+  ?bound:Platform.Linear_bound.t -> ?horizon_factor:int -> task list -> bool
+
+val utilization : task list -> Rational.t
+
+val liu_layland_test : ?bound:Platform.Linear_bound.t -> task list -> bool
+(** Sufficient utilisation test [U <= α n (2^{1/n} − 1)] for
+    implicit-deadline, jitter-free task sets under rate-monotonic
+    priorities.  The irrational bound is evaluated in floating point with
+    a conservative margin, so a [true] answer remains sufficient. *)
+
+val hyperbolic_test : ?bound:Platform.Linear_bound.t -> task list -> bool
+(** Sufficient hyperbolic bound [Π (U_i/α + 1) <= 2] (Bini–Buttazzo),
+    same assumptions as {!liu_layland_test}. *)

@@ -1,0 +1,81 @@
+module Q = Rational
+module LB = Platform.Linear_bound
+
+type task = { name : string; c : Q.t; period : Q.t; deadline : Q.t }
+
+let check tasks =
+  List.iter
+    (fun t ->
+      if Q.(t.c <= zero) then invalid_arg ("Edf: " ^ t.name ^ ": wcet <= 0");
+      if Q.(t.period <= zero) then invalid_arg ("Edf: " ^ t.name ^ ": period <= 0");
+      if Q.(t.deadline <= zero) then
+        invalid_arg ("Edf: " ^ t.name ^ ": deadline <= 0"))
+    tasks
+
+let demand_bound tasks t =
+  List.fold_left
+    (fun acc tk ->
+      if Q.(t < tk.deadline) then acc
+      else
+        let jobs = 1 + Q.floor Q.((t - tk.deadline) / tk.period) in
+        Q.(acc + (of_int jobs * tk.c)))
+    Q.zero tasks
+
+let utilization tasks =
+  List.fold_left (fun acc t -> Q.(acc + (t.c / t.period))) Q.zero tasks
+
+(* Longest window that can still violate the supply: beyond
+   L* = (alpha*Delta + sum C)/(alpha - U) the linear demand bound
+   U*t + sum C stays below alpha*(t - Delta). *)
+let horizon ~(bound : LB.t) tasks =
+  let u = utilization tasks in
+  if Q.(u >= bound.LB.alpha) then None
+  else
+    let total_c = List.fold_left (fun acc t -> Q.(acc + t.c)) Q.zero tasks in
+    let l_star =
+      Q.(((bound.LB.alpha * bound.LB.delta) + total_c) / (bound.LB.alpha - u))
+    in
+    let max_d =
+      List.fold_left (fun acc t -> Q.max acc t.deadline) Q.zero tasks
+    in
+    Some (Q.max l_star max_d)
+
+let testing_points ?(bound = LB.full) tasks =
+  check tasks;
+  match horizon ~bound tasks with
+  | None -> []
+  | Some limit ->
+      let points = ref [] in
+      List.iter
+        (fun tk ->
+          let rec go d =
+            if Q.(d <= limit) then begin
+              points := d :: !points;
+              go Q.(d + tk.period)
+            end
+          in
+          go tk.deadline)
+        tasks;
+      List.sort_uniq Q.compare !points
+
+let margin ?(bound = LB.full) tasks =
+  check tasks;
+  match horizon ~bound tasks with
+  | None -> None
+  | Some _ ->
+      let worst =
+        List.fold_left
+          (fun acc t ->
+            let slack = Q.(LB.supply_lower bound t - demand_bound tasks t) in
+            match acc with
+            | None -> Some slack
+            | Some s -> Some (Q.min s slack))
+          None
+          (testing_points ~bound tasks)
+      in
+      (* no deadlines at all: trivially feasible with infinite margin,
+         report zero spare conservatively *)
+      Some (Option.value worst ~default:Q.zero)
+
+let schedulable ?(bound = LB.full) tasks =
+  match margin ~bound tasks with None -> false | Some m -> Q.(m >= zero)

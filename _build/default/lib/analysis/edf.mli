@@ -1,0 +1,44 @@
+(** EDF feasibility on an abstract computing platform.
+
+    The paper fixes the local scheduler to fixed priorities but notes the
+    methodology "can be easily extended to other local schedulers like
+    EDF".  This module provides that extension for a component whose
+    threads are independent tasks on one platform: the classical
+    processor-demand criterion, with the processor's supply replaced by
+    the platform's guaranteed supply — feasible iff for every absolute
+    deadline [t],
+
+      dbf(t) <= Zmin(t) = alpha * (t - Delta).
+
+    Testing points are the absolute deadlines up to the standard bound
+    L* = (alpha*Delta + sum C) / (alpha - U), which is exact for
+    [U < alpha]; a total demand rate at or above the platform rate is
+    reported infeasible. *)
+
+type task = {
+  name : string;
+  c : Rational.t;
+  period : Rational.t;
+  deadline : Rational.t;  (** relative; may be below or above the period *)
+}
+
+val demand_bound : task list -> Rational.t -> Rational.t
+(** [demand_bound ts t]: total cycles of jobs with both release and
+    deadline inside any synchronous-start window of length [t]
+    (Baruah et al.): Σ max(0, ⌊(t − D)/T⌋ + 1) · C. *)
+
+val testing_points :
+  ?bound:Platform.Linear_bound.t -> task list -> Rational.t list
+(** The absolute deadlines that must be checked, sorted, deduplicated,
+    capped at L*.  Empty when the demand rate reaches the platform rate
+    (infeasible regardless). *)
+
+val schedulable : ?bound:Platform.Linear_bound.t -> task list -> bool
+(** Processor-demand test against the platform's guaranteed supply.
+    [bound] defaults to a dedicated processor.
+    @raise Invalid_argument on non-positive parameters. *)
+
+val margin : ?bound:Platform.Linear_bound.t -> task list -> Rational.t option
+(** Minimum of [Zmin(t) − dbf(t)] over the testing points — how many
+    spare cycles the tightest deadline has.  [None] when infeasible by
+    rate.  Negative iff {!schedulable} is false. *)

@@ -1,0 +1,24 @@
+(** The dynamic-offset holistic analysis (Section 3.2): the outer
+    fixed-point iteration that ties the static-offset response-time
+    analysis ({!Rta}) to the precedence structure of the transactions.
+
+    Offsets are seeded with best-case completions (φ{_i,j} =
+    Rbest{_i,j−1}) and jitters start at zero (plus any external release
+    jitter of the first task); each iteration recomputes every response
+    time and then every jitter as J{_i,j} = R{_i,j−1} − Rbest{_i,j−1}
+    (Eq. 18), Jacobi style, until the jitter vector repeats.  Response
+    times grow monotonically with jitters, so the iteration converges to
+    the least fixed point or diverges — divergence and iteration-cap
+    overruns are reported as non-schedulable. *)
+
+val analyze : ?params:Params.t -> Model.t -> Report.t
+(** Full analysis.  The returned report carries the per-iteration history
+    (the paper's Table 3) and the final verdict: schedulable iff the
+    iteration converged and the last task of every transaction meets the
+    transaction deadline. *)
+
+val analyze_system : ?params:Params.t -> Transaction.System.t -> Report.t
+(** Convenience: {!Model.of_system} followed by {!analyze}. *)
+
+val response_times : ?params:Params.t -> Model.t -> Report.bound array array
+(** Final worst-case response times only. *)

@@ -1,0 +1,51 @@
+module Q = Rational
+
+let hp m ~i ~a ~b =
+  let target = Model.task m a b in
+  let out = ref [] in
+  Array.iteri
+    (fun j (tk : Model.task) ->
+      let is_self = i = a && j = b in
+      if
+        (not is_self)
+        && tk.Model.res = target.Model.res
+        && tk.Model.prio >= target.Model.prio
+      then out := j :: !out)
+    m.Model.txns.(i).Model.tasks;
+  List.rev !out
+
+let reduced_offset m ~phi ~i ~j =
+  Q.fmod phi.(i).(j) m.Model.txns.(i).Model.period
+
+let phase m ~phi ~jit ~i ~k ~j =
+  let ti = m.Model.txns.(i).Model.period in
+  let pk = reduced_offset m ~phi ~i ~j:k and pj = reduced_offset m ~phi ~i ~j in
+  Q.(ti - fmod (pk + jit.(i).(k) - pj) ti)
+
+let jobs ~jitter ~phase ~period ~t =
+  let delayed = Q.floor Q.((jitter + phase) / period) in
+  (* For t > 0 the ceiling is >= 0 since phase <= period; clamping makes
+     the evaluation at t = 0 equal to the t -> 0+ limit, so fixed-point
+     iterations seeded at 0 count the jobs released at the critical
+     instant instead of stalling. *)
+  let inside = Stdlib.max 0 (Q.ceil Q.((t - phase) / period)) in
+  Stdlib.max 0 (delayed + inside)
+
+let contribution ?hp_list m ~phi ~jit ~i ~k ~a ~b ~t =
+  let target = Model.task m a b in
+  let alpha = Model.alpha m target in
+  let ti = m.Model.txns.(i).Model.period in
+  let hp_list = match hp_list with Some l -> l | None -> hp m ~i ~a ~b in
+  List.fold_left
+    (fun acc j ->
+      let tk = Model.task m i j in
+      let ph = phase m ~phi ~jit ~i ~k ~j in
+      let n = jobs ~jitter:jit.(i).(j) ~phase:ph ~period:ti ~t in
+      Q.(acc + (of_int n * tk.Model.c / alpha)))
+    Q.zero hp_list
+
+let w_star ?hp_list m ~phi ~jit ~i ~a ~b ~t =
+  let hp_list = match hp_list with Some l -> l | None -> hp m ~i ~a ~b in
+  List.fold_left
+    (fun acc k -> Q.max acc (contribution ~hp_list m ~phi ~jit ~i ~k ~a ~b ~t))
+    Q.zero hp_list

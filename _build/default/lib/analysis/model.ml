@@ -1,0 +1,152 @@
+module Q = Rational
+module LB = Platform.Linear_bound
+
+type task = { name : string; c : Q.t; cb : Q.t; res : int; prio : int }
+
+type txn = {
+  tname : string;
+  period : Q.t;
+  deadline : Q.t;
+  tasks : task array;
+}
+
+type t = {
+  bounds : LB.t array;
+  txns : txn array;
+  blocking : Q.t array array;
+  release_jitter : Q.t array;
+}
+
+let n_txns m = Array.length m.txns
+
+let n_tasks m i = Array.length m.txns.(i).tasks
+
+let task m a b = m.txns.(a).tasks.(b)
+
+let bound_of m (tk : task) = m.bounds.(tk.res)
+
+let alpha m tk = (bound_of m tk).LB.alpha
+
+let delta m tk = (bound_of m tk).LB.delta
+
+let beta m tk = (bound_of m tk).LB.beta
+
+let scaled_wcet m tk = Q.(tk.c / alpha m tk)
+
+let find_task m name =
+  let found = ref None in
+  Array.iteri
+    (fun a tx ->
+      Array.iteri
+        (fun b (tk : task) ->
+          if !found = None && String.equal tk.name name then found := Some (a, b))
+        tx.tasks)
+    m.txns;
+  !found
+
+let find_txn m name =
+  let found = ref None in
+  Array.iteri
+    (fun a tx -> if !found = None && String.equal tx.tname name then found := Some a)
+    m.txns;
+  !found
+
+let finish ~bounds ~txns ?(blocking = []) ?(release_jitter = []) () =
+  let m =
+    {
+      bounds;
+      txns;
+      blocking = Array.map (fun tx -> Array.make (Array.length tx.tasks) Q.zero) txns;
+      release_jitter = Array.make (Array.length txns) Q.zero;
+    }
+  in
+  List.iter
+    (fun (name, v) ->
+      if Q.(v < zero) then invalid_arg ("Model: negative blocking for " ^ name);
+      match find_task m name with
+      | None -> invalid_arg ("Model: unknown blocking target " ^ name)
+      | Some (a, b) -> m.blocking.(a).(b) <- v)
+    blocking;
+  List.iter
+    (fun (name, v) ->
+      if Q.(v < zero) then
+        invalid_arg ("Model: negative release jitter for " ^ name);
+      match find_txn m name with
+      | None -> invalid_arg ("Model: unknown release jitter target " ^ name)
+      | Some a -> m.release_jitter.(a) <- v)
+    release_jitter;
+  m
+
+let make ~bounds ?blocking ?release_jitter txns =
+  let bounds = Array.of_list bounds in
+  let txns = Array.of_list txns in
+  Array.iter
+    (fun tx ->
+      if Q.(tx.period <= zero) then
+        invalid_arg ("Model.make: " ^ tx.tname ^ ": period must be > 0");
+      if Q.(tx.deadline <= zero) then
+        invalid_arg ("Model.make: " ^ tx.tname ^ ": deadline must be > 0");
+      if Array.length tx.tasks = 0 then
+        invalid_arg ("Model.make: " ^ tx.tname ^ ": no tasks");
+      Array.iter
+        (fun (tk : task) ->
+          if tk.res < 0 || tk.res >= Array.length bounds then
+            invalid_arg ("Model.make: " ^ tk.name ^ ": resource out of range");
+          if Q.(tk.c <= zero) then
+            invalid_arg ("Model.make: " ^ tk.name ^ ": wcet must be > 0");
+          if Q.(tk.cb < zero) || Q.(tk.cb > tk.c) then
+            invalid_arg ("Model.make: " ^ tk.name ^ ": need 0 <= bcet <= wcet");
+          if tk.prio <= 0 then
+            invalid_arg ("Model.make: " ^ tk.name ^ ": priority must be > 0"))
+        tx.tasks)
+    txns;
+  finish ~bounds ~txns ?blocking ?release_jitter ()
+
+let of_system ?(blocking = []) ?(release_jitter = []) (sys : Transaction.System.t) =
+  let bounds =
+    Array.map
+      (fun (r : Platform.Resource.t) -> r.Platform.Resource.bound)
+      sys.Transaction.System.resources
+  in
+  (* the system's own annotations seed the terms; the named lists
+     override them *)
+  let base_blocking =
+    Array.to_list sys.Transaction.System.transactions
+    |> List.concat_map (fun (x : Transaction.Txn.t) ->
+           Array.to_list x.Transaction.Txn.tasks
+           |> List.filter_map (fun (tk : Transaction.Task.t) ->
+                  if Q.(tk.Transaction.Task.blocking > zero) then
+                    Some (tk.Transaction.Task.name, tk.Transaction.Task.blocking)
+                  else None))
+  in
+  let base_jitter =
+    Array.to_list sys.Transaction.System.transactions
+    |> List.filter_map (fun (x : Transaction.Txn.t) ->
+           if Q.(x.Transaction.Txn.release_jitter > zero) then
+             Some (x.Transaction.Txn.name, x.Transaction.Txn.release_jitter)
+           else None)
+  in
+  let blocking = base_blocking @ blocking in
+  let release_jitter = base_jitter @ release_jitter in
+  let txns =
+    Array.map
+      (fun (x : Transaction.Txn.t) ->
+        {
+          tname = x.Transaction.Txn.name;
+          period = x.Transaction.Txn.period;
+          deadline = x.Transaction.Txn.deadline;
+          tasks =
+            Array.map
+              (fun (tk : Transaction.Task.t) ->
+                {
+                  name = tk.Transaction.Task.name;
+                  c = tk.Transaction.Task.wcet;
+                  cb = tk.Transaction.Task.bcet;
+                  res = tk.Transaction.Task.resource;
+                  prio = tk.Transaction.Task.priority;
+                })
+              x.Transaction.Txn.tasks;
+        })
+      sys.Transaction.System.transactions
+  in
+  finish ~bounds ~txns ~blocking ~release_jitter ()

@@ -1,0 +1,22 @@
+type variant = Exact | Reduced
+
+type best_case = Simple | Refined
+
+type t = {
+  variant : variant;
+  best_case : best_case;
+  horizon_factor : int;
+  max_outer_iterations : int;
+  early_exit : bool;
+}
+
+let default =
+  {
+    variant = Reduced;
+    best_case = Simple;
+    horizon_factor = 64;
+    max_outer_iterations = 256;
+    early_exit = true;
+  }
+
+let exact = { default with variant = Exact }

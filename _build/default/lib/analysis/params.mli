@@ -1,0 +1,46 @@
+(** Analysis configuration. *)
+
+type variant =
+  | Exact
+      (** Section 3.1.1: every scenario vector ν is examined.  Complexity
+          is the product of the interfering-task counts per transaction —
+          exponential; reserve for small systems and for validating the
+          reduced analysis. *)
+  | Reduced
+      (** Section 3.1.2: interference of remote transactions is upper
+          bounded by the scenario maximum W{^*}; only the scenarios of
+          the task's own transaction are enumerated.  Polynomial and
+          never less pessimistic than {!Exact}. *)
+
+type best_case =
+  | Simple
+      (** The paper's formula: sum of best-case computation times
+          [max 0 (Cb/α − β)] of the preceding tasks. *)
+  | Refined
+      (** Redell-style lower bound that also counts interference that is
+          guaranteed under zero release jitter of the interferers.  Meant
+          for comparison experiments; see {!Best_case}. *)
+
+type t = {
+  variant : variant;
+  best_case : best_case;
+  horizon_factor : int;
+      (** Busy periods longer than [horizon_factor * max period deadline]
+          of the transaction under analysis are declared divergent. *)
+  max_outer_iterations : int;
+      (** Cap on the dynamic-offset fixed-point iterations (Section 3.2). *)
+  early_exit : bool;
+      (** Stop the outer iteration as soon as some transaction's
+          end-to-end response exceeds its deadline.  Responses grow
+          monotonically with the jitters, so the unschedulable verdict is
+          already decided; the remaining iterations would only refine the
+          numbers of a failing system (sometimes very slowly).  Reports
+          produced by an early exit carry [converged = false]. *)
+}
+
+val default : t
+(** [Reduced], [Simple], horizon factor 64, at most 256 outer
+    iterations, early exit on. *)
+
+val exact : t
+(** [default] with [variant = Exact]. *)

@@ -1,0 +1,124 @@
+module Q = Rational
+
+(* A scenario fixes, for each participating transaction, the interfering
+   task whose maximally-delayed release starts the busy period (Theorem 1).
+   The task's own transaction always participates; under [Reduced] it is
+   the only one, the rest being upper-bounded by W*. *)
+
+let horizon_of m params ~a =
+  let tx = m.Model.txns.(a) in
+  Q.(of_int params.Params.horizon_factor * max tx.Model.period tx.Model.deadline)
+
+let remote_participants m ~a ~b =
+  let out = ref [] in
+  for i = Model.n_txns m - 1 downto 0 do
+    if i <> a then
+      match Interference.hp m ~i ~a ~b with
+      | [] -> ()
+      | hp -> out := (i, hp) :: !out
+  done;
+  !out
+
+let own_choices m ~a ~b = Interference.hp m ~i:a ~a ~b @ [ b ]
+
+let scenario_count m params ~a ~b =
+  let own = List.length (own_choices m ~a ~b) in
+  match params.Params.variant with
+  | Params.Reduced -> own
+  | Params.Exact ->
+      List.fold_left
+        (fun acc (_, hp) -> acc * List.length hp)
+        own
+        (remote_participants m ~a ~b)
+
+(* Response of task (a,b) within busy periods started by scenario where
+   τ_{a,c} initiates the own transaction and [remote_interference t] sums
+   the other transactions' demand (already scaled to platform time). *)
+let scenario_response m params ~phi ~jit ~a ~b ~c ~remote_interference =
+  let tk = Model.task m a b in
+  let tx = m.Model.txns.(a) in
+  let ta = tx.Model.period in
+  let alpha = Model.alpha m tk and delta = Model.delta m tk in
+  let blocking = m.Model.blocking.(a).(b) in
+  let scaled_c = Q.(tk.Model.c / alpha) in
+  let horizon = horizon_of m params ~a in
+  let ph = Interference.phase m ~phi ~jit ~i:a ~k:c ~j:b in
+  let own_hp = Interference.hp m ~i:a ~a ~b in
+  let own_interference t =
+    Interference.contribution ~hp_list:own_hp m ~phi ~jit ~i:a ~k:c ~a ~b ~t
+  in
+  let p0 = 1 - Q.floor Q.((jit.(a).(b) + ph) / ta) in
+  let base = Q.(delta + blocking) in
+  (* Nominal self activations inside (0, l); clamped at 0 so evaluating
+     at l = 0 matches the l -> 0+ limit (see Interference.jobs). *)
+  let inside l = Stdlib.max 0 (Q.ceil Q.((l - ph) / ta)) in
+  let busy_length l =
+    let self_jobs = Stdlib.max 0 (inside l - p0 + 1) in
+    Q.(
+      base
+      + (of_int self_jobs * scaled_c)
+      + own_interference l + remote_interference l)
+  in
+  match Busy.fixpoint ~horizon busy_length Q.zero with
+  | None -> Report.Divergent
+  | Some l ->
+      let p_last = inside l in
+      let best = ref (Report.Finite Q.zero) in
+      for p = p0 to p_last do
+        let self_jobs = p - p0 + 1 in
+        let completion w =
+          Q.(
+            base
+            + (of_int self_jobs * scaled_c)
+            + own_interference w + remote_interference w)
+        in
+        match Busy.fixpoint ~horizon completion Q.zero with
+        | None -> best := Report.Divergent
+        | Some w ->
+            let periods_before = p - 1 in
+            let activation =
+              Q.(ph + (of_int periods_before * ta) - phi.(a).(b))
+            in
+            best := Report.bound_max !best (Report.Finite Q.(w - activation))
+      done;
+      !best
+
+let response_time m params ~phi ~jit ~a ~b =
+  let result = ref (Report.Finite Q.zero) in
+  let consider ~c ~remote_interference =
+    result :=
+      Report.bound_max !result
+        (scenario_response m params ~phi ~jit ~a ~b ~c ~remote_interference)
+  in
+  (match params.Params.variant with
+  | Params.Reduced ->
+      let remotes = remote_participants m ~a ~b in
+      let remote_interference t =
+        List.fold_left
+          (fun acc (i, hp_list) ->
+            Q.(acc + Interference.w_star ~hp_list m ~phi ~jit ~i ~a ~b ~t))
+          Q.zero remotes
+      in
+      List.iter (fun c -> consider ~c ~remote_interference) (own_choices m ~a ~b)
+  | Params.Exact ->
+      let remotes = remote_participants m ~a ~b in
+      (* Depth-first enumeration of the scenario vectors ν (Eq. 12). *)
+      let rec enumerate chosen = function
+        | [] ->
+            let remote_interference t =
+              List.fold_left
+                (fun acc (i, k, hp_list) ->
+                  Q.(
+                    acc
+                    + Interference.contribution ~hp_list m ~phi ~jit ~i ~k ~a ~b
+                        ~t))
+                Q.zero chosen
+            in
+            List.iter
+              (fun c -> consider ~c ~remote_interference)
+              (own_choices m ~a ~b)
+        | (i, hp) :: rest ->
+            List.iter (fun k -> enumerate ((i, k, hp) :: chosen) rest) hp
+      in
+      enumerate [] remotes);
+  !result

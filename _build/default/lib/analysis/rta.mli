@@ -1,0 +1,30 @@
+(** Worst-case response time of one task under static offsets and jitters
+    (Sections 3.1.1 and 3.1.2, extended to abstract platforms by
+    Section 3.2).
+
+    Given the current offset and jitter assignment, computes the response
+    time of task [(a, b)] — measured from the activation of its
+    transaction — by examining busy periods started by every scenario:
+
+    - {!Params.Exact}: one scenario per combination of initiating tasks
+      across all transactions with interfering tasks (Eq. 12);
+    - {!Params.Reduced}: scenarios range over the task's own transaction
+      only, remote transactions contribute their scenario maximum W{^*}
+      (Eq. 15–16).
+
+    Every busy-period recurrence pays the platform delay Δ once and
+    scales demands by 1/α.  [Divergent] is returned when a recurrence
+    exceeds [params.horizon_factor * max period deadline]. *)
+
+val response_time :
+  Model.t ->
+  Params.t ->
+  phi:Rational.t array array ->
+  jit:Rational.t array array ->
+  a:int ->
+  b:int ->
+  Report.bound
+
+val scenario_count : Model.t -> Params.t -> a:int -> b:int -> int
+(** Number of scenarios the chosen variant examines for task [(a, b)]
+    (Eq. 12 for [Exact]; [N_a + 1] for [Reduced]). *)

@@ -1,0 +1,1 @@
+lib/component/component.ml: Assembly Comp Method_sig Thread

@@ -1,0 +1,1 @@
+lib/component/assembly.ml: Comp Format List Method_sig Option Platform Rational String Thread

@@ -1,0 +1,1 @@
+lib/component/assembly.mli: Comp Format Platform Rational

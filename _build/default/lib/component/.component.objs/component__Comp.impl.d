@@ -1,0 +1,1 @@
+lib/component/comp.ml: Format List Method_sig String Thread

@@ -1,0 +1,1 @@
+lib/component/comp.mli: Format Method_sig Thread

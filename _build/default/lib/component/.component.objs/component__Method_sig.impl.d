@@ -1,0 +1,1 @@
+lib/component/method_sig.ml: Format Rational String

@@ -1,0 +1,1 @@
+lib/component/method_sig.mli: Format Rational

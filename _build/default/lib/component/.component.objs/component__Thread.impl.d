@@ -1,0 +1,1 @@
+lib/component/thread.ml: Format List Option Rational String

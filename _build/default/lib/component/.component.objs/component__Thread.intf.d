@@ -1,0 +1,1 @@
+lib/component/thread.mli: Format Rational

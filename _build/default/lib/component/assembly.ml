@@ -1,0 +1,321 @@
+module Q = Rational
+module Resource = Platform.Resource
+
+type link = {
+  network : string;
+  priority : int;
+  request : Q.t * Q.t;
+  reply : (Q.t * Q.t) option;
+}
+
+type binding = {
+  caller : string;
+  required : string;
+  callee : string;
+  provided : string;
+  via : link option;
+}
+
+type instance = { iname : string; cls : string }
+
+type t = {
+  classes : Comp.t list;
+  resources : Resource.t list;
+  instances : instance list;
+  bindings : binding list;
+  allocation : (string * string) list;
+}
+
+let make ~classes ~resources ~instances ~bindings ~allocation =
+  { classes; resources; instances; bindings; allocation }
+
+let find_class t name =
+  List.find_opt (fun (c : Comp.t) -> String.equal c.Comp.name name) t.classes
+
+let find_instance t name =
+  List.find_opt (fun i -> String.equal i.iname name) t.instances
+
+let find_resource t name =
+  List.find_opt (fun (r : Resource.t) -> String.equal r.Resource.name name) t.resources
+
+let class_of t iname =
+  match find_instance t iname with
+  | None -> raise Not_found
+  | Some i -> (
+      match find_class t i.cls with None -> raise Not_found | Some c -> c)
+
+let resource_of t iname =
+  match List.assoc_opt iname t.allocation with
+  | None -> raise Not_found
+  | Some rname -> (
+      match find_resource t rname with None -> raise Not_found | Some r -> r)
+
+let resource_index t rname =
+  let rec go i = function
+    | [] -> raise Not_found
+    | (r : Resource.t) :: rest ->
+        if String.equal r.Resource.name rname then i else go (i + 1) rest
+  in
+  go 0 t.resources
+
+let binding_for t ~caller ~required =
+  List.find_opt
+    (fun b -> String.equal b.caller caller && String.equal b.required required)
+    t.bindings
+
+let call_graph t =
+  List.map (fun b -> (b.caller, b.callee)) t.bindings
+
+(* Depth-first cycle detection over the instance call graph. *)
+let find_cycle edges nodes =
+  let successors n =
+    List.filter_map
+      (fun (a, b) -> if String.equal a n then Some b else None)
+      edges
+  in
+  let exception Cycle of string list in
+  let rec visit path visited n =
+    if List.mem n path then raise (Cycle (List.rev (n :: path)))
+    else if List.mem n visited then visited
+    else
+      List.fold_left (visit (n :: path)) (n :: visited) (successors n)
+  in
+  match List.fold_left (visit []) [] nodes with
+  | (_ : string list) -> None
+  | exception Cycle c -> Some c
+
+let check_unique what names errs =
+  let sorted = List.sort String.compare names in
+  let rec dups acc = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then dups (("duplicate " ^ what ^ " " ^ a) :: acc) rest
+        else dups acc rest
+    | [] | [ _ ] -> acc
+  in
+  dups [] sorted @ errs
+
+let validate t =
+  let errs = ref [] in
+  let error msg = errs := msg :: !errs in
+  !errs
+  |> check_unique "class" (List.map (fun (c : Comp.t) -> c.Comp.name) t.classes)
+  |> check_unique "instance" (List.map (fun i -> i.iname) t.instances)
+  |> check_unique "resource"
+       (List.map (fun (r : Resource.t) -> r.Resource.name) t.resources)
+  |> fun base ->
+  errs := base;
+  (* Instances: known class, allocated on an existing CPU platform. *)
+  List.iter
+    (fun i ->
+      (match find_class t i.cls with
+      | Some _ -> ()
+      | None -> error (i.iname ^ ": unknown class " ^ i.cls));
+      match List.assoc_opt i.iname t.allocation with
+      | None -> error (i.iname ^ ": not allocated to any platform")
+      | Some rname -> (
+          match find_resource t rname with
+          | None -> error (i.iname ^ ": allocated to unknown platform " ^ rname)
+          | Some r ->
+              if r.Resource.kind <> Resource.Cpu then
+                error (i.iname ^ ": allocated to non-CPU platform " ^ rname)))
+    t.instances;
+  List.iter
+    (fun (iname, _) ->
+      if find_instance t iname = None then
+        error ("allocation of unknown instance " ^ iname))
+    t.allocation;
+  (* Bindings: endpoints exist; methods exist; links are consistent. *)
+  let binding_descr b = b.caller ^ "." ^ b.required in
+  List.iter
+    (fun b ->
+      match (find_instance t b.caller, find_instance t b.callee) with
+      | None, _ -> error (binding_descr b ^ ": unknown caller instance")
+      | _, None -> error (binding_descr b ^ ": unknown callee " ^ b.callee)
+      | Some caller_inst, Some callee_inst -> (
+          match (find_class t caller_inst.cls, find_class t callee_inst.cls) with
+          | None, _ | _, None -> () (* already reported above *)
+          | Some caller_cls, Some callee_cls -> (
+              let req = Comp.find_required caller_cls b.required
+              and prov = Comp.find_provided callee_cls b.provided in
+              (match req with
+              | None ->
+                  error
+                    (binding_descr b ^ ": " ^ caller_cls.Comp.name
+                   ^ " has no such required method")
+              | Some _ -> ());
+              (match prov with
+              | None ->
+                  error
+                    (binding_descr b ^ ": " ^ callee_cls.Comp.name
+                   ^ " does not provide " ^ b.provided)
+              | Some _ -> ());
+              (match (req, prov) with
+              | Some r, Some p ->
+                  (* The caller promises interarrival >= r.mit; the callee
+                     tolerates interarrival >= p.mit.  Compatible iff the
+                     promise is at least as strict: r.mit >= p.mit. *)
+                  if Q.(r.Method_sig.mit < p.Method_sig.mit) then
+                    error
+                      (binding_descr b ^ ": caller MIT "
+                      ^ Q.to_string r.Method_sig.mit
+                      ^ " is below the provided MIT "
+                      ^ Q.to_string p.Method_sig.mit)
+              | _ -> ());
+              (* Bindings that cross physical hosts need a network link;
+                 distinct abstract platforms of one host do not (the call
+                 is a plain function call there, as in the paper's
+                 example). *)
+              let same_node =
+                let host_of iname =
+                  Option.bind (List.assoc_opt iname t.allocation) (fun rname ->
+                      Option.map
+                        (fun (r : Resource.t) -> r.Resource.host)
+                        (find_resource t rname))
+                in
+                match (host_of b.caller, host_of b.callee) with
+                | Some a, Some c -> String.equal a c
+                | _ -> true (* allocation errors already reported *)
+              in
+              match b.via with
+              | None ->
+                  if not same_node then
+                    error
+                      (binding_descr b
+                     ^ ": instances on different hosts need a network link")
+              | Some l -> (
+                  if l.priority <= 0 then
+                    error (binding_descr b ^ ": message priority must be > 0");
+                  let check_msg what (w, bst) =
+                    if Q.(w <= zero) then
+                      error (binding_descr b ^ ": " ^ what ^ " wcet must be > 0");
+                    if Q.(bst < zero) || Q.(bst > w) then
+                      error
+                        (binding_descr b ^ ": " ^ what
+                       ^ " needs 0 <= bcet <= wcet")
+                  in
+                  check_msg "request" l.request;
+                  Option.iter (check_msg "reply") l.reply;
+                  match find_resource t l.network with
+                  | None ->
+                      error (binding_descr b ^ ": unknown network " ^ l.network)
+                  | Some r ->
+                      if r.Resource.kind <> Resource.Network then
+                        error
+                          (binding_descr b ^ ": " ^ l.network
+                         ^ " is not a network platform")))))
+    t.bindings;
+  (* Every required method of every instance is bound exactly once. *)
+  List.iter
+    (fun i ->
+      match find_class t i.cls with
+      | None -> ()
+      | Some cls ->
+          List.iter
+            (fun (r : Method_sig.t) ->
+              let bound =
+                List.filter
+                  (fun b ->
+                    String.equal b.caller i.iname
+                    && String.equal b.required r.Method_sig.name)
+                  t.bindings
+              in
+              match bound with
+              | [] ->
+                  error
+                    (i.iname ^ "." ^ r.Method_sig.name ^ ": required method unbound")
+              | [ _ ] -> ()
+              | _ :: _ :: _ ->
+                  error
+                    (i.iname ^ "." ^ r.Method_sig.name ^ ": bound more than once"))
+            cls.Comp.required)
+    t.instances;
+  (* Aggregate invocation rate on each provided method must fit its MIT:
+     sum over callers of 1/caller_mit <= 1/provided_mit. *)
+  List.iter
+    (fun i ->
+      match find_class t i.cls with
+      | None -> ()
+      | Some cls ->
+          List.iter
+            (fun (p : Method_sig.t) ->
+              let callers =
+                List.filter
+                  (fun b ->
+                    String.equal b.callee i.iname
+                    && String.equal b.provided p.Method_sig.name)
+                  t.bindings
+              in
+              let rate =
+                List.fold_left
+                  (fun acc b ->
+                    match find_instance t b.caller with
+                    | None -> acc
+                    | Some ci -> (
+                        match find_class t ci.cls with
+                        | None -> acc
+                        | Some ccls -> (
+                            match Comp.find_required ccls b.required with
+                            | None -> acc
+                            | Some r -> Q.(acc + inv r.Method_sig.mit))))
+                  Q.zero callers
+              in
+              if Q.(rate > inv p.Method_sig.mit) then
+                error
+                  (i.iname ^ "." ^ p.Method_sig.name
+                 ^ ": aggregate caller rate exceeds the provided MIT"))
+            cls.Comp.provided)
+    t.instances;
+  (* Periodic threads must respect the MIT they declared for each call. *)
+  List.iter
+    (fun i ->
+      match find_class t i.cls with
+      | None -> ()
+      | Some cls ->
+          List.iter
+            (fun (th : Thread.t) ->
+              match th.Thread.activation with
+              | Thread.Realizes _ -> ()
+              | Thread.Periodic { period; _ } ->
+                  List.iter
+                    (fun m ->
+                      match Comp.find_required cls m with
+                      | None -> ()
+                      | Some r ->
+                          if Q.(period < r.Method_sig.mit) then
+                            error
+                              (i.iname ^ "." ^ th.Thread.name ^ " calls " ^ m
+                             ^ " every " ^ Q.to_string period
+                             ^ " but declared MIT "
+                             ^ Q.to_string r.Method_sig.mit))
+                    (Thread.called_methods th))
+            cls.Comp.threads)
+    t.instances;
+  (* RPC cycles deadlock under synchronous invocation. *)
+  (match
+     find_cycle (call_graph t) (List.map (fun i -> i.iname) t.instances)
+   with
+  | None -> ()
+  | Some cycle -> error ("RPC cycle: " ^ String.concat " -> " cycle));
+  match List.rev !errs with [] -> Ok () | errors -> Error errors
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun r -> Format.fprintf ppf "platform %a@ " Resource.pp r) t.resources;
+  List.iter
+    (fun i ->
+      let alloc =
+        match List.assoc_opt i.iname t.allocation with
+        | Some r -> r
+        | None -> "?"
+      in
+      Format.fprintf ppf "instance %s : %s on %s@ " i.iname i.cls alloc)
+    t.instances;
+  List.iter
+    (fun b ->
+      let via =
+        match b.via with None -> "" | Some l -> " via " ^ l.network
+      in
+      Format.fprintf ppf "bind %s.%s -> %s.%s%s@ " b.caller b.required b.callee
+        b.provided via)
+    t.bindings;
+  Format.fprintf ppf "@]"

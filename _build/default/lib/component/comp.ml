@@ -1,0 +1,91 @@
+type scheduler = Fixed_priority
+
+type t = {
+  name : string;
+  provided : Method_sig.t list;
+  required : Method_sig.t list;
+  scheduler : scheduler;
+  threads : Thread.t list;
+}
+
+let fail cls msg = invalid_arg ("Comp.make: " ^ cls ^ ": " ^ msg)
+
+let check_unique cls what names =
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then fail cls ("duplicate " ^ what ^ " " ^ a)
+        else dup rest
+    | [] | [ _ ] -> ()
+  in
+  dup sorted
+
+let make ?(scheduler = Fixed_priority) ~name ~provided ~required threads =
+  if String.length name = 0 then invalid_arg "Comp.make: empty name";
+  check_unique name "provided method"
+    (List.map (fun (m : Method_sig.t) -> m.name) provided);
+  check_unique name "required method"
+    (List.map (fun (m : Method_sig.t) -> m.name) required);
+  check_unique name "thread" (List.map (fun (t : Thread.t) -> t.Thread.name) threads);
+  let realizers_of m =
+    List.filter
+      (fun t ->
+        match Thread.realized_method t with
+        | Some m' -> String.equal m m'
+        | None -> false)
+      threads
+  in
+  List.iter
+    (fun (m : Method_sig.t) ->
+      match realizers_of m.name with
+      | [ _ ] -> ()
+      | [] -> fail name ("provided method " ^ m.name ^ " has no realizing thread")
+      | _ :: _ :: _ ->
+          fail name ("provided method " ^ m.name ^ " has several realizers"))
+    provided;
+  List.iter
+    (fun (t : Thread.t) ->
+      (match Thread.realized_method t with
+      | None -> ()
+      | Some m ->
+          if not (List.exists (fun (p : Method_sig.t) -> String.equal p.name m) provided)
+          then
+            fail name
+              ("thread " ^ t.Thread.name ^ " realizes unknown method " ^ m));
+      List.iter
+        (fun m ->
+          if not (List.exists (fun (r : Method_sig.t) -> String.equal r.name m) required)
+          then
+            fail name
+              ("thread " ^ t.Thread.name ^ " calls " ^ m
+             ^ " which is not in the required interface"))
+        (Thread.called_methods t))
+    threads;
+  { name; provided; required; scheduler; threads }
+
+let find_provided t m =
+  List.find_opt (fun (p : Method_sig.t) -> String.equal p.name m) t.provided
+
+let find_required t m =
+  List.find_opt (fun (r : Method_sig.t) -> String.equal r.name m) t.required
+
+let realizer t m =
+  List.find_opt
+    (fun th ->
+      match Thread.realized_method th with
+      | Some m' -> String.equal m m'
+      | None -> false)
+    t.threads
+
+let pp ppf t =
+  let pp_methods label ppf = function
+    | [] -> ()
+    | ms ->
+        Format.fprintf ppf "@ %s:@   @[<v>%a@]" label
+          (Format.pp_print_list Method_sig.pp)
+          ms
+  in
+  Format.fprintf ppf "@[<v 2>%s {%a%a@ implementation:@   @[<v>%a@]@]@ }" t.name
+    (pp_methods "provided") t.provided (pp_methods "required") t.required
+    (Format.pp_print_list Thread.pp)
+    t.threads

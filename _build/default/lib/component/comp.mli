@@ -1,0 +1,41 @@
+(** Component classes (Section 2.1).
+
+    A component consists of a provided interface, a required interface,
+    and an implementation: a set of threads plus a local scheduler.  The
+    paper (and therefore the analysis) fixes the local scheduler to
+    preemptive fixed priorities; the constructor keeps the scheduler
+    explicit so the model can be extended. *)
+
+type scheduler = Fixed_priority
+
+type t = private {
+  name : string;
+  provided : Method_sig.t list;
+  required : Method_sig.t list;
+  scheduler : scheduler;
+  threads : Thread.t list;
+}
+
+val make :
+  ?scheduler:scheduler ->
+  name:string ->
+  provided:Method_sig.t list ->
+  required:Method_sig.t list ->
+  Thread.t list ->
+  t
+(** Builds a component class and checks its internal consistency:
+    non-empty unique names for methods and threads, every provided method
+    realized by exactly one thread, every event-triggered thread bound to
+    an existing provided method, and every called method present in the
+    required interface.
+    @raise Invalid_argument when a check fails, with a message naming the
+    offending element. *)
+
+val find_provided : t -> string -> Method_sig.t option
+
+val find_required : t -> string -> Method_sig.t option
+
+val realizer : t -> string -> Thread.t option
+(** The thread realizing the given provided method. *)
+
+val pp : Format.formatter -> t -> unit

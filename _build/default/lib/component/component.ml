@@ -1,0 +1,8 @@
+(** The component model of Section 2: interfaces with minimum
+    interarrival times, threads, component classes, and system assemblies
+    with RPC bindings and platform allocation. *)
+
+module Method_sig = Method_sig
+module Thread = Thread
+module Comp = Comp
+module Assembly = Assembly

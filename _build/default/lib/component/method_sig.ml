@@ -1,0 +1,12 @@
+type t = { name : string; mit : Rational.t }
+
+let make ~name ~mit =
+  if String.length name = 0 then invalid_arg "Method_sig.make: empty name";
+  if Rational.(mit <= zero) then
+    invalid_arg ("Method_sig.make: " ^ name ^ ": MIT must be > 0");
+  { name; mit }
+
+let equal a b = String.equal a.name b.name && Rational.equal a.mit b.mit
+
+let pp ppf m =
+  Format.fprintf ppf "%s() /* MIT = %a */" m.name Rational.pp m.mit

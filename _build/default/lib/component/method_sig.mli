@@ -1,0 +1,15 @@
+(** Interface methods (Section 2.1).
+
+    A method of a provided or required interface is characterised by its
+    signature (here: its name) and a worst-case activation pattern, which
+    the paper restricts to a single value: the minimum interarrival time
+    (MIT) between two consecutive invocations. *)
+
+type t = { name : string; mit : Rational.t }
+
+val make : name:string -> mit:Rational.t -> t
+(** @raise Invalid_argument if [mit <= 0] or the name is empty. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+module Q = Rational
+
+type action =
+  | Task of {
+      name : string;
+      wcet : Q.t;
+      bcet : Q.t;
+      blocking : Q.t option;
+      priority : int option;
+    }
+  | Call of { method_name : string }
+
+type activation =
+  | Periodic of { period : Q.t; deadline : Q.t; jitter : Q.t }
+  | Realizes of { method_name : string; deadline : Q.t option }
+
+type t = {
+  name : string;
+  activation : activation;
+  priority : int;
+  body : action list;
+}
+
+let check_action thread = function
+  | Call { method_name } ->
+      if String.length method_name = 0 then
+        invalid_arg ("Thread.make: " ^ thread ^ ": empty call target")
+  | Task { name; wcet; bcet; blocking; priority } ->
+      if String.length name = 0 then
+        invalid_arg ("Thread.make: " ^ thread ^ ": empty task name");
+      if Q.(wcet <= zero) then
+        invalid_arg ("Thread.make: " ^ thread ^ "." ^ name ^ ": wcet must be > 0");
+      if Q.(bcet < zero) || Q.(bcet > wcet) then
+        invalid_arg
+          ("Thread.make: " ^ thread ^ "." ^ name ^ ": need 0 <= bcet <= wcet");
+      Option.iter
+        (fun p ->
+          if p <= 0 then
+            invalid_arg
+              ("Thread.make: " ^ thread ^ "." ^ name ^ ": priority must be > 0"))
+        priority;
+      Option.iter
+        (fun b ->
+          if Q.(b < zero) then
+            invalid_arg
+              ("Thread.make: " ^ thread ^ "." ^ name ^ ": blocking must be >= 0"))
+        blocking
+
+let make ~name ~activation ~priority body =
+  if String.length name = 0 then invalid_arg "Thread.make: empty name";
+  if priority <= 0 then
+    invalid_arg ("Thread.make: " ^ name ^ ": priority must be > 0");
+  (match activation with
+  | Periodic { period; deadline; jitter } ->
+      if Q.(period <= zero) then
+        invalid_arg ("Thread.make: " ^ name ^ ": period must be > 0");
+      if Q.(deadline <= zero) then
+        invalid_arg ("Thread.make: " ^ name ^ ": deadline must be > 0");
+      if Q.(jitter < zero) then
+        invalid_arg ("Thread.make: " ^ name ^ ": jitter must be >= 0")
+  | Realizes { method_name; deadline } ->
+      if String.length method_name = 0 then
+        invalid_arg ("Thread.make: " ^ name ^ ": empty realized method");
+      Option.iter
+        (fun d ->
+          if Q.(d <= zero) then
+            invalid_arg ("Thread.make: " ^ name ^ ": deadline must be > 0"))
+        deadline);
+  if body = [] then invalid_arg ("Thread.make: " ^ name ^ ": empty body");
+  List.iter (check_action name) body;
+  { name; activation; priority; body }
+
+let is_periodic t =
+  match t.activation with Periodic _ -> true | Realizes _ -> false
+
+let realized_method t =
+  match t.activation with
+  | Periodic _ -> None
+  | Realizes { method_name; _ } -> Some method_name
+
+let called_methods t =
+  List.filter_map
+    (function Call { method_name } -> Some method_name | Task _ -> None)
+    t.body
+
+let demand t =
+  List.fold_left
+    (fun acc -> function Task { wcet; _ } -> Q.(acc + wcet) | Call _ -> acc)
+    Q.zero t.body
+
+let pp_action ppf = function
+  | Task { name; wcet; bcet; blocking = _; priority = _ } ->
+      Format.fprintf ppf "%s (C=%a, Cb=%a)" name Q.pp wcet Q.pp bcet
+  | Call { method_name } -> Format.fprintf ppf "%s()" method_name
+
+let pp ppf t =
+  let pp_activation ppf = function
+    | Periodic { period; deadline; jitter = _ } ->
+        Format.fprintf ppf "periodic(T=%a, D=%a)" Q.pp period Q.pp deadline
+    | Realizes { method_name; deadline = _ } ->
+        Format.fprintf ppf "realizes %s()" method_name
+  in
+  Format.fprintf ppf "@[<hov 2>%s : %a, priority=%d {@ %a }@]" t.name
+    pp_activation t.activation t.priority
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       pp_action)
+    t.body

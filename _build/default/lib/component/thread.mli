@@ -1,0 +1,67 @@
+(** Component threads (Section 2.1).
+
+    A thread is implemented by a sequence of {e tasks} (pieces of code the
+    component implements directly) and synchronous {e method calls}
+    through the required interface.  Threads are activated either
+    periodically (time-triggered) or by an invocation of a provided
+    method they realize (event-triggered). *)
+
+type action =
+  | Task of {
+      name : string;
+      wcet : Rational.t;
+      bcet : Rational.t;
+      blocking : Rational.t option;
+          (** Worst-case blocking suffered from lower-priority
+              non-preemptable sections (B{_a,b} in the analysis);
+              defaults to none. *)
+      priority : int option;
+          (** Overrides the thread priority for this task only.  Tasks
+              normally inherit the priority of their thread, but raising
+              the priority of a section is a common implementation device
+              (the paper's own example runs [compute] of
+              [Integrator.Thread2] above the thread's base priority). *)
+    }  (** Local code with worst- and best-case execution demand, in
+          cycles. *)
+  | Call of { method_name : string }
+      (** Synchronous invocation of a required-interface method: the
+          thread suspends until the remote method completes. *)
+
+type activation =
+  | Periodic of {
+      period : Rational.t;
+      deadline : Rational.t;
+      jitter : Rational.t;
+          (** maximum release jitter — a time-triggered thread driven by
+              a sporadic source (e.g. a sensor interrupt rounded to the
+              next tick) may be activated up to this much late *)
+    }
+  | Realizes of { method_name : string; deadline : Rational.t option }
+      (** Event-triggered by calls to the named provided method.  The
+          period is the method's MIT; the deadline defaults to it. *)
+
+type t = {
+  name : string;
+  activation : activation;
+  priority : int;  (** local to the component; greater is higher *)
+  body : action list;
+}
+
+val make :
+  name:string -> activation:activation -> priority:int -> action list -> t
+(** @raise Invalid_argument on an empty name, non-positive priority,
+    non-positive period/deadline, an empty body, or a task whose demand
+    violates [0 <= bcet <= wcet] or [wcet > 0]. *)
+
+val is_periodic : t -> bool
+
+val realized_method : t -> string option
+(** The provided method this thread realizes, if event-triggered. *)
+
+val called_methods : t -> string list
+(** Required methods invoked by the body, in order, with duplicates. *)
+
+val demand : t -> Rational.t
+(** Total worst-case cycles of the local tasks of the body. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/hsched.ml: Analysis Component Paper_example Platform Rational Transaction

@@ -1,0 +1,16 @@
+(** hsched — hierarchical scheduling for component-based real-time
+    systems.
+
+    Umbrella module re-exporting the whole public API: exact rational
+    arithmetic, abstract computing platforms, the component model,
+    transaction derivation, the holistic schedulability analysis, and the
+    paper's worked example. *)
+
+module Rational = Rational
+module Platform = Platform
+module Component = Component
+module Transaction = Transaction
+module Analysis = Analysis
+module Paper_example = Paper_example
+
+let version = "1.0.0"

@@ -1,0 +1,26 @@
+(** The paper's running example (Sections 2.2 and 4): the stereoscopic
+    sensor-fusion subsystem.
+
+    Two [SensorReading] instances and one [SensorIntegration] instance
+    run on three abstract platforms carved out of one physical node
+    (Table 2); the derivation produces the four transactions of Figure 5
+    with the parameters of Table 1. *)
+
+val assembly : unit -> Component.Assembly.t
+
+val system : unit -> Transaction.System.t
+(** Derived transactions; raises only if the example itself is broken. *)
+
+val model : unit -> Analysis.Model.t
+
+val report : ?params:Analysis.Params.t -> unit -> Analysis.Report.t
+(** Runs the holistic analysis (defaults to the paper's reduced
+    variant). *)
+
+val paper_task_names : (string * string) list
+(** Mapping from the paper's labels (["tau_1,1"] …) to the derived task
+    names, in Table 1 row order. *)
+
+val paper_location : string -> int * int
+(** Transaction and task index of a paper label in {!system}'s order.
+    @raise Not_found for unknown labels. *)

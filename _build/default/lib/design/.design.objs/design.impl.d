@@ -1,0 +1,1 @@
+lib/design/design.ml: Param_search Sensitivity

@@ -1,0 +1,1 @@
+lib/design/param_search.ml: Analysis Array Format Option Platform Rational Transaction

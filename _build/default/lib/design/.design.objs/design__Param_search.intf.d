@@ -1,0 +1,1 @@
+lib/design/param_search.mli: Analysis Platform Rational Transaction

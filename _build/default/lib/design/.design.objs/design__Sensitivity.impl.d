@@ -1,0 +1,1 @@
+lib/design/sensitivity.ml: Analysis Array Format List Rational

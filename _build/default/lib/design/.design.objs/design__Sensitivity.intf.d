@@ -1,0 +1,1 @@
+lib/design/sensitivity.mli: Analysis Format Rational Transaction

@@ -1,0 +1,5 @@
+(** Design-space exploration: synthesis of abstract-platform parameters
+    (the paper's Section 5 future work) and robustness metrics. *)
+
+module Param_search = Param_search
+module Sensitivity = Sensitivity

@@ -1,0 +1,190 @@
+module Q = Rational
+module LB = Platform.Linear_bound
+
+type family = { describe : string; bound_of_rate : Q.t -> LB.t }
+
+let periodic_server_family ~period =
+  if Q.(period <= zero) then
+    invalid_arg "Design.periodic_server_family: period must be > 0";
+  {
+    describe = Format.asprintf "periodic server, P=%a" Q.pp period;
+    bound_of_rate =
+      (fun alpha ->
+        let gap = Q.(period * (one - alpha)) in
+        LB.make ~alpha ~delta:Q.(of_int 2 * gap)
+          ~beta:Q.(of_int 2 * alpha * gap));
+  }
+
+let fixed_latency_family ~delta ~beta =
+  {
+    describe = Format.asprintf "fixed latency, Δ=%a β=%a" Q.pp delta Q.pp beta;
+    bound_of_rate = (fun alpha -> LB.make ~alpha ~delta ~beta);
+  }
+
+let schedulable_with ?params sys ~bounds =
+  let m = Analysis.Model.of_system sys in
+  let m = { m with Analysis.Model.bounds } in
+  (Analysis.Holistic.analyze ?params m).Analysis.Report.schedulable
+
+let current_bounds (sys : Transaction.System.t) =
+  Array.map
+    (fun (r : Platform.Resource.t) -> r.Platform.Resource.bound)
+    sys.Transaction.System.resources
+
+(* Least grid point k/2^precision in (0, 1] satisfying [ok]; assumes [ok]
+   is monotone (false below the threshold, true above). *)
+let search_min_rate ~precision ok =
+  let den = 1 lsl precision in
+  if not (ok Q.one) then None
+  else begin
+    (* Invariant: ok(hi/den), not ok(lo/den) (lo = 0 is never feasible:
+       rate must be positive). *)
+    let lo = ref 0 and hi = ref den in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if ok (Q.make mid den) then hi := mid else lo := mid
+    done;
+    Some (Q.make !hi den)
+  end
+
+let min_rate ?params ?(precision = 10) sys ~resource ~family =
+  let base = current_bounds sys in
+  let ok alpha =
+    let bounds = Array.copy base in
+    bounds.(resource) <- family.bound_of_rate alpha;
+    schedulable_with ?params sys ~bounds
+  in
+  search_min_rate ~precision ok
+
+let minimize_rates ?params ?(precision = 10) sys ~families =
+  let n = Array.length families in
+  if n <> Array.length sys.Transaction.System.resources then
+    invalid_arg "Design.minimize_rates: one family per platform required";
+  let rates = Array.make n Q.one in
+  let bounds_of rates =
+    Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
+  in
+  if not (schedulable_with ?params sys ~bounds:(bounds_of rates)) then None
+  else begin
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      for i = 0 to n - 1 do
+        let ok alpha =
+          let attempt = Array.copy rates in
+          attempt.(i) <- alpha;
+          schedulable_with ?params sys ~bounds:(bounds_of attempt)
+        in
+        match search_min_rate ~precision ok with
+        | Some alpha when Q.(alpha < rates.(i)) ->
+            rates.(i) <- alpha;
+            changed := true
+        | Some _ | None -> ()
+      done
+    done;
+    Some rates
+  end
+
+let balance_rates ?params ?(precision = 6) sys ~families =
+  let n = Array.length families in
+  if n <> Array.length sys.Transaction.System.resources then
+    invalid_arg "Design.balance_rates: one family per platform required";
+  let den = 1 lsl precision in
+  let rates = Array.make n Q.one in
+  let bounds_of rates =
+    Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
+  in
+  if not (schedulable_with ?params sys ~bounds:(bounds_of rates)) then None
+  else begin
+    let step = Q.make 1 den in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for i = 0 to n - 1 do
+        let candidate = Q.(rates.(i) - step) in
+        if Q.(candidate > zero) then begin
+          let attempt = Array.copy rates in
+          attempt.(i) <- candidate;
+          if schedulable_with ?params sys ~bounds:(bounds_of attempt) then begin
+            rates.(i) <- candidate;
+            progress := true
+          end
+        end
+      done
+    done;
+    Some rates
+  end
+
+(* Largest grid point in [0, limit] satisfying the monotone-decreasing
+   predicate [ok] (ok 0 assumed true). *)
+let search_max ~precision ~limit ok =
+  let den = 1 lsl precision in
+  if ok limit then limit
+  else begin
+    let lo = ref 0 and hi = ref den in
+    (* ok at lo*limit/den, not ok at hi*limit/den *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if ok Q.(limit * make mid den) then lo := mid else hi := mid
+    done;
+    Q.(limit * make !lo den)
+  end
+
+let scale_demands (m : Analysis.Model.t) factor =
+  {
+    m with
+    Analysis.Model.txns =
+      Array.map
+        (fun (tx : Analysis.Model.txn) ->
+          {
+            tx with
+            Analysis.Model.tasks =
+              Array.map
+                (fun (tk : Analysis.Model.task) ->
+                  {
+                    tk with
+                    Analysis.Model.c = Q.(tk.Analysis.Model.c * factor);
+                    cb = Q.(tk.Analysis.Model.cb * factor);
+                  })
+                tx.Analysis.Model.tasks;
+          })
+        m.Analysis.Model.txns;
+  }
+
+let breakdown_utilization ?params ?(precision = 10) sys =
+  let m = Analysis.Model.of_system sys in
+  let ok factor =
+    if Q.(factor <= zero) then true
+    else
+      (Analysis.Holistic.analyze ?params (scale_demands m factor))
+        .Analysis.Report.schedulable
+  in
+  if not (ok Q.one) then
+    (* Even the given demands fail; search downwards instead. *)
+    search_max ~precision ~limit:Q.one ok
+  else begin
+    (* Grow the ceiling until infeasible, then search inside. *)
+    let rec ceiling limit =
+      if Q.(limit >= of_int 64) then limit
+      else if ok limit then ceiling Q.(limit * of_int 2)
+      else limit
+    in
+    let limit = ceiling (Q.of_int 2) in
+    if ok limit then limit else search_max ~precision ~limit ok
+  end
+
+let max_delta ?params ?(precision = 10) ?limit sys ~resource =
+  let base = current_bounds sys in
+  let default_limit =
+    Array.fold_left
+      (fun acc (x : Transaction.Txn.t) -> Q.max acc x.Transaction.Txn.deadline)
+      Q.one sys.Transaction.System.transactions
+  in
+  let limit = Option.value limit ~default:default_limit in
+  let ok delta =
+    let bounds = Array.copy base in
+    let b = bounds.(resource) in
+    bounds.(resource) <- LB.make ~alpha:b.LB.alpha ~delta ~beta:b.LB.beta;
+    schedulable_with ?params sys ~bounds
+  in
+  if not (ok Q.zero) then None else Some (search_max ~precision ~limit ok)

@@ -1,0 +1,87 @@
+(** Platform parameter synthesis — the optimisation problem the paper
+    leaves as future work (Section 5): "the search for the optimal
+    platform parameters would allow a better utilization of the
+    resources".
+
+    A {!family} ties the free rate α to the full (α, Δ, β) triple of a
+    concrete reservation mechanism (e.g. a periodic server of fixed
+    period: shrinking the budget both lowers the rate and lengthens the
+    delay).  Schedulability is monotone along a family — more rate and
+    less delay never hurt — so minimal rates are found by binary search
+    on a dyadic grid, and a whole system is optimised by coordinate
+    descent across its platforms. *)
+
+type family = {
+  describe : string;
+  bound_of_rate : Rational.t -> Platform.Linear_bound.t;
+}
+
+val periodic_server_family : period:Rational.t -> family
+(** A server granting [α·P] every [P]: Δ = 2P(1−α), β = 2αP(1−α). *)
+
+val fixed_latency_family : delta:Rational.t -> beta:Rational.t -> family
+(** Only the rate varies; delay and burstiness stay fixed (the abstract
+    setting of the paper's Table 2). *)
+
+val schedulable_with :
+  ?params:Analysis.Params.t ->
+  Transaction.System.t ->
+  bounds:Platform.Linear_bound.t array ->
+  bool
+(** Schedulability of the system with its platform bounds replaced. *)
+
+val min_rate :
+  ?params:Analysis.Params.t ->
+  ?precision:int ->
+  Transaction.System.t ->
+  resource:int ->
+  family:family ->
+  Rational.t option
+(** Least rate on the grid [k/2{^precision}] (default precision 10) that
+    keeps the system schedulable when platform [resource] is realised by
+    [family], other platforms unchanged.  [None] if even rate 1 fails. *)
+
+val minimize_rates :
+  ?params:Analysis.Params.t ->
+  ?precision:int ->
+  Transaction.System.t ->
+  families:family array ->
+  Rational.t array option
+(** Coordinate descent: repeatedly shrinks each platform's rate to its
+    current minimum until a fixed point.  Returns the per-platform rates,
+    or [None] when the system is unschedulable even at full rates.  The
+    result is a local optimum of Σα (the joint problem is not convex). *)
+
+val balance_rates :
+  ?params:Analysis.Params.t ->
+  ?precision:int ->
+  Transaction.System.t ->
+  families:family array ->
+  Rational.t array option
+(** Like {!minimize_rates} but shrinks all platforms together, one grid
+    step at a time in round-robin, so no platform is starved by another
+    being minimised first.  Slower (one analysis per step) but finds
+    substantially more balanced optima on coupled systems; the default
+    [precision] is 6. *)
+
+val breakdown_utilization :
+  ?params:Analysis.Params.t ->
+  ?precision:int ->
+  Transaction.System.t ->
+  Rational.t
+(** Largest factor on the grid by which every execution demand can be
+    scaled while the system stays schedulable — the classical
+    breakdown-utilisation metric.  Below 1 when the system is not
+    schedulable as given; capped at 64. *)
+
+val max_delta :
+  ?params:Analysis.Params.t ->
+  ?precision:int ->
+  ?limit:Rational.t ->
+  Transaction.System.t ->
+  resource:int ->
+  Rational.t option
+(** Largest delay Δ the given platform tolerates (rate and burstiness
+    unchanged) while the system stays schedulable; searched on the dyadic
+    grid up to [limit] (default: the largest transaction deadline).
+    [None] when the system is unschedulable as given. *)

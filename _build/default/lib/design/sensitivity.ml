@@ -1,0 +1,97 @@
+module Q = Rational
+module Model = Analysis.Model
+module Report = Analysis.Report
+
+type task_margin = { txn : int; task : int; name : string; factor : Q.t }
+
+let scale_one (m : Model.t) ~txn ~task factor =
+  {
+    m with
+    Model.txns =
+      Array.mapi
+        (fun a (tx : Model.txn) ->
+          if a <> txn then tx
+          else
+            {
+              tx with
+              Model.tasks =
+                Array.mapi
+                  (fun b (tk : Model.task) ->
+                    if b <> task then tk
+                    else
+                      {
+                        tk with
+                        Model.c = Q.(tk.Model.c * factor);
+                        cb = Q.(tk.Model.cb * factor);
+                      })
+                  tx.Model.tasks;
+            })
+        m.Model.txns;
+  }
+
+(* Largest grid point in (0, limit] keeping [ok] true; [ok] is monotone
+   decreasing.  Mirrors Param_search.search_max with a doubling probe. *)
+let search_scaling ~precision ok =
+  let den = 1 lsl precision in
+  let rec ceiling limit =
+    if Q.(limit >= of_int 64) then limit
+    else if ok limit then ceiling Q.(limit * of_int 2)
+    else limit
+  in
+  let limit = ceiling Q.one in
+  if ok limit then limit
+  else begin
+    let lo = ref 0 and hi = ref den in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if ok Q.(limit * make mid den) then lo := mid else hi := mid
+    done;
+    Q.(limit * make !lo den)
+  end
+
+let task_scaling ?params ?(precision = 7) sys ~txn ~task =
+  let m = Model.of_system sys in
+  let ok factor =
+    if Q.(factor <= zero) then true
+    else
+      (Analysis.Holistic.analyze ?params (scale_one m ~txn ~task factor))
+        .Report.schedulable
+  in
+  search_scaling ~precision ok
+
+let all_task_margins ?params ?precision sys =
+  let m = Model.of_system sys in
+  let out = ref [] in
+  Array.iteri
+    (fun txn (tx : Model.txn) ->
+      Array.iteri
+        (fun task (tk : Model.task) ->
+          out :=
+            {
+              txn;
+              task;
+              name = tk.Model.name;
+              factor = task_scaling ?params ?precision sys ~txn ~task;
+            }
+            :: !out)
+        tx.Model.tasks)
+    m.Model.txns;
+  List.sort (fun a b -> Q.compare a.factor b.factor) !out
+
+let transaction_slack ?params sys =
+  let m = Model.of_system sys in
+  let report = Analysis.Holistic.analyze ?params m in
+  Array.to_list
+    (Array.mapi
+       (fun a (tx : Model.txn) ->
+         (tx.Model.tname, Report.transaction_response report a, tx.Model.deadline))
+       m.Model.txns)
+
+let pp_margins ppf margins =
+  Format.fprintf ppf "@[<v>%-28s %12s@ " "task" "max scaling";
+  List.iter
+    (fun m ->
+      Format.fprintf ppf "%-28s %12s@ " m.name
+        (Format.asprintf "%a" Q.pp_decimal m.factor))
+    margins;
+  Format.fprintf ppf "@]"

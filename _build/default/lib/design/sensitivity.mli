@@ -1,0 +1,40 @@
+(** Sensitivity analysis: how much slack each part of a schedulable
+    system has, and which parts break first under growth. *)
+
+type task_margin = {
+  txn : int;
+  task : int;
+  name : string;
+  factor : Rational.t;
+      (** largest factor this task's WCET tolerates, others fixed
+          (capped at 64) *)
+}
+
+val task_scaling :
+  ?params:Analysis.Params.t ->
+  ?precision:int ->
+  Transaction.System.t ->
+  txn:int ->
+  task:int ->
+  Rational.t
+(** Largest dyadic factor by which the WCET (and proportionally the
+    BCET) of one task can be multiplied while the whole system stays
+    schedulable; below 1 when the system is already infeasible.  Capped
+    at 64. *)
+
+val all_task_margins :
+  ?params:Analysis.Params.t ->
+  ?precision:int ->
+  Transaction.System.t ->
+  task_margin list
+(** {!task_scaling} for every task, sorted most-critical (smallest
+    factor) first. *)
+
+val transaction_slack :
+  ?params:Analysis.Params.t ->
+  Transaction.System.t ->
+  (string * Analysis.Report.bound * Rational.t) list
+(** Per transaction: name, end-to-end response bound, and deadline;
+    slack is [deadline - response] when finite. *)
+
+val pp_margins : Format.formatter -> task_margin list -> unit

@@ -1,0 +1,1 @@
+lib/platform/linear_bound.mli: Format Rational

@@ -1,0 +1,1 @@
+lib/platform/resource.ml: Format Linear_bound String Supply

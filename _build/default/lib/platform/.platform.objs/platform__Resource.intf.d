@@ -1,0 +1,1 @@
+lib/platform/resource.mli: Format Linear_bound Supply

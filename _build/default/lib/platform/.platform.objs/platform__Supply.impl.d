@@ -1,0 +1,1 @@
+lib/platform/supply.ml: Format Linear_bound List Rational

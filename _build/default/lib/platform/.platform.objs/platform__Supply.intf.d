@@ -1,0 +1,1 @@
+lib/platform/supply.mli: Format Linear_bound Rational

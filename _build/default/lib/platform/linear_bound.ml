@@ -1,0 +1,29 @@
+module Q = Rational
+
+type t = { alpha : Q.t; delta : Q.t; beta : Q.t }
+
+let make ~alpha ~delta ~beta =
+  if Q.(alpha <= zero) || Q.(alpha > one) then
+    invalid_arg "Linear_bound.make: alpha must be in (0, 1]";
+  if Q.(delta < zero) then invalid_arg "Linear_bound.make: delta must be >= 0";
+  if Q.(beta < zero) then invalid_arg "Linear_bound.make: beta must be >= 0";
+  { alpha; delta; beta }
+
+let full = { alpha = Q.one; delta = Q.zero; beta = Q.zero }
+
+let equal a b =
+  Q.equal a.alpha b.alpha && Q.equal a.delta b.delta && Q.equal a.beta b.beta
+
+let supply_lower b t = Q.(b.alpha * max zero (t - b.delta))
+
+let supply_upper b t =
+  if Q.(t <= zero) then Q.zero else Q.(b.beta + (b.alpha * t))
+
+let time_for b c = if Q.(c <= zero) then Q.zero else Q.(b.delta + (c / b.alpha))
+
+let best_time_for b c = Q.(max zero ((c / b.alpha) - b.beta))
+
+let scale_demand b c = Q.(c / b.alpha)
+
+let pp ppf b =
+  Format.fprintf ppf "(α=%a, Δ=%a, β=%a)" Q.pp b.alpha Q.pp b.delta Q.pp b.beta

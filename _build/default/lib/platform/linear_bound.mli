@@ -1,0 +1,51 @@
+(** The linear abstraction (α, Δ, β) of an abstract computing platform
+    (Definitions 3–5 of the paper).
+
+    [alpha] is the rate: the asymptotic slope of both supply functions.
+    [delta] is the delay: the largest [d] such that the minimum supply
+    function stays below [alpha * (t - d)] somewhere.
+    [beta] is the burstiness: the largest [b] such that the maximum supply
+    function reaches [b + alpha * t] somewhere.
+
+    The platform then guarantees at least [alpha * max 0 (t - delta)]
+    cycles and at most [beta + alpha * t] cycles in any window of length
+    [t].  Setting (1, 0, 0) recovers a dedicated unit-speed processor. *)
+
+type t = private {
+  alpha : Rational.t;  (** rate, in (0, 1] *)
+  delta : Rational.t;  (** delay, >= 0 *)
+  beta : Rational.t;  (** burstiness, >= 0 *)
+}
+
+val make : alpha:Rational.t -> delta:Rational.t -> beta:Rational.t -> t
+(** @raise Invalid_argument unless [0 < alpha <= 1], [delta >= 0] and
+    [beta >= 0]. *)
+
+val full : t
+(** A dedicated processor: (1, 0, 0). *)
+
+val equal : t -> t -> bool
+
+val supply_lower : t -> Rational.t -> Rational.t
+(** [supply_lower b t] = [alpha * max 0 (t - delta)]: guaranteed cycles in
+    any window of length [t]. *)
+
+val supply_upper : t -> Rational.t -> Rational.t
+(** [supply_upper b t] = [beta + alpha * t] for [t >= 0] (and [0] at
+    [t <= 0]): cycles never exceeded in a window of length [t]. *)
+
+val time_for : t -> Rational.t -> Rational.t
+(** [time_for b c] is the worst-case window length needed to obtain [c]
+    cycles: [delta + c / alpha] for [c > 0], [0] otherwise.  This is the
+    inverse of {!supply_lower}. *)
+
+val best_time_for : t -> Rational.t -> Rational.t
+(** [best_time_for b c] is the best-case window length in which [c]
+    cycles may be obtained: [max 0 (c / alpha - beta)].  Inverse of
+    {!supply_upper}. *)
+
+val scale_demand : t -> Rational.t -> Rational.t
+(** [scale_demand b c] = [c / alpha]: the time-equivalent of a demand of
+    [c] cycles, exclusive of the one-off delay term. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,6 @@
+(** Abstract computing platforms: supply functions and their (α, Δ, β)
+    linear abstraction (Section 2.3 of the paper). *)
+
+module Linear_bound = Linear_bound
+module Supply = Supply
+module Resource = Resource

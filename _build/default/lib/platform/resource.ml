@@ -1,0 +1,31 @@
+type kind = Cpu | Network
+
+type t = {
+  name : string;
+  kind : kind;
+  host : string;
+  supply : Supply.t;
+  bound : Linear_bound.t;
+}
+
+let of_supply ?(kind = Cpu) ?(host = "node0") ~name supply =
+  (match Supply.validate supply with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Resource.of_supply: " ^ name ^ ": " ^ msg));
+  { name; kind; host; supply; bound = Supply.linear_bound supply }
+
+let of_bound ?(kind = Cpu) ?(host = "node0") ~name bound =
+  { name; kind; host; supply = Supply.Bounded_delay bound; bound }
+
+let full ?host ~name () = of_bound ?host ~name Linear_bound.full
+
+let equal a b =
+  String.equal a.name b.name && a.kind = b.kind
+  && Linear_bound.equal a.bound b.bound
+
+let pp_kind ppf = function
+  | Cpu -> Format.pp_print_string ppf "cpu"
+  | Network -> Format.pp_print_string ppf "network"
+
+let pp ppf r =
+  Format.fprintf ppf "%s:%a %a" r.name pp_kind r.kind Linear_bound.pp r.bound

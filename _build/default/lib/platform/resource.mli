@@ -1,0 +1,41 @@
+(** Named abstract computing platforms (the Π of Section 2.3).
+
+    A resource is a platform instance a task can be allocated to: a CPU
+    reservation or a network reservation ("the network is similar to a
+    computational node and messages are scheduled according to the network
+    scheduling policy", §2.2.1).  Each carries its supply model and the
+    derived (α, Δ, β) linear bound consumed by the analysis. *)
+
+type kind = Cpu | Network
+
+type t = private {
+  name : string;
+  kind : kind;
+  host : string;
+      (** The physical node the abstract platform is carved out of.
+          Several abstract platforms may share a host (the global
+          scheduler partitions the node among them); an RPC between
+          instances on platforms of the {e same} host is a plain function
+          call, while crossing hosts requires network messages. *)
+  supply : Supply.t;
+  bound : Linear_bound.t;
+}
+
+val of_supply : ?kind:kind -> ?host:string -> name:string -> Supply.t -> t
+(** Platform backed by a concrete supply mechanism; the linear bound is
+    computed with {!Supply.linear_bound}.  [kind] defaults to [Cpu],
+    [host] to ["node0"].
+    @raise Invalid_argument if the supply model fails validation. *)
+
+val of_bound : ?kind:kind -> ?host:string -> name:string -> Linear_bound.t -> t
+(** Platform specified directly by its (α, Δ, β), as in the paper's
+    Table 2; the supply model is the corresponding bounded-delay one. *)
+
+val full : ?host:string -> name:string -> unit -> t
+(** A dedicated processor: (1, 0, 0). *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,216 @@
+module Q = Rational
+
+type t =
+  | Full
+  | Periodic_server of { budget : Q.t; period : Q.t }
+  | Static_slots of { frame : Q.t; slots : (Q.t * Q.t) list }
+  | Pfair of { weight : Q.t }
+  | Bounded_delay of Linear_bound.t
+  | Nested of { inner : t; outer : t }
+
+let rec validate = function
+  | Full | Bounded_delay _ -> Ok ()
+  | Nested { inner; outer } -> (
+      match validate inner with Error _ as e -> e | Ok () -> validate outer)
+  | Pfair { weight } ->
+      if Q.(weight > zero) && Q.(weight <= one) then Ok ()
+      else Error "pfair weight must be in (0, 1]"
+  | Periodic_server { budget; period } ->
+      if Q.(budget <= zero) then Error "server budget must be > 0"
+      else if Q.(period < budget) then Error "server budget must be <= period"
+      else Ok ()
+  | Static_slots { frame; slots } ->
+      if Q.(frame <= zero) then Error "frame must be > 0"
+      else if slots = [] then Error "at least one slot is required"
+      else
+        let rec check prev_end = function
+          | [] -> Ok ()
+          | (start, len) :: rest ->
+              if Q.(len <= zero) then Error "slot length must be > 0"
+              else if Q.(start < prev_end) then
+                Error "slots must be sorted and disjoint"
+              else if Q.(start + len > frame) then
+                Error "slot must fit inside the frame"
+              else check Q.(start + len) rest
+        in
+        check Q.zero slots
+
+let fail_invalid m =
+  match validate m with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Supply: " ^ msg)
+
+(* Cycles delivered in [0, x) by the infinite repetition of the slot
+   pattern, with the frame anchored at 0. *)
+let slots_cumulative ~frame ~slots x =
+  if Q.(x <= zero) then Q.zero
+  else
+    let k = Q.floor Q.(x / frame) in
+    let rem = Q.(x - (frame * of_int k)) in
+    let per_frame =
+      List.fold_left (fun acc (_, len) -> Q.(acc + len)) Q.zero slots
+    in
+    let partial =
+      let in_slot acc (start, len) =
+        Q.(acc + min len (max zero (rem - start)))
+      in
+      List.fold_left in_slot Q.zero slots
+    in
+    Q.((per_frame * of_int k) + partial)
+
+let slots_window ~frame ~slots t0 t =
+  Q.(
+    slots_cumulative ~frame ~slots (t0 + t) - slots_cumulative ~frame ~slots t0)
+
+(* The minimum over all window placements is attained with the window
+   starting at the end of a slot (sliding right through idle time can only
+   add supply at the right edge; sliding right through a slot removes at
+   rate 1).  Symmetrically the maximum is attained at a slot start. *)
+let slot_min_anchors slots = List.map (fun (s, l) -> Q.(s + l)) slots
+
+let slot_max_anchors slots = List.map fst slots
+
+let rec z_min m t =
+  fail_invalid m;
+  if Q.(t <= zero) then Q.zero
+  else
+    match m with
+    | Nested { inner; outer } -> z_min inner (z_min outer t)
+    | Full -> t
+    | Bounded_delay b -> Linear_bound.supply_lower b t
+    | Pfair { weight } -> Q.(max zero ((weight * t) - one))
+    | Periodic_server { budget; period } ->
+        let gap = Q.(period - budget) in
+        let start = Q.(of_int 2 * gap) in
+        if Q.(t <= start) then Q.zero
+        else
+          let u = Q.(t - start) in
+          let k = Q.floor Q.(u / period) in
+          let r = Q.(u - (period * of_int k)) in
+          Q.((budget * of_int k) + min r budget)
+    | Static_slots { frame; slots } ->
+        let candidates = slot_min_anchors slots in
+        List.fold_left
+          (fun acc t0 -> Q.min acc (slots_window ~frame ~slots t0 t))
+          (slots_window ~frame ~slots (List.hd candidates) t)
+          (List.tl candidates)
+
+let rec z_max m t =
+  fail_invalid m;
+  if Q.(t <= zero) then Q.zero
+  else
+    match m with
+    | Nested { inner; outer } -> z_max inner (z_max outer t)
+    | Full -> t
+    | Bounded_delay b -> Linear_bound.supply_upper b t
+    | Pfair { weight } -> Q.(min t ((weight * t) + one))
+    | Periodic_server { budget; period } ->
+        if Q.(t <= budget) then t
+        else
+          let u = Q.(t - budget) in
+          let k = Q.floor Q.(u / period) in
+          let r = Q.(u - (period * of_int k)) in
+          Q.(budget + (budget * of_int k) + min r budget)
+    | Static_slots { frame; slots } ->
+        let candidates = slot_max_anchors slots in
+        List.fold_left
+          (fun acc t0 -> Q.max acc (slots_window ~frame ~slots t0 t))
+          (slots_window ~frame ~slots (List.hd candidates) t)
+          (List.tl candidates)
+
+let rec rate m =
+  fail_invalid m;
+  match m with
+  | Nested { inner; outer } -> Q.(rate inner * rate outer)
+  | Full -> Q.one
+  | Bounded_delay b -> b.Linear_bound.alpha
+  | Pfair { weight } -> weight
+  | Periodic_server { budget; period } -> Q.(budget / period)
+  | Static_slots { frame; slots } ->
+      let total =
+        List.fold_left (fun acc (_, len) -> Q.(acc + len)) Q.zero slots
+      in
+      Q.(total / frame)
+
+(* Breakpoints of the supply functions of a slot pattern within [0, 2F]:
+   every (boundary - anchor) difference.  Both z_min and z_max are
+   piecewise linear with kinks in this set, and t - z_min(t)/alpha and
+   z_max(t) - alpha*t are frame-periodic, so maximising over breakpoints
+   in one frame (we take two for safety) is exact. *)
+let slot_breakpoints ~frame ~slots anchors =
+  let boundaries =
+    List.concat_map (fun (s, l) -> [ s; Q.(s + l) ]) slots
+    @ [ Q.zero; frame ]
+  in
+  let shifted =
+    List.concat_map
+      (fun b -> [ b; Q.(b + frame); Q.(b + (of_int 2 * frame)) ])
+      boundaries
+  in
+  List.concat_map
+    (fun t0 ->
+      List.filter_map
+        (fun b ->
+          let t = Q.(b - t0) in
+          if Q.(t >= zero) && Q.(t <= of_int 2 * frame) then Some t else None)
+        shifted)
+    anchors
+
+let rec linear_bound m =
+  fail_invalid m;
+  match m with
+  | Nested { inner; outer } ->
+      (* lower: Z_i(Z_o(t)) >= a_i(a_o(t - D_o) - D_i) =
+         a_i a_o (t - D_o - D_i/a_o); upper symmetric with the bursts *)
+      let bi = linear_bound inner and bo = linear_bound outer in
+      Linear_bound.make
+        ~alpha:Q.(bi.Linear_bound.alpha * bo.Linear_bound.alpha)
+        ~delta:
+          Q.(bo.Linear_bound.delta + (bi.Linear_bound.delta / bo.Linear_bound.alpha))
+        ~beta:
+          Q.(bi.Linear_bound.beta + (bi.Linear_bound.alpha * bo.Linear_bound.beta))
+  | Full -> Linear_bound.full
+  | Bounded_delay b -> b
+  | Pfair { weight } ->
+      Linear_bound.make ~alpha:weight ~delta:(Q.inv weight) ~beta:Q.one
+  | Periodic_server { budget; period } ->
+      let gap = Q.(period - budget) in
+      Linear_bound.make
+        ~alpha:Q.(budget / period)
+        ~delta:Q.(of_int 2 * gap)
+        ~beta:Q.(of_int 2 * budget * gap / period)
+  | Static_slots { frame; slots } as model ->
+      let alpha = rate model in
+      let delta_candidates =
+        slot_breakpoints ~frame ~slots (slot_min_anchors slots)
+      in
+      let delta =
+        List.fold_left
+          (fun acc t -> Q.max acc Q.(t - (z_min model t / alpha)))
+          Q.zero delta_candidates
+      in
+      let beta_candidates =
+        slot_breakpoints ~frame ~slots (slot_max_anchors slots)
+      in
+      let beta =
+        List.fold_left
+          (fun acc t -> Q.max acc Q.(z_max model t - (alpha * t)))
+          Q.zero beta_candidates
+      in
+      Linear_bound.make ~alpha ~delta ~beta
+
+let rec pp ppf = function
+  | Nested { inner; outer } ->
+      Format.fprintf ppf "%a within %a" pp inner pp outer
+  | Full -> Format.fprintf ppf "full"
+  | Bounded_delay b -> Format.fprintf ppf "bounded-delay %a" Linear_bound.pp b
+  | Pfair { weight } -> Format.fprintf ppf "pfair(w=%a)" Q.pp weight
+  | Periodic_server { budget; period } ->
+      Format.fprintf ppf "server(Q=%a, P=%a)" Q.pp budget Q.pp period
+  | Static_slots { frame; slots } ->
+      let pp_slot ppf (s, l) = Format.fprintf ppf "[%a,+%a]" Q.pp s Q.pp l in
+      Format.fprintf ppf "slots(frame=%a, %a)" Q.pp frame
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           pp_slot)
+        slots

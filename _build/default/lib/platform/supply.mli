@@ -1,0 +1,59 @@
+(** Supply-function models of abstract computing platforms
+    (Definitions 1–2 and Figure 3 of the paper).
+
+    A supply model describes how a global scheduling mechanism (periodic
+    server, static time partition, p-fair task, …) hands cycles to a
+    component.  [z_min m t] and [z_max m t] are the minimum and maximum
+    number of cycles the mechanism provides in {e any} window of length
+    [t]; the actual supply always lies between the two.  {!linear_bound}
+    abstracts a model into the (α, Δ, β) triple used by the analysis. *)
+
+type t =
+  | Full  (** A dedicated unit-speed processor. *)
+  | Periodic_server of { budget : Rational.t; period : Rational.t }
+      (** A server granting [budget] cycles every [period], with the
+          budget floating freely inside the period (Polling Server, CBS,
+          …).  This is the model drawn in Figure 3. *)
+  | Static_slots of { frame : Rational.t; slots : (Rational.t * Rational.t) list }
+      (** A static time partition (TDMA): within every repeating [frame],
+          supply flows exactly during the given [(start, length)] slots. *)
+  | Pfair of { weight : Rational.t }
+      (** A p-fair reservation of the given weight: the supply never lags
+          the fluid allocation [weight * t] by more than one cycle in
+          either direction. *)
+  | Bounded_delay of Linear_bound.t
+      (** A platform specified directly by its linear bounds, as done for
+          the platforms of the paper's example (Table 2). *)
+  | Nested of { inner : t; outer : t }
+      (** A reservation running {e inside} another reservation — e.g. a
+          periodic server scheduled within a TDMA partition.  The paper's
+          hierarchy is two-level; nesting generalises it: the supply that
+          reaches the component is the inner mechanism applied to the
+          virtual time the outer one provides, so
+          [Zmin = Zmin_inner ∘ Zmin_outer] (the compositional
+          scheduling bound of Shin & Lee). *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: positive budget/period with [budget <= period],
+    sorted disjoint non-empty slots inside the frame, p-fair weight in
+    (0, 1]. *)
+
+val z_min : t -> Rational.t -> Rational.t
+(** [z_min m t]: cycles guaranteed in any window of length [t >= 0]. *)
+
+val z_max : t -> Rational.t -> Rational.t
+(** [z_max m t]: cycles never exceeded in any window of length [t >= 0]. *)
+
+val rate : t -> Rational.t
+(** The asymptotic rate α (Definition 3).  All supported mechanisms have
+    equal minimum and maximum rate, as assumed by the paper. *)
+
+val linear_bound : t -> Linear_bound.t
+(** The (α, Δ, β) abstraction (Definitions 4–5).  Closed forms are used
+    for {!Full}, {!Periodic_server} (α = Q/P, Δ = 2(P−Q), β = 2Q(P−Q)/P),
+    {!Pfair} and {!Bounded_delay}; {!Static_slots} is abstracted by exact
+    maximisation over the breakpoints of its supply functions;
+    {!Nested} composes the component bounds:
+    α = α{_i}·α{_o}, Δ = Δ{_o} + Δ{_i}/α{_o}, β = β{_i} + α{_i}·β{_o}. *)
+
+val pp : Format.formatter -> t -> unit

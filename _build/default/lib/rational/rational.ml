@@ -1,0 +1,210 @@
+type t = { num : int; den : int }
+
+exception Overflow
+
+exception Division_by_zero
+
+(* Overflow-checked native-int primitives.  The analysis keeps values
+   small, but the checks make misuse loud instead of silently wrong. *)
+
+let add_exn a b =
+  let c = a + b in
+  if (a >= 0) = (b >= 0) && (c >= 0) <> (a >= 0) then raise Overflow else c
+
+let mul_exn a b =
+  if a = 0 || b = 0 then 0
+  else
+    let c = a * b in
+    if c / b <> a || (a = min_int && b = -1) then raise Overflow else c
+
+let neg_exn a = if a = min_int then raise Overflow else -a
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let num, den = if den < 0 then (neg_exn num, neg_exn den) else (num, den) in
+    let g = gcd (abs num) den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+
+let one = of_int 1
+
+let minus_one = of_int (-1)
+
+(* Work over the lcm of the denominators instead of their product: the
+   analysis mixes values whose denominators share most factors (dyadic
+   fractions times small primes), so the lcm stays small where the
+   product would overflow. *)
+let add x y =
+  if x.den = y.den then make (add_exn x.num y.num) x.den
+  else
+    let g = gcd x.den y.den in
+    let yd = y.den / g and xd = x.den / g in
+    make (add_exn (mul_exn x.num yd) (mul_exn y.num xd)) (mul_exn x.den yd)
+
+let neg x = { x with num = neg_exn x.num }
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  (* Cross-reduce before multiplying to keep intermediates small. *)
+  let g1 = gcd (abs x.num) y.den and g2 = gcd (abs y.num) x.den in
+  let g1 = if g1 = 0 then 1 else g1 and g2 = if g2 = 0 then 1 else g2 in
+  {
+    num = mul_exn (x.num / g1) (y.num / g2);
+    den = mul_exn (x.den / g2) (y.den / g1);
+  }
+
+let inv x =
+  if x.num = 0 then raise Division_by_zero
+  else if x.num < 0 then { num = neg_exn x.den; den = neg_exn x.num }
+  else { num = x.den; den = x.num }
+
+let div x y = mul x (inv y)
+
+let abs_q x = { x with num = abs x.num }
+
+let mul_int x n = mul x (of_int n)
+
+let div_int x n = div x (of_int n)
+
+let sign x = compare x.num 0
+
+let compare_q x y =
+  if x.den = y.den then compare x.num y.num
+  else
+    let g = gcd x.den y.den in
+    compare (mul_exn x.num (y.den / g)) (mul_exn y.num (x.den / g))
+
+let equal x y = x.num = y.num && x.den = y.den
+
+let min_q x y = if compare_q x y <= 0 then x else y
+
+let max_q x y = if compare_q x y >= 0 then x else y
+
+let floor x =
+  if x.num >= 0 then x.num / x.den
+  else
+    let q = x.num / x.den in
+    if x.num mod x.den = 0 then q else q - 1
+
+let ceil x = -floor (neg x)
+
+let floor_q x = of_int (floor x)
+
+let ceil_q x = of_int (ceil x)
+
+let is_integer x = x.den = 1
+
+let fmod x y =
+  if y.num = 0 then raise Division_by_zero
+  else if y.num < 0 then invalid_arg "Rational.fmod: negative modulus"
+  else sub x (mul y (floor_q (div x y)))
+
+let gcd_q x y =
+  if x.num = 0 then abs_q y
+  else if y.num = 0 then abs_q x
+  else
+    make (gcd (abs (mul_exn x.num y.den)) (abs (mul_exn y.num x.den)))
+      (mul_exn x.den y.den)
+
+let lcm_q x y =
+  if x.num = 0 || y.num = 0 then raise Division_by_zero
+  else div (abs_q (mul x y)) (gcd_q x y)
+
+let to_float x = float_of_int x.num /. float_of_int x.den
+
+let to_string x =
+  if is_integer x then string_of_int x.num
+  else Printf.sprintf "%d/%d" x.num x.den
+
+let pp ppf x = Format.pp_print_string ppf (to_string x)
+
+let pp_decimal ppf x =
+  if is_integer x then Format.fprintf ppf "%d" x.num
+  else begin
+    (* Round to nearest at 4 fractional digits, then trim zeros. *)
+    let scaled = mul x (of_int 10_000) in
+    let rounded = floor (add scaled (make 1 2)) in
+    let sign = if rounded < 0 then "-" else "" in
+    let m = abs rounded in
+    let int_part = m / 10_000 and frac = m mod 10_000 in
+    let frac_str = Printf.sprintf "%04d" frac in
+    let rec trim i =
+      if i > 0 && frac_str.[i - 1] = '0' then trim (i - 1) else i
+    in
+    let n = trim (String.length frac_str) in
+    if n = 0 then Format.fprintf ppf "%s%d" sign int_part
+    else Format.fprintf ppf "%s%d.%s" sign int_part (String.sub frac_str 0 n)
+  end
+
+let of_decimal_string s =
+  let s = String.trim s in
+  if String.length s = 0 then invalid_arg "Rational.of_decimal_string: empty";
+  let int_of s =
+    try int_of_string s
+    with Failure _ -> invalid_arg ("Rational.of_decimal_string: " ^ s)
+  in
+  match String.index_opt s '/' with
+  | Some i ->
+      let num = String.sub s 0 i
+      and den = String.sub s (i + 1) (String.length s - i - 1) in
+      make (int_of (String.trim num)) (int_of (String.trim den))
+  | None -> (
+      match String.index_opt s '.' with
+      | None -> of_int (int_of s)
+      | Some i ->
+          let whole = String.sub s 0 i
+          and frac = String.sub s (i + 1) (String.length s - i - 1) in
+          let negative = String.length whole > 0 && whole.[0] = '-' in
+          let whole_n =
+            if whole = "" || whole = "-" then 0 else int_of whole
+          in
+          let frac_n = if frac = "" then 0 else int_of frac in
+          if frac_n < 0 then invalid_arg ("Rational.of_decimal_string: " ^ s);
+          let scale =
+            let rec pow acc k = if k = 0 then acc else pow (mul_exn acc 10) (k - 1) in
+            pow 1 (String.length frac)
+          in
+          let magnitude = add (of_int (abs whole_n)) (make frac_n scale) in
+          if negative || whole_n < 0 then neg magnitude else magnitude)
+
+let hash x = Hashtbl.hash (x.num, x.den)
+
+(* Exported names that shadow Stdlib: defined last so the implementations
+   above keep integer semantics. *)
+
+let abs = abs_q
+
+let compare = compare_q
+
+let min = min_q
+
+let max = max_q
+
+let ( < ) x y = compare_q x y < 0
+
+let ( <= ) x y = compare_q x y <= 0
+
+let ( > ) x y = compare_q x y > 0
+
+let ( >= ) x y = compare_q x y >= 0
+
+let ( = ) = equal
+
+let ( <> ) x y = not (equal x y)
+
+let ( + ) = add
+
+let ( - ) = sub
+
+let ( * ) = mul
+
+let ( / ) = div
+
+let ( ~- ) = neg

@@ -1,0 +1,1 @@
+lib/simulator/simulator.ml: Engine Pqueue Stats Trace

@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Array Format List Platform Pqueue Random Rational Stats Transaction

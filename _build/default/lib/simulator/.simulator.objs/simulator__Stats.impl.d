@@ -1,0 +1,1 @@
+lib/simulator/stats.ml: Array Format Rational

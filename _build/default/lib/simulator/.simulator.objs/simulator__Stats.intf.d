@@ -1,0 +1,1 @@
+lib/simulator/stats.mli: Format Rational

@@ -1,0 +1,1 @@
+lib/simulator/trace.ml: Array Buffer Engine Hashtbl List Printf Rational String

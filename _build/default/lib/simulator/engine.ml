@@ -1,0 +1,371 @@
+module Q = Rational
+module Sys_ = Transaction.System
+module Txn = Transaction.Txn
+module Task = Transaction.Task
+module Supply = Platform.Supply
+module Resource = Platform.Resource
+
+type exec_model = Worst | Best | Uniform
+
+type policy = Fixed_priority | Edf
+
+type config = {
+  horizon : Q.t;
+  exec : exec_model;
+  seed : int;
+  jitter : [ `None | `Max | `Uniform ];
+  phases : [ `Zero | `Uniform ];
+  trace_limit : int;
+  policy : policy;
+}
+
+let default_config =
+  {
+    horizon = Q.of_int 10_000;
+    exec = Worst;
+    seed = 42;
+    jitter = `Max;
+    phases = `Zero;
+    trace_limit = 0;
+    policy = Fixed_priority;
+  }
+
+type event =
+  | Release of { time : Q.t; txn : int }
+  | Completion of { time : Q.t; txn : int; task : int; response : Q.t }
+  | Run of { from : Q.t; until : Q.t; platform : int; txn : int; task : int }
+
+type result = { stats : Stats.t; trace : event list; deadline_misses : int }
+
+let pp_event ppf = function
+  | Release { time; txn } -> Format.fprintf ppf "%a release Γ%d" Q.pp time txn
+  | Completion { time; txn; task; response } ->
+      Format.fprintf ppf "%a complete τ%d,%d (R=%a)" Q.pp time txn (task + 1)
+        Q.pp response
+  | Run { from; until; platform; txn; task } ->
+      Format.fprintf ppf "[%a, %a) Π%d runs τ%d,%d" Q.pp from Q.pp until
+        platform txn (task + 1)
+
+(* --- runtime state --- *)
+
+type job = {
+  j_txn : int;
+  j_task : int;
+  mutable remaining : Q.t;
+  activation : Q.t;  (* nominal transaction activation: responses are
+                        measured from here, like the analysis does *)
+  abs_deadline : Q.t;  (* activation + transaction deadline, for EDF *)
+  j_seq : int;
+}
+
+type server_state = {
+  sq : Q.t;
+  sp : Q.t;
+  mutable budget : Q.t;
+  mutable next_replenish : Q.t;
+}
+
+type supply_rt =
+  | Rt_full
+  | Rt_fluid of Q.t
+  | Rt_server of server_state
+  | Rt_slots of { frame : Q.t; slots : (Q.t * Q.t) list }
+  | Rt_nested of { inner : supply_rt; outer : supply_rt }
+      (* a reservation inside a reservation: supply flows when both do;
+         the inner budget depletes at the rate actually delivered *)
+
+type platform_rt = { supply_rt : supply_rt; mutable ready : job list }
+
+let runtime_of_resource (r : Resource.t) =
+  let rec of_supply = function
+    | Supply.Full -> Rt_full
+    | Supply.Bounded_delay b -> Rt_fluid b.Platform.Linear_bound.alpha
+    | Supply.Pfair { weight } -> Rt_fluid weight
+    | Supply.Periodic_server { budget; period } ->
+        Rt_server { sq = budget; sp = period; budget; next_replenish = period }
+    | Supply.Static_slots { frame; slots } -> Rt_slots { frame; slots }
+    | Supply.Nested { inner; outer } ->
+        Rt_nested { inner = of_supply inner; outer = of_supply outer }
+  in
+  { supply_rt = of_supply r.Resource.supply; ready = [] }
+
+let in_slot ~frame ~slots t =
+  let t' = Q.fmod t frame in
+  List.exists (fun (s, l) -> Q.(s <= t') && Q.(t' < s + l)) slots
+
+(* Least slot boundary strictly after [t]. *)
+let next_slot_boundary ~frame ~slots t =
+  let t' = Q.fmod t frame in
+  let base = Q.(t - t') in
+  let candidates =
+    List.concat_map (fun (s, l) -> [ s; Q.(s + l) ]) slots @ [ frame ]
+  in
+  let after_now =
+    List.filter_map
+      (fun b -> if Q.(b > t') then Some Q.(base + b) else None)
+      candidates
+  in
+  match after_now with
+  | [] -> Q.(base + frame)
+  | x :: rest -> List.fold_left Q.min x rest
+
+let rec rate_of_rt rt ~running ~time =
+  match rt with
+  | Rt_full -> Q.one
+  | Rt_fluid r -> r
+  | Rt_server s -> if running && Q.(s.budget > zero) then Q.one else Q.zero
+  | Rt_slots { frame; slots } ->
+      if in_slot ~frame ~slots time then Q.one else Q.zero
+  | Rt_nested { inner; outer } ->
+      Q.min (rate_of_rt inner ~running ~time) (rate_of_rt outer ~running ~time)
+
+let current_rate p ~running ~time = rate_of_rt p.supply_rt ~running ~time
+
+(* [rate] is the platform's delivered rate: budget exhaustion of a nested
+   server happens when the budget is consumed at that rate. *)
+let rec change_of_rt rt ~running ~time ~rate =
+  match rt with
+  | Rt_full | Rt_fluid _ -> None
+  | Rt_server s ->
+      if running && Q.(s.budget > zero) && Q.(rate > zero) then
+        Some (Q.min Q.(time + (s.budget / rate)) s.next_replenish)
+      else Some s.next_replenish
+  | Rt_slots { frame; slots } -> Some (next_slot_boundary ~frame ~slots time)
+  | Rt_nested { inner; outer } -> (
+      let a = change_of_rt inner ~running ~time ~rate
+      and b = change_of_rt outer ~running ~time ~rate in
+      match (a, b) with
+      | None, x | x, None -> x
+      | Some x, Some y -> Some (Q.min x y))
+
+let next_supply_change p ~running ~time =
+  let rate = current_rate p ~running ~time in
+  change_of_rt p.supply_rt ~running ~time ~rate
+
+(* Deplete the budgets along the nesting by the cycles delivered. *)
+let rec consume_rt rt ~delivered =
+  match rt with
+  | Rt_full | Rt_fluid _ | Rt_slots _ -> ()
+  | Rt_server s -> s.budget <- Q.(s.budget - delivered)
+  | Rt_nested { inner; outer } ->
+      consume_rt inner ~delivered;
+      consume_rt outer ~delivered
+
+let rec replenish_rt rt ~time =
+  match rt with
+  | Rt_full | Rt_fluid _ | Rt_slots _ -> ()
+  | Rt_server s ->
+      while Q.(s.next_replenish <= time) do
+        s.budget <- s.sq;
+        s.next_replenish <- Q.(s.next_replenish + s.sp)
+      done
+  | Rt_nested { inner; outer } ->
+      replenish_rt inner ~time;
+      replenish_rt outer ~time
+
+(* Fixed priority: higher priority first, FIFO within a level.
+   EDF: earlier absolute deadline first, FIFO on ties. *)
+let insert_ready ~policy sys p job =
+  let precedes (a : job) (b : job) =
+    match policy with
+    | Fixed_priority ->
+        let prio_of (j : job) =
+          (Txn.task sys.Sys_.transactions.(j.j_txn) j.j_task).Task.priority
+        in
+        prio_of a > prio_of b
+    | Edf -> Q.(a.abs_deadline < b.abs_deadline)
+  in
+  let rec insert = function
+    | [] -> [ job ]
+    | x :: rest as all ->
+        if precedes job x then job :: all else x :: insert rest
+  in
+  p.ready <- insert p.ready
+
+let run ?(config = default_config) ?release_jitter (sys : Sys_.t) =
+  let n = Array.length sys.Sys_.transactions in
+  let release_jitter =
+    match release_jitter with
+    | Some a -> a
+    | None ->
+        Array.map (fun (x : Txn.t) -> x.Txn.release_jitter) sys.Sys_.transactions
+  in
+  if Array.length release_jitter <> n then
+    invalid_arg "Engine.run: release_jitter length mismatch";
+  let rng = Random.State.make [| config.seed |] in
+  let platforms = Array.map runtime_of_resource sys.Sys_.resources in
+  let stats =
+    Stats.create ~n_txns:n ~tasks_per_txn:(fun i ->
+        Txn.length sys.Sys_.transactions.(i))
+  in
+  let trace = ref [] and trace_len = ref 0 in
+  let misses = ref 0 in
+  let seq = ref 0 in
+  let record_event e =
+    if !trace_len < config.trace_limit then begin
+      trace := e :: !trace;
+      incr trace_len
+    end
+  in
+  let rand_fraction () = Q.make (Random.State.int rng 1025) 1024 in
+  let draw_cycles (tk : Task.t) =
+    match config.exec with
+    | Worst -> tk.Task.wcet
+    | Best -> tk.Task.bcet
+    | Uniform -> Q.(tk.Task.bcet + ((tk.Task.wcet - tk.Task.bcet) * rand_fraction ()))
+  in
+  let draw_jitter i =
+    match config.jitter with
+    | `None -> Q.zero
+    | `Max -> release_jitter.(i)
+    | `Uniform -> Q.(release_jitter.(i) * rand_fraction ())
+  in
+  (* Pending transaction releases: (actual release, nominal activation,
+     txn).  The nominal activation is the reference point for responses
+     and deadlines. *)
+  let releases =
+    Pqueue.create ~cmp:(fun (t1, _, _) (t2, _, _) -> Q.compare t1 t2)
+  in
+  let phase_of i =
+    match config.phases with
+    | `Zero -> Q.zero
+    | `Uniform ->
+        Q.(sys.Sys_.transactions.(i).Txn.period * rand_fraction ())
+  in
+  let phases = Array.init n phase_of in
+  let schedule_release i k =
+    let nominal = Q.(phases.(i) + (of_int k * sys.Sys_.transactions.(i).Txn.period)) in
+    Pqueue.add releases (Q.(nominal + draw_jitter i), nominal, i)
+  in
+  for i = 0 to n - 1 do
+    schedule_release i 0
+  done;
+  let next_release_index = Array.make n 1 in
+  let time = ref Q.zero in
+  (* Activating a task enqueues a job; zero-demand draws complete
+     immediately and cascade. *)
+  let rec activate ~txn ~task ~activation =
+    let tk = Txn.task sys.Sys_.transactions.(txn) task in
+    let cycles = draw_cycles tk in
+    if Q.(cycles <= zero) then complete ~txn ~task ~activation
+    else begin
+      incr seq;
+      insert_ready ~policy:config.policy sys
+        platforms.(tk.Task.resource)
+        {
+          j_txn = txn;
+          j_task = task;
+          remaining = cycles;
+          activation;
+          abs_deadline = Q.(activation + sys.Sys_.transactions.(txn).Txn.deadline);
+          j_seq = !seq;
+        }
+    end
+  and complete ~txn ~task ~activation =
+    let response = Q.(!time - activation) in
+    Stats.record stats ~txn ~task response;
+    record_event (Completion { time = !time; txn; task; response });
+    let tx = sys.Sys_.transactions.(txn) in
+    if task + 1 < Txn.length tx then
+      activate ~txn ~task:(task + 1) ~activation
+    else if Q.(response > tx.Txn.deadline) then incr misses
+  in
+  let running p = p.ready <> [] in
+  (* open execution segments, one per platform, merged across steps *)
+  let segments = Array.make (Array.length platforms) None in
+  let flush_segment i =
+    match segments.(i) with
+    | None -> ()
+    | Some (j, from, until) ->
+        segments.(i) <- None;
+        if Q.(until > from) then
+          record_event
+            (Run { from; until; platform = i; txn = j.j_txn; task = j.j_task })
+  in
+  let note_run i job from until =
+    match segments.(i) with
+    | Some (j, f, u) when j == job && Q.equal u from -> segments.(i) <- Some (j, f, until)
+    | Some _ ->
+        flush_segment i;
+        segments.(i) <- Some (job, from, until)
+    | None -> segments.(i) <- Some (job, from, until)
+  in
+  let finished = ref false in
+  while not !finished do
+    (* Earliest next event over releases, completions, supply changes. *)
+    let next = ref None in
+    let consider t =
+      match !next with
+      | None -> next := Some t
+      | Some u -> if Q.(t < u) then next := Some t
+    in
+    (match Pqueue.peek releases with
+    | Some (t, _, _) -> consider t
+    | None -> ());
+    Array.iter
+      (fun p ->
+        (match next_supply_change p ~running:(running p) ~time:!time with
+        | Some t -> consider t
+        | None -> ());
+        match p.ready with
+        | [] -> ()
+        | job :: _ ->
+            let rate = current_rate p ~running:true ~time:!time in
+            if Q.(rate > zero) then consider Q.(!time + (job.remaining / rate)))
+      platforms;
+    match !next with
+    | None -> finished := true
+    | Some t_next when Q.(t_next > config.horizon) -> finished := true
+    | Some t_next ->
+        let dt = Q.(t_next - !time) in
+        (* Advance running heads and server budgets. *)
+        Array.iteri
+          (fun i p ->
+            match p.ready with
+            | [] -> ()
+            | job :: _ ->
+                let rate = current_rate p ~running:true ~time:!time in
+                if Q.(rate > zero) then begin
+                  if config.trace_limit > 0 && Q.(dt > zero) then
+                    note_run i job !time t_next;
+                  let delivered = Q.(rate * dt) in
+                  job.remaining <- Q.(job.remaining - delivered);
+                  if Q.(job.remaining < zero) then job.remaining <- Q.zero;
+                  consume_rt p.supply_rt ~delivered
+                end)
+          platforms;
+        time := t_next;
+        (* Server replenishments due now. *)
+        Array.iter (fun p -> replenish_rt p.supply_rt ~time:!time) platforms;
+        (* Releases due now. *)
+        let rec drain_releases () =
+          match Pqueue.peek releases with
+          | Some (t, nominal, i) when Q.(t <= !time) ->
+              ignore (Pqueue.pop releases);
+              record_event (Release { time = !time; txn = i });
+              activate ~txn:i ~task:0 ~activation:nominal;
+              schedule_release i next_release_index.(i);
+              next_release_index.(i) <- next_release_index.(i) + 1;
+              drain_releases ()
+          | Some _ | None -> ()
+        in
+        drain_releases ();
+        (* Completions: heads that reached zero; cascading activations may
+           finish instantly on other platforms, so repeat until stable. *)
+        let progress = ref true in
+        while !progress do
+          progress := false;
+          Array.iter
+            (fun p ->
+              match p.ready with
+              | job :: rest when Q.(job.remaining <= zero) ->
+                  p.ready <- rest;
+                  progress := true;
+                  complete ~txn:job.j_txn ~task:job.j_task
+                    ~activation:job.activation
+              | _ -> ())
+            platforms
+        done
+  done;
+  Array.iteri (fun i _ -> flush_segment i) segments;
+  { stats; trace = List.rev !trace; deadline_misses = !misses }

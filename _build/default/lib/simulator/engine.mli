@@ -1,0 +1,85 @@
+(** Discrete-event simulator of the hierarchical system.
+
+    The simulator executes a derived {!Transaction.System}: every
+    abstract platform is realised by its supply mechanism (a deferrable
+    periodic server, a static slot table, a fluid rate for
+    bounded-delay/p-fair models, or a dedicated processor), tasks on each
+    platform are dispatched by local preemptive fixed priorities, and a
+    task's completion synchronously activates its transaction successor —
+    the RPC middleware of the paper.  All time arithmetic is rational, so
+    there is no clock drift.
+
+    The simulator realises {e one legal} behaviour of each platform (the
+    analysis bounds the worst over all of them), hence observed response
+    times never exceed the analysed bounds — the property-based test
+    suite checks exactly that. *)
+
+type exec_model =
+  | Worst  (** every job runs for its full WCET *)
+  | Best  (** every job runs for its BCET *)
+  | Uniform  (** per-job demand drawn uniformly from [BCET, WCET] *)
+
+type policy =
+  | Fixed_priority  (** the paper's local scheduler *)
+  | Edf
+      (** earliest absolute deadline first, with the job's deadline
+          anchored at its transaction's activation + deadline — the
+          local-scheduler extension the paper mentions *)
+
+type config = {
+  horizon : Rational.t;  (** simulated time span *)
+  exec : exec_model;
+  seed : int;
+  jitter : [ `None | `Max | `Uniform ];
+      (** how the model's per-transaction release jitter is injected:
+          ignored, always maximal, or drawn uniformly per instance *)
+  phases : [ `Zero | `Uniform ];
+      (** initial phase of each transaction within its period *)
+  trace_limit : int;  (** keep at most this many trace events *)
+  policy : policy;  (** local dispatching on every platform *)
+}
+
+val default_config : config
+(** Horizon 10000, [Worst], seed 42, [`Max] jitter, synchronous start, no
+    trace, fixed priorities. *)
+
+type event =
+  | Release of { time : Rational.t; txn : int }
+  | Completion of {
+      time : Rational.t;
+      txn : int;
+      task : int;
+      response : Rational.t;
+    }
+  | Run of {
+      from : Rational.t;
+      until : Rational.t;
+      platform : int;
+      txn : int;
+      task : int;
+    }
+      (** A maximal execution segment: the platform supplied the job
+          continuously in [\[from, until)].  Segments feed the Gantt
+          rendering in {!Trace}. *)
+
+type result = {
+  stats : Stats.t;
+  trace : event list;  (** chronological, truncated to [trace_limit] *)
+  deadline_misses : int;
+      (** transaction instances whose last task completed after the
+          deadline (instances still running at the horizon are not
+          counted) *)
+}
+
+val run :
+  ?config:config ->
+  ?release_jitter:Rational.t array ->
+  Transaction.System.t ->
+  result
+(** [release_jitter] gives the maximum external release jitter per
+    transaction, overriding the jitter annotated on the transactions
+    themselves (indices follow the system's transaction order).  Blocking
+    annotations are an analysis-side bound on non-preemptable sections
+    and have no simulator counterpart. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,8 @@
+(** Discrete-event execution of hierarchical component systems: the
+    validation substrate for the analysis (the paper has no testbed; the
+    simulator provides one). *)
+
+module Pqueue = Pqueue
+module Stats = Stats
+module Engine = Engine
+module Trace = Trace

@@ -1,0 +1,54 @@
+module Q = Rational
+
+type sample = { count : int; min_response : Q.t; max_response : Q.t; total : Q.t }
+
+type t = sample option array array
+
+let create ~n_txns ~tasks_per_txn =
+  Array.init n_txns (fun i -> Array.make (tasks_per_txn i) None)
+
+let record t ~txn ~task r =
+  let cell = t.(txn).(task) in
+  t.(txn).(task) <-
+    Some
+      (match cell with
+      | None -> { count = 1; min_response = r; max_response = r; total = r }
+      | Some s ->
+          {
+            count = s.count + 1;
+            min_response = Q.min s.min_response r;
+            max_response = Q.max s.max_response r;
+            total = Q.(s.total + r);
+          })
+
+let sample t ~txn ~task = t.(txn).(task)
+
+let mean s = Q.div_int s.total s.count
+
+let iter t f =
+  Array.iteri
+    (fun txn row ->
+      Array.iteri
+        (fun task cell ->
+          match cell with None -> () | Some s -> f ~txn ~task s)
+        row)
+    t
+
+let pp ~names ppf t =
+  Format.fprintf ppf "@[<v>%-28s %8s %10s %10s %10s@ " "task" "jobs" "min"
+    "mean" "max";
+  Array.iteri
+    (fun txn row ->
+      Array.iteri
+        (fun task cell ->
+          match cell with
+          | None -> Format.fprintf ppf "%-28s %8s@ " (names txn task) "-"
+          | Some s ->
+              Format.fprintf ppf "%-28s %8d %10s %10s %10s@ " (names txn task)
+                s.count
+                (Format.asprintf "%a" Q.pp_decimal s.min_response)
+                (Format.asprintf "%a" Q.pp_decimal (mean s))
+                (Format.asprintf "%a" Q.pp_decimal s.max_response))
+        row)
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,23 @@
+(** Per-task observation records collected by a simulation run. *)
+
+type sample = {
+  count : int;
+  min_response : Rational.t;
+  max_response : Rational.t;
+  total : Rational.t;  (** sum of responses, for the mean *)
+}
+
+type t
+
+val create : n_txns:int -> tasks_per_txn:(int -> int) -> t
+
+val record : t -> txn:int -> task:int -> Rational.t -> unit
+
+val sample : t -> txn:int -> task:int -> sample option
+(** [None] when the task never completed during the run. *)
+
+val mean : sample -> Rational.t
+
+val iter : t -> (txn:int -> task:int -> sample -> unit) -> unit
+
+val pp : names:(int -> int -> string) -> Format.formatter -> t -> unit

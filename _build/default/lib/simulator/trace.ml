@@ -1,0 +1,61 @@
+module Q = Rational
+
+let symbol_of_index i =
+  let alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  if i < String.length alphabet then alphabet.[i] else '#'
+
+let gantt ?(width = 72) ~names ~horizon ~n_platforms events =
+  let buf = Buffer.create 1024 in
+  let symbols = Hashtbl.create 16 in
+  let legend = ref [] in
+  let symbol txn task =
+    match Hashtbl.find_opt symbols (txn, task) with
+    | Some c -> c
+    | None ->
+        let c = symbol_of_index (Hashtbl.length symbols) in
+        Hashtbl.add symbols (txn, task) c;
+        legend := (c, names txn task) :: !legend;
+        c
+  in
+  let segments = Array.make n_platforms [] in
+  List.iter
+    (fun event ->
+      match event with
+      | Engine.Run { from; until; platform; txn; task } ->
+          if platform < n_platforms then
+            segments.(platform) <- (from, until, symbol txn task) :: segments.(platform)
+      | Engine.Release _ | Engine.Completion _ -> ())
+    events;
+  let column k =
+    (* the time interval of column k *)
+    let lo = Q.mul horizon (Q.make k width)
+    and hi = Q.mul horizon (Q.make (k + 1) width) in
+    (lo, hi)
+  in
+  for p = 0 to n_platforms - 1 do
+    Buffer.add_string buf (Printf.sprintf "Π%-2d |" p);
+    let segs = segments.(p) in
+    for k = 0 to width - 1 do
+      let lo, hi = column k in
+      (* symbol of the segment with the largest overlap in this column *)
+      let best = ref None in
+      List.iter
+        (fun (f, u, c) ->
+          let overlap = Q.(min u hi - max f lo) in
+          if Q.(overlap > zero) then
+            match !best with
+            | Some (o, _) when Q.(o >= overlap) -> ()
+            | _ -> best := Some (overlap, c))
+        segs;
+      Buffer.add_char buf (match !best with Some (_, c) -> c | None -> '.')
+    done;
+    Buffer.add_string buf "|\n"
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "     0%s%s\n"
+       (String.make (max 1 (width - String.length (Q.to_string horizon))) ' ')
+       (Q.to_string horizon));
+  List.iter
+    (fun (c, name) -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" c name))
+    (List.rev !legend);
+  Buffer.contents buf

@@ -1,0 +1,17 @@
+(** Textual Gantt rendering of simulator traces.
+
+    Built from the [Run] execution segments recorded when the engine is
+    configured with a positive [trace_limit]. *)
+
+val gantt :
+  ?width:int ->
+  names:(int -> int -> string) ->
+  horizon:Rational.t ->
+  n_platforms:int ->
+  Engine.event list ->
+  string
+(** One row per platform over [\[0, horizon)], sampled into [width]
+    columns (default 72); each executing task gets a letter, idle time a
+    dot.  A legend maps letters to [names txn task].  Events beyond the
+    horizon are ignored; the rendering degrades gracefully when the
+    trace was truncated by [trace_limit]. *)

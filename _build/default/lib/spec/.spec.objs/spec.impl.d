@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Ast Component Elaborate In_channel Lexer Parser Printer

@@ -1,0 +1,1 @@
+lib/spec/elaborate.ml: Ast Component List Option Platform Rational

@@ -1,0 +1,1 @@
+lib/spec/parser.ml: Ast Hashtbl Lexer List Option Printf Rational String

@@ -1,0 +1,1 @@
+lib/spec/printer.ml: Component Format List Platform Printf Rational

@@ -1,0 +1,1 @@
+lib/spec/printer.mli: Component Format

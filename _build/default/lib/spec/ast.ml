@@ -1,0 +1,81 @@
+(** Parse tree of the [.hsc] system-description language — the concrete
+    form of the paper's pseudo object-oriented component notation
+    (Figures 1 and 2), extended with platform, instance and binding
+    declarations so a whole system fits in one file. *)
+
+type number = Rational.t
+
+type supply =
+  | S_bound of { alpha : number; delta : number; beta : number }
+  | S_server of { budget : number; period : number }
+  | S_slots of { frame : number; slots : (number * number) list }
+  | S_pfair of { weight : number }
+  | S_full
+  | S_nested of { inner : supply; outer : supply }
+      (** [inner within outer]: a reservation inside a reservation *)
+
+type platform_decl = {
+  p_name : string;
+  p_network : bool;
+  p_host : string option;
+  p_supply : supply;
+}
+
+type method_decl = { m_name : string; m_mit : number }
+
+type action =
+  | A_task of {
+      t_name : string;
+      wcet : number;
+      bcet : number option;  (** defaults to the WCET *)
+      blocking : number option;  (** defaults to zero *)
+      prio : int option;  (** thread priority override *)
+    }
+  | A_call of string
+
+type activation =
+  | Act_periodic of {
+      period : number;
+      deadline : number option;
+      jitter : number option;  (** defaults to zero *)
+    }
+  | Act_realizes of { meth : string; deadline : number option }
+
+type thread_decl = {
+  th_name : string;
+  th_act : activation;
+  th_prio : int;
+  th_body : action list;
+}
+
+type component_decl = {
+  c_name : string;
+  c_provided : method_decl list;
+  c_required : method_decl list;
+  c_threads : thread_decl list;
+}
+
+type link_decl = {
+  l_network : string;
+  l_prio : int;
+  l_request : number * number;
+  l_reply : (number * number) option;
+}
+
+type binding_decl = {
+  b_caller : string;
+  b_required : string;
+  b_callee : string;
+  b_provided : string;
+  b_link : link_decl option;
+}
+
+type instance_decl = { i_name : string; i_class : string; i_platform : string }
+
+type item =
+  | I_platform of platform_decl
+  | I_component of component_decl
+  | I_instance of instance_decl
+  | I_bind of binding_decl
+
+type t = item list

@@ -1,0 +1,97 @@
+module Q = Rational
+module LB = Platform.Linear_bound
+module Resource = Platform.Resource
+module M = Component.Method_sig
+module Th = Component.Thread
+module Comp = Component.Comp
+module A = Component.Assembly
+
+let rec supply_of = function
+  | Ast.S_nested { inner; outer } ->
+      Platform.Supply.Nested { inner = supply_of inner; outer = supply_of outer }
+  | Ast.S_full -> Platform.Supply.Full
+  | Ast.S_server { budget; period } ->
+      Platform.Supply.Periodic_server { budget; period }
+  | Ast.S_slots { frame; slots } -> Platform.Supply.Static_slots { frame; slots }
+  | Ast.S_pfair { weight } -> Platform.Supply.Pfair { weight }
+  | Ast.S_bound { alpha; delta; beta } ->
+      Platform.Supply.Bounded_delay (LB.make ~alpha ~delta ~beta)
+
+let resource_of (p : Ast.platform_decl) =
+  let kind = if p.Ast.p_network then Resource.Network else Resource.Cpu in
+  Resource.of_supply ~kind ?host:p.Ast.p_host ~name:p.Ast.p_name
+    (supply_of p.Ast.p_supply)
+
+let action_of = function
+  | Ast.A_call m -> Th.Call { method_name = m }
+  | Ast.A_task { t_name; wcet; bcet; blocking; prio } ->
+      Th.Task
+        {
+          name = t_name;
+          wcet;
+          bcet = Option.value bcet ~default:wcet;
+          blocking;
+          priority = prio;
+        }
+
+let thread_of (th : Ast.thread_decl) =
+  let activation =
+    match th.Ast.th_act with
+    | Ast.Act_periodic { period; deadline; jitter } ->
+        Th.Periodic
+          {
+            period;
+            deadline = Option.value deadline ~default:period;
+            jitter = Option.value jitter ~default:Q.zero;
+          }
+    | Ast.Act_realizes { meth; deadline } ->
+        Th.Realizes { method_name = meth; deadline }
+  in
+  Th.make ~name:th.Ast.th_name ~activation ~priority:th.Ast.th_prio
+    (List.map action_of th.Ast.th_body)
+
+let comp_of (c : Ast.component_decl) =
+  Comp.make ~name:c.Ast.c_name
+    ~provided:
+      (List.map (fun (m : Ast.method_decl) -> M.make ~name:m.Ast.m_name ~mit:m.Ast.m_mit) c.Ast.c_provided)
+    ~required:
+      (List.map (fun (m : Ast.method_decl) -> M.make ~name:m.Ast.m_name ~mit:m.Ast.m_mit) c.Ast.c_required)
+    (List.map thread_of c.Ast.c_threads)
+
+let binding_of (b : Ast.binding_decl) =
+  {
+    A.caller = b.Ast.b_caller;
+    required = b.Ast.b_required;
+    callee = b.Ast.b_callee;
+    provided = b.Ast.b_provided;
+    via =
+      Option.map
+        (fun (l : Ast.link_decl) ->
+          {
+            A.network = l.Ast.l_network;
+            priority = l.Ast.l_prio;
+            request = l.Ast.l_request;
+            reply = l.Ast.l_reply;
+          })
+        b.Ast.b_link;
+  }
+
+let assembly items =
+  try
+    let classes = ref [] and resources = ref [] in
+    let instances = ref [] and bindings = ref [] and allocation = ref [] in
+    List.iter
+      (fun item ->
+        match item with
+        | Ast.I_platform p -> resources := resource_of p :: !resources
+        | Ast.I_component c -> classes := comp_of c :: !classes
+        | Ast.I_instance i ->
+            instances := { A.iname = i.Ast.i_name; cls = i.Ast.i_class } :: !instances;
+            allocation := (i.Ast.i_name, i.Ast.i_platform) :: !allocation
+        | Ast.I_bind b -> bindings := binding_of b :: !bindings)
+      items;
+    Ok
+      (A.make ~classes:(List.rev !classes) ~resources:(List.rev !resources)
+         ~instances:(List.rev !instances) ~bindings:(List.rev !bindings)
+         ~allocation:(List.rev !allocation))
+  with Invalid_argument msg -> Error msg

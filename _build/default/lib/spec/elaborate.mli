@@ -1,0 +1,10 @@
+(** Elaboration of a parsed [.hsc] description into the component model.
+
+    Elaboration is purely structural (building classes, platforms,
+    instances, bindings); semantic checking is left to
+    {!Component.Assembly.validate}, which callers should run — or use
+    {!Spec.load} which does both. *)
+
+val assembly : Ast.t -> (Component.Assembly.t, string) result
+(** Fails on structural errors the model constructors reject (duplicate
+    names, non-positive parameters, …) with the constructor's message. *)

@@ -1,0 +1,29 @@
+(** Tokeniser for the [.hsc] language. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of Rational.t
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COLON
+  | SEMI
+  | COMMA
+  | EQUALS
+  | ARROW
+  | DOT
+  | EOF
+
+type located = { token : token; line : int; col : int }
+
+val tokenize : string -> (located list, string) result
+(** Comments run from ["//"] to end of line.  Numbers are integers,
+    decimals ([0.8]) or fractions ([2/5]), optionally negative.  The
+    error message carries the line and column of the offending
+    character. *)
+
+val describe : token -> string

@@ -1,0 +1,28 @@
+(** Recursive-descent parser for the [.hsc] language.
+
+    Grammar sketch (keywords are plain identifiers):
+    {v
+    item      ::= platform | component | instance | bind
+    platform  ::= "platform" ID ["network"] "{" pbody "}"
+    pbody     ::= (assign | "server" "(" args ")" | "slots" "(" ... ")"
+                   slot* | "pfair" "(" args ")" | "full") ";" ...
+    component ::= "component" ID "{" section* "}"
+    section   ::= "provided" ":" method*  |  "required" ":" method*
+                | "implementation" ":" impl*
+    method    ::= ID "(" ")" "mit" NUM ";"
+    impl      ::= "scheduler" ID ";" | thread
+    thread    ::= "thread" ID activation "priority" INT "{" action* "}"
+    activation::= "periodic" "(" "period" "=" NUM ["," "deadline" "=" NUM] ")"
+                | "realizes" ID "(" ")" ["deadline" NUM]
+    action    ::= "task" ID "(" "wcet" "=" NUM ["," "bcet" "=" NUM] ")"
+                  ["priority" INT] ";"
+                | "call" ID "(" ")" ";"
+    instance  ::= "instance" ID ":" ID "on" ID ";"
+    bind      ::= "bind" ID "." ID "->" ID "." ID [link] ";"
+    link      ::= "via" ID "priority" INT
+                  "request" "(" "wcet" "=" NUM ["," "bcet" "=" NUM] ")"
+                  ["reply" "(" "wcet" "=" NUM ["," "bcet" "=" NUM] ")"]
+    v} *)
+
+val parse : string -> (Ast.t, string) result
+(** Errors carry the line/column of the offending token. *)

@@ -1,0 +1,114 @@
+module Q = Rational
+module LB = Platform.Linear_bound
+module Resource = Platform.Resource
+module M = Component.Method_sig
+module Th = Component.Thread
+module Comp = Component.Comp
+module A = Component.Assembly
+
+let rec pp_supply_expr ppf = function
+  | Platform.Supply.Full -> Format.fprintf ppf "full"
+  | Platform.Supply.Bounded_delay b ->
+      Format.fprintf ppf "bounded(alpha = %a, delta = %a, beta = %a)" Q.pp
+        b.LB.alpha Q.pp b.LB.delta Q.pp b.LB.beta
+  | Platform.Supply.Periodic_server { budget; period } ->
+      Format.fprintf ppf "server(budget = %a, period = %a)" Q.pp budget Q.pp
+        period
+  | Platform.Supply.Pfair { weight } ->
+      Format.fprintf ppf "pfair(weight = %a)" Q.pp weight
+  | Platform.Supply.Static_slots { frame; slots } ->
+      Format.fprintf ppf "slots(frame = %a)" Q.pp frame;
+      List.iter (fun (s, l) -> Format.fprintf ppf " [%a, %a]" Q.pp s Q.pp l) slots
+  | Platform.Supply.Nested { inner; outer } ->
+      Format.fprintf ppf "%a within %a" pp_supply_expr inner pp_supply_expr outer
+
+let pp_supply ppf = function
+  | Platform.Supply.Bounded_delay b ->
+      Format.fprintf ppf "  alpha = %a;@,  delta = %a;@,  beta = %a;@," Q.pp
+        b.LB.alpha Q.pp b.LB.delta Q.pp b.LB.beta
+  | supply -> Format.fprintf ppf "  %a;@," pp_supply_expr supply
+
+let pp_platform ppf (r : Resource.t) =
+  Format.fprintf ppf "@[<v>platform %s%s {@,%a  host = %S;@,}@]@," r.Resource.name
+    (match r.Resource.kind with Resource.Network -> " network" | Resource.Cpu -> "")
+    pp_supply r.Resource.supply r.Resource.host
+
+let pp_method ppf (m : M.t) =
+  Format.fprintf ppf "    %s() mit %a;@," m.M.name Q.pp m.M.mit
+
+let pp_action ppf = function
+  | Th.Call { method_name } -> Format.fprintf ppf "      call %s();@," method_name
+  | Th.Task { name; wcet; bcet; blocking; priority } ->
+      Format.fprintf ppf "      task %s(wcet = %a, bcet = %a%s)%s;@," name Q.pp
+        wcet Q.pp bcet
+        (match blocking with
+        | None -> ""
+        | Some b -> Format.asprintf ", blocking = %a" Q.pp b)
+        (match priority with
+        | None -> ""
+        | Some p -> Printf.sprintf " priority %d" p)
+
+let pp_thread ppf (t : Th.t) =
+  let activation ppf = function
+    | Th.Periodic { period; deadline; jitter } ->
+        Format.fprintf ppf "periodic(period = %a, deadline = %a%s)" Q.pp period
+          Q.pp deadline
+          (if Q.equal jitter Q.zero then ""
+           else Format.asprintf ", jitter = %a" Q.pp jitter)
+    | Th.Realizes { method_name; deadline } ->
+        Format.fprintf ppf "realizes %s()%s" method_name
+          (match deadline with
+          | None -> ""
+          | Some d -> Format.asprintf " deadline %a" Q.pp d)
+  in
+  Format.fprintf ppf "    thread %s %a priority %d {@,%a    }@," t.Th.name
+    activation t.Th.activation t.Th.priority
+    (fun ppf body -> List.iter (pp_action ppf) body)
+    t.Th.body
+
+let pp_component ppf (c : Comp.t) =
+  Format.fprintf ppf "@[<v>component %s {@," c.Comp.name;
+  if c.Comp.provided <> [] then begin
+    Format.fprintf ppf "  provided:@,";
+    List.iter (pp_method ppf) c.Comp.provided
+  end;
+  if c.Comp.required <> [] then begin
+    Format.fprintf ppf "  required:@,";
+    List.iter (pp_method ppf) c.Comp.required
+  end;
+  Format.fprintf ppf "  implementation:@,    scheduler fixed_priority;@,";
+  List.iter (pp_thread ppf) c.Comp.threads;
+  Format.fprintf ppf "}@]@,"
+
+let pp_binding ppf (b : A.binding) =
+  Format.fprintf ppf "bind %s.%s -> %s.%s" b.A.caller b.A.required b.A.callee
+    b.A.provided;
+  (match b.A.via with
+  | None -> ()
+  | Some l ->
+      let w, bc = l.A.request in
+      Format.fprintf ppf " via %s priority %d request(wcet = %a, bcet = %a)"
+        l.A.network l.A.priority Q.pp w Q.pp bc;
+      match l.A.reply with
+      | None -> ()
+      | Some (w, bc) ->
+          Format.fprintf ppf " reply(wcet = %a, bcet = %a)" Q.pp w Q.pp bc);
+  Format.fprintf ppf ";@,"
+
+let pp ppf (a : A.t) =
+  Format.fprintf ppf "@[<v>";
+  List.iter (pp_platform ppf) a.A.resources;
+  List.iter (pp_component ppf) a.A.classes;
+  List.iter
+    (fun (i : A.instance) ->
+      let platform =
+        match List.assoc_opt i.A.iname a.A.allocation with
+        | Some p -> p
+        | None -> "UNALLOCATED"
+      in
+      Format.fprintf ppf "instance %s : %s on %s;@," i.A.iname i.A.cls platform)
+    a.A.instances;
+  List.iter (pp_binding ppf) a.A.bindings;
+  Format.fprintf ppf "@]"
+
+let to_string a = Format.asprintf "%a" pp a

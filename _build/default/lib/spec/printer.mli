@@ -1,0 +1,9 @@
+(** Rendering a component assembly back to [.hsc] text.
+
+    [Spec.load (Printer.to_string a)] reconstructs an assembly equivalent
+    to [a] (the round-trip property checked by the test suite), so the
+    printer doubles as a serialisation format for generated systems. *)
+
+val to_string : Component.Assembly.t -> string
+
+val pp : Format.formatter -> Component.Assembly.t -> unit

@@ -1,0 +1,23 @@
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Elaborate = Elaborate
+module Printer = Printer
+
+let load src =
+  match Parser.parse src with
+  | Error e -> Error [ e ]
+  | Ok ast -> (
+      match Elaborate.assembly ast with
+      | Error e -> Error [ e ]
+      | Ok asm -> (
+          match Component.Assembly.validate asm with
+          | Ok () -> Ok asm
+          | Error es -> Error es))
+
+let load_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> load src
+  | exception Sys_error msg -> Error [ msg ]
+
+let to_string = Printer.to_string

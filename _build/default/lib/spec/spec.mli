@@ -1,0 +1,22 @@
+(** The [.hsc] system-description language: parse, validate, print.
+
+    The language is the concrete form of the paper's pseudo
+    object-oriented component notation (Figures 1–2), extended with
+    platform, instance and binding items.  See {!Parser} for the
+    grammar. *)
+
+module Ast = Ast
+module Lexer = Lexer
+module Parser = Parser
+module Elaborate = Elaborate
+module Printer = Printer
+
+val load : string -> (Component.Assembly.t, string list) result
+(** Parse, elaborate and validate a source string; all diagnostics are
+    returned. *)
+
+val load_file : string -> (Component.Assembly.t, string list) result
+(** {!load} on the contents of a file; I/O errors become diagnostics. *)
+
+val to_string : Component.Assembly.t -> string
+(** Alias of {!Printer.to_string}. *)

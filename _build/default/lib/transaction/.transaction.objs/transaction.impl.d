@@ -1,0 +1,1 @@
+lib/transaction/transaction.ml: Derive System Task Txn

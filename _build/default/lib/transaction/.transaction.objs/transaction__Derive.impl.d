@@ -1,0 +1,1 @@
+lib/transaction/derive.ml: Component Hashtbl List Option Platform Printf Rational String System Task Txn

@@ -1,0 +1,1 @@
+lib/transaction/derive.mli: Component System

@@ -1,0 +1,1 @@
+lib/transaction/system.ml: Array Format List Platform Rational String Task Txn

@@ -1,0 +1,1 @@
+lib/transaction/system.mli: Format Platform Rational Txn

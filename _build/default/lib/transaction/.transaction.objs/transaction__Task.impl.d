@@ -1,0 +1,1 @@
+lib/transaction/task.ml: Format Option Rational String

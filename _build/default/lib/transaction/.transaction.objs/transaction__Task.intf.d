@@ -1,0 +1,1 @@
+lib/transaction/task.mli: Format Rational

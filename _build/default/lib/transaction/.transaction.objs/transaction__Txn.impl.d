@@ -1,0 +1,1 @@
+lib/transaction/txn.ml: Array Format List Printf Rational String Task

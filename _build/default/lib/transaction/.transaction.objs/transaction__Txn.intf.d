@@ -1,0 +1,1 @@
+lib/transaction/txn.mli: Format Rational Task

@@ -1,0 +1,147 @@
+module Q = Rational
+module A = Component.Assembly
+module Comp = Component.Comp
+module Thread = Component.Thread
+module Method_sig = Component.Method_sig
+
+(* Tasks are accumulated in reverse while walking thread bodies.  Names
+   stay plain unless the same code is spliced in twice (a method called
+   repeatedly), in which case occurrences get "@2", "@3", … suffixes. *)
+type walk_state = {
+  mutable rev_tasks : Task.t list;
+  used : (string, int) Hashtbl.t;
+}
+
+let fresh_name st base =
+  match Hashtbl.find_opt st.used base with
+  | None ->
+      Hashtbl.replace st.used base 1;
+      base
+  | Some n ->
+      Hashtbl.replace st.used base (n + 1);
+      Printf.sprintf "%s@%d" base (n + 1)
+
+let push st task = st.rev_tasks <- task :: st.rev_tasks
+
+(* Walk the body of [thread] of [instance]; [priority] and [resource] are
+   the thread's own, already resolved. *)
+let rec walk asm st ~instance ~(thread : Thread.t) =
+  let resource = A.resource_index asm (A.resource_of asm instance).Platform.Resource.name in
+  List.iter
+    (fun action ->
+      match action with
+      | Thread.Task { name; wcet; bcet; blocking; priority } ->
+          let qualified = instance ^ "." ^ thread.Thread.name ^ "." ^ name in
+          push st
+            (Task.make
+               ~source:
+                 (Task.Code
+                    { instance; thread = thread.Thread.name; action = name })
+               ?blocking
+               ~name:(fresh_name st qualified) ~wcet ~bcet ~resource
+               ~priority:(Option.value priority ~default:thread.Thread.priority)
+               ())
+      | Thread.Call { method_name } -> (
+          match A.binding_for asm ~caller:instance ~required:method_name with
+          | None ->
+              (* Excluded by validation; defensive. *)
+              invalid_arg
+                ("Derive: unbound call " ^ instance ^ "." ^ method_name)
+          | Some b ->
+              let message direction (wcet, bcet) (l : A.link) =
+                let net = A.resource_index asm l.A.network in
+                let dir_name =
+                  match direction with `Request -> "req" | `Reply -> "rep"
+                in
+                push st
+                  (Task.make
+                     ~source:
+                       (Task.Message
+                          {
+                            caller = instance;
+                            callee = b.A.callee;
+                            method_name = b.A.provided;
+                            direction;
+                          })
+                     ~name:
+                       (fresh_name st
+                          (instance ^ "->" ^ b.A.callee ^ "." ^ b.A.provided
+                         ^ ":" ^ dir_name))
+                     ~wcet ~bcet ~resource:net ~priority:l.A.priority ())
+              in
+              Option.iter (fun l -> message `Request l.A.request l) b.A.via;
+              let callee_cls = A.class_of asm b.A.callee in
+              (match Comp.realizer callee_cls b.A.provided with
+              | None ->
+                  invalid_arg
+                    ("Derive: no realizer for " ^ b.A.callee ^ "." ^ b.A.provided)
+              | Some callee_thread ->
+                  walk asm st ~instance:b.A.callee ~thread:callee_thread);
+              Option.iter
+                (fun l -> Option.iter (fun r -> message `Reply r l) l.A.reply)
+                b.A.via))
+    thread.Thread.body
+
+let transaction_of_thread asm ~instance ~(thread : Thread.t) ~period ~deadline
+    ~release_jitter =
+  let st = { rev_tasks = []; used = Hashtbl.create 16 } in
+  walk asm st ~instance ~thread;
+  Txn.make ~release_jitter
+    ~name:(instance ^ "." ^ thread.Thread.name)
+    ~period ~deadline
+    (List.rev st.rev_tasks)
+
+let internally_called asm ~callee ~provided =
+  List.exists
+    (fun (b : A.binding) ->
+      String.equal b.A.callee callee && String.equal b.A.provided provided)
+    asm.A.bindings
+
+let derive asm =
+  match A.validate asm with
+  | Error errs -> Error errs
+  | Ok () ->
+      let txns = ref [] in
+      List.iter
+        (fun (i : A.instance) ->
+          let cls = A.class_of asm i.A.iname in
+          (* Periodic threads each originate a transaction. *)
+          List.iter
+            (fun (th : Thread.t) ->
+              match th.Thread.activation with
+              | Thread.Periodic { period; deadline; jitter } ->
+                  txns :=
+                    transaction_of_thread asm ~instance:i.A.iname ~thread:th
+                      ~period ~deadline ~release_jitter:jitter
+                    :: !txns
+              | Thread.Realizes _ -> ())
+            cls.Comp.threads;
+          (* Environment-driven provided methods originate sporadic
+             transactions at their MIT. *)
+          List.iter
+            (fun (p : Method_sig.t) ->
+              if not (internally_called asm ~callee:i.A.iname ~provided:p.Method_sig.name)
+              then
+                match Comp.realizer cls p.Method_sig.name with
+                | None -> () (* excluded by class construction *)
+                | Some th ->
+                    let deadline =
+                      match th.Thread.activation with
+                      | Thread.Realizes { deadline = Some d; _ } -> d
+                      | Thread.Realizes { deadline = None; _ }
+                      | Thread.Periodic _ ->
+                          p.Method_sig.mit
+                    in
+                    txns :=
+                      transaction_of_thread asm ~instance:i.A.iname ~thread:th
+                        ~period:p.Method_sig.mit ~deadline
+                        ~release_jitter:Q.zero
+                      :: !txns)
+            cls.Comp.provided)
+        asm.A.instances;
+      Ok (System.make ~resources:asm.A.resources (List.rev !txns))
+
+let derive_exn asm =
+  match derive asm with
+  | Ok s -> s
+  | Error errs -> invalid_arg ("Derive: " ^ String.concat "; " errs)

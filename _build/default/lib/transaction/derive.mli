@@ -1,0 +1,23 @@
+(** Deriving transactions from a component assembly (Section 2.4).
+
+    Every periodic thread originates a transaction.  Walking the thread
+    body in order, each local task becomes a transaction task on the
+    component's platform with the thread's priority; each synchronous call
+    is resolved through the bindings and splices in, recursively, the
+    tasks of the realizing thread of the callee (with {e that} thread's
+    priority and platform).  A call across nodes additionally contributes
+    a request message task — and, if the link declares one, a reply
+    message task — on the network platform.
+
+    Provided methods that no component of the assembly calls are assumed
+    to be driven by the environment at their declared MIT: each such
+    method originates a sporadic transaction of its own (this is how the
+    paper's Γ4 arises from [Integrator.read()]). *)
+
+val derive : Component.Assembly.t -> (System.t, string list) result
+(** Validates the assembly first and propagates its diagnostics; on a
+    valid assembly the derivation always succeeds (the RPC call graph is
+    acyclic by validation). *)
+
+val derive_exn : Component.Assembly.t -> System.t
+(** @raise Invalid_argument with the concatenated diagnostics. *)

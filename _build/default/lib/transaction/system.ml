@@ -1,0 +1,96 @@
+module Q = Rational
+module Resource = Platform.Resource
+
+type t = { resources : Resource.t array; transactions : Txn.t array }
+
+let make ~resources transactions =
+  let t =
+    {
+      resources = Array.of_list resources;
+      transactions = Array.of_list transactions;
+    }
+  in
+  let check_unique what names =
+    let sorted = List.sort String.compare names in
+    let rec dup = function
+      | a :: (b :: _ as rest) ->
+          if String.equal a b then
+            invalid_arg ("System.make: duplicate " ^ what ^ " " ^ a)
+          else dup rest
+      | [] | [ _ ] -> ()
+    in
+    dup sorted
+  in
+  check_unique "resource"
+    (List.map (fun (r : Resource.t) -> r.Resource.name) resources);
+  check_unique "transaction" (List.map (fun (x : Txn.t) -> x.Txn.name) transactions);
+  Array.iter
+    (fun (x : Txn.t) ->
+      Array.iter
+        (fun (tk : Task.t) ->
+          if tk.Task.resource >= Array.length t.resources then
+            invalid_arg
+              ("System.make: task " ^ tk.Task.name ^ " of " ^ x.Txn.name
+             ^ " references resource index "
+              ^ string_of_int tk.Task.resource
+              ^ " out of range"))
+        x.Txn.tasks)
+    t.transactions;
+  t
+
+let n_resources t = Array.length t.resources
+
+let n_transactions t = Array.length t.transactions
+
+let utilization t r =
+  Array.fold_left
+    (fun acc x -> Q.(acc + Txn.utilization_on x r))
+    Q.zero t.transactions
+
+let over_utilized t =
+  let out = ref [] in
+  Array.iteri
+    (fun r (res : Resource.t) ->
+      let u = utilization t r in
+      let alpha = res.Resource.bound.Platform.Linear_bound.alpha in
+      if Q.(u > alpha) then out := (r, u, alpha) :: !out)
+    t.resources;
+  List.rev !out
+
+let tasks_on t r =
+  let out = ref [] in
+  Array.iteri
+    (fun i (x : Txn.t) ->
+      Array.iteri
+        (fun j (tk : Task.t) ->
+          if tk.Task.resource = r then out := (i, j) :: !out)
+        x.Txn.tasks)
+    t.transactions;
+  List.rev !out
+
+let find_transaction t name =
+  let found = ref None in
+  Array.iteri
+    (fun i (x : Txn.t) ->
+      if !found = None && String.equal x.Txn.name name then found := Some i)
+    t.transactions;
+  !found
+
+let hyperperiod t =
+  Array.fold_left
+    (fun acc (x : Txn.t) -> Q.lcm_q acc x.Txn.period)
+    Q.one t.transactions
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun r (res : Resource.t) ->
+      let members =
+        tasks_on t r
+        |> List.map (fun (i, j) -> (Txn.task t.transactions.(i) j).Task.name)
+      in
+      Format.fprintf ppf "Π%d = %a  util=%a  {%s}@ " r Resource.pp res Q.pp
+        (utilization t r) (String.concat ", " members))
+    t.resources;
+  Array.iter (fun x -> Format.fprintf ppf "%a@ " Txn.pp x) t.transactions;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** A complete analyzable system: the abstract platforms and the set of
+    transactions mapped onto them (Figure 5 of the paper). *)
+
+type t = private {
+  resources : Platform.Resource.t array;
+  transactions : Txn.t array;
+}
+
+val make : resources:Platform.Resource.t list -> Txn.t list -> t
+(** @raise Invalid_argument on duplicate transaction or resource names, or
+    when a task references a resource index out of range. *)
+
+val n_resources : t -> int
+
+val n_transactions : t -> int
+
+val utilization : t -> int -> Rational.t
+(** Total utilization placed on the given resource by all transactions. *)
+
+val over_utilized : t -> (int * Rational.t * Rational.t) list
+(** Resources whose demand exceeds their rate: [(index, utilization,
+    alpha)].  Such resources make every response-time recurrence diverge;
+    the analysis reports the affected tasks as unbounded. *)
+
+val tasks_on : t -> int -> (int * int) list
+(** [(transaction index, task index)] pairs of the tasks allocated to the
+    given resource. *)
+
+val find_transaction : t -> string -> int option
+
+val hyperperiod : t -> Rational.t
+(** Least common multiple of the transaction periods — a natural
+    simulation horizon unit. *)
+
+val pp : Format.formatter -> t -> unit
+(** Figure-5-style rendering: each platform with its tasks, each
+    transaction with its task chain. *)

@@ -1,0 +1,44 @@
+module Q = Rational
+
+type source =
+  | Code of { instance : string; thread : string; action : string }
+  | Message of {
+      caller : string;
+      callee : string;
+      method_name : string;
+      direction : [ `Request | `Reply ];
+    }
+  | Synthetic of string
+
+type t = {
+  name : string;
+  wcet : Q.t;
+  bcet : Q.t;
+  resource : int;
+  priority : int;
+  blocking : Q.t;
+  source : source;
+}
+
+let make ?source ?(blocking = Q.zero) ~name ~wcet ~bcet ~resource ~priority () =
+  if String.length name = 0 then invalid_arg "Task.make: empty name";
+  if Q.(wcet <= zero) then
+    invalid_arg ("Task.make: " ^ name ^ ": wcet must be > 0");
+  if Q.(bcet < zero) || Q.(bcet > wcet) then
+    invalid_arg ("Task.make: " ^ name ^ ": need 0 <= bcet <= wcet");
+  if resource < 0 then
+    invalid_arg ("Task.make: " ^ name ^ ": negative resource index");
+  if priority <= 0 then
+    invalid_arg ("Task.make: " ^ name ^ ": priority must be > 0");
+  if Q.(blocking < zero) then
+    invalid_arg ("Task.make: " ^ name ^ ": blocking must be >= 0");
+  let source = Option.value source ~default:(Synthetic name) in
+  { name; wcet; bcet; resource; priority; blocking; source }
+
+let equal a b =
+  String.equal a.name b.name && Q.equal a.wcet b.wcet && Q.equal a.bcet b.bcet
+  && a.resource = b.resource && a.priority = b.priority
+
+let pp ppf t =
+  Format.fprintf ppf "%s (C=%a, Cb=%a, Π%d, p=%d)" t.name Q.pp t.wcet Q.pp
+    t.bcet t.resource t.priority

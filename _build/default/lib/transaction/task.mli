@@ -1,0 +1,49 @@
+(** Tasks of a real-time transaction (Section 2.4).
+
+    A task τ{_i,j} carries a worst- and best-case execution demand in
+    cycles, the index of the abstract platform it is allocated to (the
+    mapping variable s{_i,j}), and a priority (greater is higher, local to
+    the platform).  Offsets, jitters and response times are {e analysis}
+    state, not model state; they live in {!Analysis}. *)
+
+type source =
+  | Code of { instance : string; thread : string; action : string }
+      (** A piece of component code. *)
+  | Message of {
+      caller : string;
+      callee : string;
+      method_name : string;
+      direction : [ `Request | `Reply ];
+    }  (** An RPC message scheduled on a network platform. *)
+  | Synthetic of string  (** Generated workloads and hand-built systems. *)
+
+type t = private {
+  name : string;
+  wcet : Rational.t;
+  bcet : Rational.t;
+  resource : int;
+  priority : int;
+  blocking : Rational.t;
+      (** worst-case blocking B{_a,b} from lower-priority
+          non-preemptable sections (Eq. 13 carries it; zero when the
+          component uses no such sections) *)
+  source : source;
+}
+
+val make :
+  ?source:source ->
+  ?blocking:Rational.t ->
+  name:string ->
+  wcet:Rational.t ->
+  bcet:Rational.t ->
+  resource:int ->
+  priority:int ->
+  unit ->
+  t
+(** @raise Invalid_argument unless [0 <= bcet <= wcet], [wcet > 0],
+    [resource >= 0], [priority > 0] and [blocking >= 0].  [source]
+    defaults to [Synthetic name], [blocking] to zero. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

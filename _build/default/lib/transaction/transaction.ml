@@ -1,0 +1,7 @@
+(** Real-time transactions and their derivation from component
+    assemblies (Section 2.4 of the paper). *)
+
+module Task = Task
+module Txn = Txn
+module System = System
+module Derive = Derive

@@ -1,0 +1,51 @@
+module Q = Rational
+
+type t = {
+  name : string;
+  period : Q.t;
+  deadline : Q.t;
+  release_jitter : Q.t;
+  tasks : Task.t array;
+}
+
+let make ?(release_jitter = Q.zero) ~name ~period ~deadline tasks =
+  if String.length name = 0 then invalid_arg "Txn.make: empty name";
+  if Q.(period <= zero) then
+    invalid_arg ("Txn.make: " ^ name ^ ": period must be > 0");
+  if Q.(deadline <= zero) then
+    invalid_arg ("Txn.make: " ^ name ^ ": deadline must be > 0");
+  if Q.(release_jitter < zero) then
+    invalid_arg ("Txn.make: " ^ name ^ ": release jitter must be >= 0");
+  if tasks = [] then invalid_arg ("Txn.make: " ^ name ^ ": no tasks");
+  let names = List.map (fun (t : Task.t) -> t.Task.name) tasks in
+  let sorted = List.sort String.compare names in
+  let rec dup = function
+    | a :: (b :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg ("Txn.make: " ^ name ^ ": duplicate task " ^ a)
+        else dup rest
+    | [] | [ _ ] -> ()
+  in
+  dup sorted;
+  { name; period; deadline; release_jitter; tasks = Array.of_list tasks }
+
+let length t = Array.length t.tasks
+
+let task t j =
+  if j < 0 || j >= Array.length t.tasks then
+    invalid_arg (Printf.sprintf "Txn.task: %s: index %d out of range" t.name j)
+  else t.tasks.(j)
+
+let demand_on t resource =
+  Array.fold_left
+    (fun acc (tk : Task.t) ->
+      if tk.Task.resource = resource then Q.(acc + tk.Task.wcet) else acc)
+    Q.zero t.tasks
+
+let utilization_on t resource = Q.(demand_on t resource / t.period)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v 2>%s : T=%a, D=%a@ %a@]" t.name Q.pp t.period Q.pp
+    t.deadline
+    (Format.pp_print_list Task.pp)
+    (Array.to_list t.tasks)

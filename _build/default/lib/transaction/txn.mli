@@ -1,0 +1,41 @@
+(** Real-time transactions (Section 2.4).
+
+    A transaction Γ{_i} is a precedence-ordered sequence of tasks released
+    every [period]; the last task must complete within [deadline] of the
+    transaction's activation.  Tasks of one transaction may execute on
+    different abstract platforms — that is the whole point of the model. *)
+
+type t = private {
+  name : string;
+  period : Rational.t;
+  deadline : Rational.t;
+  release_jitter : Rational.t;
+      (** maximum delay of the transaction's activation after its nominal
+          release — sporadic arrival jitter of the first task (J{_i,1}) *)
+  tasks : Task.t array;
+}
+
+val make :
+  ?release_jitter:Rational.t ->
+  name:string ->
+  period:Rational.t ->
+  deadline:Rational.t ->
+  Task.t list ->
+  t
+(** @raise Invalid_argument on an empty task list, non-positive period or
+    deadline, negative release jitter, or duplicate task names within the
+    transaction.  [release_jitter] defaults to zero. *)
+
+val length : t -> int
+
+val task : t -> int -> Task.t
+(** 0-based.  @raise Invalid_argument when out of range. *)
+
+val demand_on : t -> int -> Rational.t
+(** Total worst-case cycles the transaction places on the given resource
+    per activation. *)
+
+val utilization_on : t -> int -> Rational.t
+(** [demand_on / period]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Component Hashtbl List Platform Printf Rational Rng String Transaction Uunifast

@@ -1,0 +1,1 @@
+lib/workload/uunifast.ml: Hashtbl List Rational Rng Stdlib

@@ -1,0 +1,1 @@
+lib/workload/uunifast.mli: Rational Rng

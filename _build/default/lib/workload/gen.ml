@@ -1,0 +1,287 @@
+module Q = Rational
+module LB = Platform.Linear_bound
+module Resource = Platform.Resource
+module Task = Transaction.Task
+module Txn = Transaction.Txn
+module System = Transaction.System
+
+type spec = {
+  n_resources : int;
+  n_txns : int;
+  max_tasks_per_txn : int;
+  utilization : Q.t;
+  alpha_choices : Q.t list;
+  delta_max : Q.t;
+  beta_max : Q.t;
+  period_choices : int list;
+  deadline_factor : Q.t;
+  rm_priorities : bool;
+  prio_levels : int;
+  bcet_ratio : Q.t;
+  server_platforms : bool;
+}
+
+let default_spec =
+  {
+    n_resources = 3;
+    n_txns = 4;
+    max_tasks_per_txn = 4;
+    utilization = Q.make 1 2;
+    alpha_choices = [ Q.make 1 5; Q.make 2 5; Q.make 1 2; Q.make 4 5; Q.one ];
+    delta_max = Q.of_int 2;
+    beta_max = Q.one;
+    period_choices = [ 20; 50; 100; 200; 400 ];
+    deadline_factor = Q.of_int 2;
+    rm_priorities = true;
+    prio_levels = 4;
+    bcet_ratio = Q.make 1 2;
+    server_platforms = false;
+  }
+
+let resources rng spec =
+  List.init spec.n_resources (fun r ->
+      let name = Printf.sprintf "R%d" r in
+      let alpha = Rng.pick rng spec.alpha_choices in
+      if spec.server_platforms then
+        let period = Q.of_int (Rng.pick rng [ 4; 5; 8; 10 ]) in
+        Resource.of_supply ~name
+          (Platform.Supply.Periodic_server
+             { budget = Q.(alpha * period); period })
+      else
+        let delta = Rng.rational_in rng Q.zero spec.delta_max in
+        let beta = Rng.rational_in rng Q.zero spec.beta_max in
+        Resource.of_bound ~name (LB.make ~alpha ~delta ~beta))
+
+let system ~seed spec =
+  if spec.n_resources < 1 || spec.n_txns < 1 || spec.max_tasks_per_txn < 1 then
+    invalid_arg "Gen.system: sizes must be >= 1";
+  if Q.(spec.utilization <= zero) then
+    invalid_arg "Gen.system: utilization must be > 0";
+  let rng = Rng.create seed in
+  let resources = resources rng spec in
+  let bounds = List.map (fun (r : Resource.t) -> r.Resource.bound) resources in
+  (* Choose the structure first: which (txn, position) runs where. *)
+  (* Rate-monotonic priority of a period: shorter periods rank higher. *)
+  let rm_prio period =
+    let longer =
+      List.filter (fun p -> Q.(of_int p > period)) spec.period_choices
+    in
+    1 + List.length (List.sort_uniq compare (List.map (fun p -> p) longer))
+  in
+  let structure =
+    List.init spec.n_txns (fun i ->
+        let n_tasks = 1 + Rng.int rng spec.max_tasks_per_txn in
+        let period = Q.of_int (Rng.pick rng spec.period_choices) in
+        let tasks =
+          List.init n_tasks (fun j ->
+              let res = Rng.int rng spec.n_resources in
+              let prio =
+                if spec.rm_priorities then rm_prio period
+                else 1 + Rng.int rng spec.prio_levels
+              in
+              (i, j, res, prio))
+        in
+        (i, period, tasks))
+  in
+  (* Split each platform's utilisation budget among its tasks. *)
+  let wcet = Hashtbl.create 64 in
+  List.iteri
+    (fun r (bound : LB.t) ->
+      let members =
+        List.concat_map
+          (fun (_, period, tasks) ->
+            List.filter_map
+              (fun (i, j, res, _) -> if res = r then Some (i, j, period) else None)
+              tasks)
+          structure
+      in
+      match members with
+      | [] -> ()
+      | _ ->
+          let budget = Q.(spec.utilization * bound.LB.alpha) in
+          let shares =
+            Uunifast.utilizations rng ~n:(List.length members) ~total:budget
+          in
+          List.iter2
+            (fun (i, j, period) share ->
+              Hashtbl.replace wcet (i, j) Q.(share * period))
+            members shares)
+    bounds;
+  let txns =
+    List.map
+      (fun (i, period, tasks) ->
+        let tasks =
+          List.map
+            (fun (i, j, res, prio) ->
+              let c = Hashtbl.find wcet (i, j) in
+              Task.make
+                ~name:(Printf.sprintf "g%d.t%d" i j)
+                ~wcet:c
+                ~bcet:Q.(c * spec.bcet_ratio)
+                ~resource:res ~priority:prio ())
+            tasks
+        in
+        Txn.make
+          ~name:(Printf.sprintf "g%d" i)
+          ~period
+          ~deadline:Q.(period * spec.deadline_factor)
+          tasks)
+      structure
+  in
+  System.make ~resources txns
+
+(* --- random component assemblies --- *)
+
+module M = Component.Method_sig
+module Th = Component.Thread
+module Comp = Component.Comp
+module A = Component.Assembly
+
+let chain_assembly ~seed ?(n_chains = 2) ?(chain_length = 2) ?(cross_host = false)
+    () =
+  if n_chains < 1 || chain_length < 0 then
+    invalid_arg "Gen.chain_assembly: sizes must be positive";
+  let rng = Rng.create seed in
+  let host_of idx =
+    if cross_host then if idx mod 2 = 0 then "nodeA" else "nodeB" else "nodeA"
+  in
+  let classes = ref [] and instances = ref [] in
+  let bindings = ref [] and allocation = ref [] and resources = ref [] in
+  let network =
+    Resource.of_bound ~kind:Resource.Network ~host:"wire" ~name:"NET"
+      (LB.make ~alpha:(Q.make 1 2) ~delta:Q.one ~beta:Q.zero)
+  in
+  if cross_host then resources := [ network ];
+  let fresh_platform idx =
+    let name = Printf.sprintf "CPU%d" idx in
+    let alpha = Rng.pick rng [ Q.make 2 5; Q.make 1 2; Q.make 4 5 ] in
+    let r =
+      Resource.of_bound ~host:(host_of idx) ~name
+        (LB.make ~alpha ~delta:Q.one ~beta:Q.zero)
+    in
+    resources := r :: !resources;
+    r
+  in
+  let platform_counter = ref 0 in
+  let next_platform () =
+    let r = fresh_platform !platform_counter in
+    incr platform_counter;
+    r
+  in
+  for chain = 0 to n_chains - 1 do
+    let period = Q.of_int (Rng.pick rng [ 50; 100; 200 ]) in
+    (* Server layers, innermost first. *)
+    let servers =
+      List.init chain_length (fun layer ->
+          let cname = Printf.sprintf "Server_%d_%d" chain layer in
+          let iname = Printf.sprintf "server%d_%d" chain layer in
+          (cname, iname, layer))
+    in
+    List.iter
+      (fun (cname, iname, layer) ->
+        let deeper = layer + 1 < chain_length in
+        let required =
+          if deeper then [ M.make ~name:"next" ~mit:period ] else []
+        in
+        let body =
+          Th.Task
+            {
+              name = "work";
+              wcet = Q.of_int (1 + Rng.int rng 3);
+              bcet = Q.one;
+              blocking = None;
+              priority = None;
+            }
+          ::
+          (if deeper then [ Th.Call { method_name = "next" } ] else [])
+        in
+        let cls =
+          Comp.make ~name:cname
+            ~provided:[ M.make ~name:"serve" ~mit:period ]
+            ~required
+            [
+              Th.make ~name:"T"
+                ~activation:(Th.Realizes { method_name = "serve"; deadline = None })
+                ~priority:(1 + Rng.int rng 3)
+                body;
+            ]
+        in
+        classes := cls :: !classes;
+        instances := { A.iname; cls = cname } :: !instances;
+        let r = next_platform () in
+        allocation := (iname, r.Resource.name) :: !allocation)
+      servers;
+    let host_of_instance iname =
+      let rname = List.assoc iname !allocation in
+      let r =
+        List.find (fun (r : Resource.t) -> String.equal r.Resource.name rname) !resources
+      in
+      r.Resource.host
+    in
+    let bind ~caller ~required ~callee =
+      let needs_link =
+        cross_host && host_of_instance caller <> host_of_instance callee
+      in
+      bindings :=
+        {
+          A.caller;
+          required;
+          callee;
+          provided = "serve";
+          via =
+            (if needs_link then
+               Some
+                 {
+                   A.network = "NET";
+                   priority = 1 + Rng.int rng 3;
+                   request = (Q.one, Q.make 1 2);
+                   reply = Some (Q.one, Q.make 1 2);
+                 }
+             else None);
+        }
+        :: !bindings
+    in
+    (* Bind each server to the next layer. *)
+    List.iter
+      (fun (_, iname, layer) ->
+        if layer + 1 < chain_length then
+          bind ~caller:iname ~required:"next"
+            ~callee:(Printf.sprintf "server%d_%d" chain (layer + 1)))
+      servers;
+    (* The client component drives the chain. *)
+    let client_cls_name = Printf.sprintf "Client_%d" chain in
+    let client_iname = Printf.sprintf "client%d" chain in
+    let required =
+      if chain_length > 0 then [ M.make ~name:"go" ~mit:period ] else []
+    in
+    let body =
+      Th.Task
+        {
+          name = "prepare";
+          wcet = Q.of_int (1 + Rng.int rng 3);
+          bcet = Q.one;
+          blocking = None;
+          priority = None;
+        }
+      ::
+      (if chain_length > 0 then [ Th.Call { method_name = "go" } ] else [])
+    in
+    let client =
+      Comp.make ~name:client_cls_name ~provided:[] ~required
+        [
+          Th.make ~name:"T"
+            ~activation:(Th.Periodic { period; deadline = period; jitter = Q.zero })
+            ~priority:(1 + Rng.int rng 3)
+            body;
+        ]
+    in
+    classes := client :: !classes;
+    instances := { A.iname = client_iname; cls = client_cls_name } :: !instances;
+    let r = next_platform () in
+    allocation := (client_iname, r.Resource.name) :: !allocation;
+    if chain_length > 0 then
+      bind ~caller:client_iname ~required:"go"
+        ~callee:(Printf.sprintf "server%d_0" chain)
+  done;
+  A.make ~classes:!classes ~resources:!resources ~instances:!instances
+    ~bindings:!bindings ~allocation:!allocation

@@ -1,0 +1,53 @@
+(** Random system generation for property tests and benchmarks.
+
+    Two levels are covered: raw transaction systems (feeding the analysis
+    and the simulator directly) and full component assemblies (feeding
+    the §2.4 derivation).  Everything is deterministic in the seed. *)
+
+type spec = {
+  n_resources : int;
+  n_txns : int;
+  max_tasks_per_txn : int;  (** tasks per transaction drawn in [1, max] *)
+  utilization : Rational.t;
+      (** target fraction of each platform's rate consumed by the tasks
+          allocated to it, in (0, 1) for schedulable-leaning systems *)
+  alpha_choices : Rational.t list;  (** platform rates to draw from *)
+  delta_max : Rational.t;
+  beta_max : Rational.t;
+  period_choices : int list;
+  deadline_factor : Rational.t;
+      (** transaction deadline = factor × period; end-to-end deadlines of
+          multi-hop transactions commonly exceed the period *)
+  rm_priorities : bool;
+      (** assign priorities rate-monotonically from the transaction
+          period (default); otherwise draw uniformly from
+          [1, prio_levels] *)
+  prio_levels : int;
+  bcet_ratio : Rational.t;  (** BCET = ratio × WCET *)
+  server_platforms : bool;
+      (** realise platforms as periodic servers (supply models the
+          simulator executes non-trivially) instead of direct
+          bounded-delay triples *)
+}
+
+val default_spec : spec
+
+val system : seed:int -> spec -> Transaction.System.t
+(** Random transaction system.  Per platform, the aggregate utilisation
+    of the tasks mapped to it is [utilization × α] (distributed with
+    UUniFast), so analyses converge for moderate targets and diverge for
+    targets near or above 1. *)
+
+val chain_assembly :
+  seed:int ->
+  ?n_chains:int ->
+  ?chain_length:int ->
+  ?cross_host:bool ->
+  unit ->
+  Component.Assembly.t
+(** Random layered component assembly: [n_chains] client components with
+    a periodic thread, each calling through a chain of [chain_length]
+    server components (every server provides one method and may run on a
+    different platform).  With [cross_host] the chain alternates between
+    two physical nodes and the bindings carry network links.  The result
+    always passes {!Component.Assembly.validate}. *)

@@ -1,0 +1,19 @@
+module Q = Rational
+
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9 |]
+
+let int t n = Random.State.int t n
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))
+
+let fraction t = Q.make (int t 4097) 4096
+
+let rational_in t lo hi = Q.(lo + ((hi - lo) * fraction t))
+
+let shuffle t xs =
+  let tagged = List.map (fun x -> (Random.State.bits t, x)) xs in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) tagged)

@@ -1,0 +1,22 @@
+(** Deterministic random source for workload generation.
+
+    A thin wrapper over [Random.State] with the helpers the generators
+    need; everything downstream of a seed is reproducible. *)
+
+type t
+
+val create : int -> t
+
+val int : t -> int -> int
+(** [int rng n] in [\[0, n)]; [n > 0]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element.  @raise Invalid_argument on an empty list. *)
+
+val fraction : t -> Rational.t
+(** Uniform dyadic rational in [\[0, 1\]] (denominator 4096). *)
+
+val rational_in : t -> Rational.t -> Rational.t -> Rational.t
+(** Uniform dyadic rational in [\[lo, hi\]]. *)
+
+val shuffle : t -> 'a list -> 'a list

@@ -1,0 +1,32 @@
+module Q = Rational
+
+(* Uniform sampling on the simplex via uniform spacings: n-1 distinct cut
+   points on an integer grid of N = 1024*n cells split [0, total] into n
+   positive shares.  The spacings of uniform order statistics follow the
+   flat Dirichlet distribution — the same law UUniFast samples — while
+   the grid keeps every share's denominator bounded (UUniFast's running
+   product would grow the denominators exponentially in exact
+   arithmetic). *)
+let utilizations rng ~n ~total =
+  if n < 1 then invalid_arg "Uunifast.utilizations: n must be >= 1";
+  if Q.(total <= zero) then
+    invalid_arg "Uunifast.utilizations: total must be > 0";
+  if n = 1 then [ total ]
+  else begin
+    let cells = 1024 * n in
+    let cuts = Hashtbl.create (2 * n) in
+    while Hashtbl.length cuts < n - 1 do
+      let c = 1 + Rng.int rng (cells - 1) in
+      if not (Hashtbl.mem cuts c) then Hashtbl.add cuts c ()
+    done;
+    let sorted =
+      Hashtbl.fold (fun c () acc -> c :: acc) cuts []
+      |> List.sort Stdlib.compare
+    in
+    let boundaries = (0 :: sorted) @ [ cells ] in
+    let rec spacings = function
+      | a :: (b :: _ as rest) -> (b - a) :: spacings rest
+      | [ _ ] | [] -> []
+    in
+    List.map (fun w -> Q.(total * make w cells)) (spacings boundaries)
+  end

@@ -1,0 +1,8 @@
+(** Unbiased uniform sampling of [n] task utilisations summing to a
+    target total — the distribution of UUniFast (Bini & Buttazzo),
+    realised through uniform spacings on an integer grid so that exact
+    rational arithmetic keeps bounded denominators. *)
+
+val utilizations : Rng.t -> n:int -> total:Rational.t -> Rational.t list
+(** [n >= 1]; the result has length [n], every element is positive and
+    the (rational) sum is exactly [total]. *)

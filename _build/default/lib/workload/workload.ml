@@ -1,0 +1,6 @@
+(** Deterministic random workload generation: transaction systems and
+    component assemblies for property tests and benchmarks. *)
+
+module Rng = Rng
+module Uunifast = Uunifast
+module Gen = Gen

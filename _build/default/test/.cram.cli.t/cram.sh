@@ -1,0 +1,11 @@
+  $ ../bin/hsched_cli.exe validate ../examples/sensor_fusion.hsc
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --csv | head -3
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --exact --csv | grep compute
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --history Nope | tail -1
+  $ ../bin/hsched_cli.exe simulate ../examples/sensor_fusion.hsc --horizon 2000 | grep misses
+  $ echo "platform Broken {" > broken.hsc
+  $ ../bin/hsched_cli.exe validate broken.hsc
+  $ ../bin/hsched_cli.exe format ../examples/cruise_control.hsc > once.hsc
+  $ ../bin/hsched_cli.exe format once.hsc > twice.hsc
+  $ diff once.hsc twice.hsc
+  $ ../bin/hsched_cli.exe analyze ../examples/cruise_control.hsc | tail -1

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Analysis Array Format Hsched List Platform Rational Simulator String Transaction Workload

@@ -1,0 +1,1 @@
+test/test_case_study.ml: Alcotest Analysis Array Hsched List Platform Printf Rational Simulator Spec String Sys Transaction

@@ -1,0 +1,1 @@
+test/test_case_study.mli:

@@ -1,0 +1,1 @@
+test/test_component.ml: Alcotest Component List Platform Rational String

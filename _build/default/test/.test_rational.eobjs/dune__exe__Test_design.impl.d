@@ -1,0 +1,1 @@
+test/test_design.ml: Alcotest Analysis Array Design Hsched Lazy List Platform Rational Transaction

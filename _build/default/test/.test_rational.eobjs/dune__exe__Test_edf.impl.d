@@ -1,0 +1,1 @@
+test/test_edf.ml: Alcotest Analysis List Platform Printf QCheck QCheck_alcotest Rational Simulator String Transaction

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Analysis Array Hsched List Platform Printf Rational Simulator Spec String Transaction Workload

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Analysis Array Hsched Lazy List Platform Printf Rational

@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Format Platform QCheck QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_rational.ml: Alcotest Format List QCheck QCheck_alcotest Rational

@@ -1,0 +1,1 @@
+test/test_simulator.ml: Alcotest Analysis Array List Platform QCheck QCheck_alcotest Rational Simulator String Transaction Workload

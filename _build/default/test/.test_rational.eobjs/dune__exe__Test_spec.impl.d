@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Analysis Array Component Filename Hsched List Out_channel Platform Printf Rational Simulator Spec String Sys Transaction Workload

@@ -1,0 +1,1 @@
+test/test_transaction.ml: Alcotest Array Component Hsched List Platform Rational String Transaction Workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Analysis Array Component Fun List Platform Printf Rational String Transaction Workload

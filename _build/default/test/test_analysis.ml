@@ -1,0 +1,451 @@
+(* The holistic analysis machinery: interference terms against hand
+   computations, fixed points, degeneration to classical response-time
+   analysis, divergence detection, blocking and release jitter. *)
+
+module Q = Rational
+module LB = Platform.Linear_bound
+module P = Analysis.Params
+module Model = Analysis.Model
+module Report = Analysis.Report
+module Interference = Analysis.Interference
+module Busy = Analysis.Busy
+module Rta = Analysis.Rta
+module Best_case = Analysis.Best_case
+module Holistic = Analysis.Holistic
+module Classical = Analysis.Classical
+
+let q = Q.of_decimal_string
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let check_bound msg expected actual =
+  Alcotest.(check string)
+    msg
+    (Format.asprintf "%a" Report.pp_bound expected)
+    (Format.asprintf "%a" Report.pp_bound actual)
+
+let task name c cb res prio = { Model.name; c = q c; cb = q cb; res; prio }
+
+let txn name period tasks =
+  { Model.tname = name; period = q period; deadline = q period; tasks = Array.of_list tasks }
+
+(* --- busy fixpoint --- *)
+
+let test_fixpoint () =
+  (* w = 1 + floor(w/2): fixed point 1... iterate: 0→1→1 *)
+  let f w = Q.(one + of_int (Q.floor (w / of_int 2))) in
+  (match Busy.fixpoint ~horizon:(q "100") f Q.zero with
+  | Some w -> check_q "least fixpoint" Q.one w
+  | None -> Alcotest.fail "diverged");
+  (* diverging recurrence *)
+  (match Busy.fixpoint ~horizon:(q "100") (fun w -> Q.(w + one)) Q.zero with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected divergence")
+
+(* --- interference terms on the paper's Γ1/Γ2 (hand-checked) --- *)
+
+let paper_model () = Hsched.Paper_example.model ()
+
+let zeros m = Array.map (fun (tx : Model.txn) -> Array.make (Array.length tx.Model.tasks) Q.zero) m.Model.txns
+
+let test_hp_sets () =
+  let m = paper_model () in
+  (* for τ1,1 (prio 2, P3): hp in Γ1 is compute (prio 3, P3), index 3 *)
+  Alcotest.(check (list int)) "hp own txn of init" [ 3 ]
+    (Interference.hp m ~i:0 ~a:0 ~b:0);
+  (* for τ1,4 (prio 3, P3): nothing in Γ1 (init has prio 2) *)
+  Alcotest.(check (list int)) "hp own txn of compute" []
+    (Interference.hp m ~i:0 ~a:0 ~b:3);
+  (* Γ4 = Integrator.Thread1 (prio 1, P3) does not interfere with compute *)
+  let g4 = match Analysis.Model.find_task m "Integrator.Thread1.serve" with
+    | Some (a, _) -> a
+    | None -> Alcotest.fail "missing" in
+  Alcotest.(check (list int)) "low prio excluded" []
+    (Interference.hp m ~i:g4 ~a:0 ~b:3);
+  (* conversely both P3 tasks of Γ1 interfere with Γ4's serve *)
+  Alcotest.(check (list int)) "hp of serve in Γ1" [ 0; 3 ]
+    (Interference.hp m ~i:0 ~a:g4 ~b:0)
+
+let test_phase_and_jobs () =
+  let m = paper_model () in
+  let phi = zeros m and jit = zeros m in
+  (* τ2,1 with zero offsets/jitters: phase is the full period *)
+  let g2 = match Model.find_task m "Sensor1.Thread1.poll" with
+    | Some (a, _) -> a | None -> Alcotest.fail "missing" in
+  let ph = Interference.phase m ~phi ~jit ~i:g2 ~k:0 ~j:0 in
+  check_q "phase = T" (q "15") ph;
+  (* one delayed job at the busy-period start, next at T *)
+  Alcotest.(check int) "jobs just after 0" 1
+    (Interference.jobs ~jitter:Q.zero ~phase:ph ~period:(q "15") ~t:(q "1"));
+  Alcotest.(check int) "jobs beyond T" 2
+    (Interference.jobs ~jitter:Q.zero ~phase:ph ~period:(q "15") ~t:(q "16"));
+  (* jitter adds delayed jobs *)
+  Alcotest.(check int) "jitter adds a job" 2
+    (Interference.jobs ~jitter:(q "15") ~phase:ph ~period:(q "15") ~t:(q "1"))
+
+let test_contribution_table3 () =
+  (* W of Γ2 on τ1,2 at iteration 0 is one poll job: C/α = 1/0.4 = 2.5 *)
+  let m = paper_model () in
+  let phi = zeros m and jit = zeros m in
+  let g2 = match Model.find_task m "Sensor1.Thread1.poll" with
+    | Some (a, _) -> a | None -> Alcotest.fail "missing" in
+  let w = Interference.contribution m ~phi ~jit ~i:g2 ~k:0 ~a:0 ~b:1 ~t:(q "6") in
+  check_q "one poll job scaled" (q "2.5") w;
+  let w2 = Interference.w_star m ~phi ~jit ~i:g2 ~a:0 ~b:1 ~t:(q "16") in
+  check_q "two poll jobs at t=16" (q "5") w2
+
+(* --- single-platform degeneration: holistic == classical --- *)
+
+let classical_tasks =
+  [
+    { Classical.name = "hi"; c = q "1"; period = q "4"; deadline = q "4"; jitter = Q.zero; prio = 3 };
+    { Classical.name = "mid"; c = q "1"; period = q "5"; deadline = q "5"; jitter = Q.zero; prio = 2 };
+    { Classical.name = "lo"; c = q "2"; period = q "10"; deadline = q "10"; jitter = Q.zero; prio = 1 };
+  ]
+
+let degenerate_model () =
+  Model.make ~bounds:[ LB.full ]
+    (List.map
+       (fun (t : Classical.task) ->
+         txn t.Classical.name (Q.to_string t.Classical.period)
+           [ task (t.Classical.name ^ ".t") (Q.to_string t.Classical.c)
+               (Q.to_string t.Classical.c) 0 t.Classical.prio ])
+       classical_tasks)
+
+let test_classical_equivalence () =
+  let holistic = Holistic.analyze (degenerate_model ()) in
+  let classical = Classical.response_times classical_tasks in
+  List.iteri
+    (fun i (ct, cr) ->
+      check_bound ct.Classical.name cr
+        holistic.Report.results.(i).(0).Report.response)
+    classical
+
+let test_classical_textbook () =
+  (* classical example: R(hi)=1, R(mid)=2, R(lo)=4 *)
+  match Classical.response_times classical_tasks with
+  | [ (_, r1); (_, r2); (_, r3) ] ->
+      check_bound "hi" (Report.Finite Q.one) r1;
+      check_bound "mid" (Report.Finite (q "2")) r2;
+      check_bound "lo" (Report.Finite (q "4")) r3
+  | _ -> Alcotest.fail "arity"
+
+let test_classical_with_jitter () =
+  (* jitter of a high-priority task can double its interference *)
+  let tasks =
+    [
+      { Classical.name = "hi"; c = q "2"; period = q "10"; deadline = q "10"; jitter = q "9"; prio = 2 };
+      { Classical.name = "lo"; c = q "3"; period = q "20"; deadline = q "20"; jitter = Q.zero; prio = 1 };
+    ]
+  in
+  match Classical.response_times tasks with
+  | [ _; (_, rlo) ] ->
+      (* w = 3 + ceil((w+9)/10)*2: w=3→ 3+2*2=7 → ceil(16/10)=2 → 7 ✓ *)
+      check_bound "lo sees two hi jobs" (Report.Finite (q "7")) rlo
+  | _ -> Alcotest.fail "arity"
+
+let test_classical_on_abstract_platform () =
+  (* scaling by 1/α and the Δ term *)
+  let bound = LB.make ~alpha:(q "0.5") ~delta:(q "2") ~beta:Q.zero in
+  let tasks =
+    [ { Classical.name = "only"; c = q "1"; period = q "10"; deadline = q "10"; jitter = Q.zero; prio = 1 } ]
+  in
+  match Classical.response_times ~bound tasks with
+  | [ (_, r) ] -> check_bound "Δ + C/α" (Report.Finite (q "4")) r
+  | _ -> Alcotest.fail "arity"
+
+let test_utilization_tests () =
+  Alcotest.(check bool) "LL accepts light set" true
+    (Classical.liu_layland_test classical_tasks);
+  Alcotest.(check bool) "hyperbolic accepts light set" true
+    (Classical.hyperbolic_test classical_tasks);
+  let heavy =
+    [
+      { Classical.name = "a"; c = q "5"; period = q "10"; deadline = q "10"; jitter = Q.zero; prio = 2 };
+      { Classical.name = "b"; c = q "5"; period = q "10"; deadline = q "10"; jitter = Q.zero; prio = 1 };
+    ]
+  in
+  Alcotest.(check bool) "LL rejects U=1" false (Classical.liu_layland_test heavy);
+  check_q "utilization" Q.one (Classical.utilization heavy)
+
+(* --- divergence --- *)
+
+let test_divergence () =
+  (* demand 2 every 10 on a platform of rate 0.1: utilization 2 > α *)
+  let m =
+    Model.make
+      ~bounds:[ LB.make ~alpha:(q "0.1") ~delta:Q.zero ~beta:Q.zero ]
+      [ txn "g" "10" [ task "t" "2" "1" 0 1 ] ]
+  in
+  let r = Holistic.analyze m in
+  check_bound "divergent" Report.Divergent r.Report.results.(0).(0).Report.response;
+  Alcotest.(check bool) "unschedulable" false r.Report.schedulable
+
+let test_deadline_miss_detected () =
+  (* schedulable recurrence but response exceeds the deadline *)
+  let m =
+    Model.make ~bounds:[ LB.full ]
+      [
+        { Model.tname = "g"; period = q "10"; deadline = q "1";
+          tasks = [| task "t" "2" "1" 0 1 |] };
+      ]
+  in
+  let r = Holistic.analyze m in
+  check_bound "finite" (Report.Finite (q "2")) r.Report.results.(0).(0).Report.response;
+  Alcotest.(check bool) "missed" false r.Report.schedulable
+
+(* --- blocking and release jitter extensions --- *)
+
+let test_blocking_term () =
+  let base = [ txn "g" "10" [ task "t" "2" "1" 0 1 ] ] in
+  let m0 = Model.make ~bounds:[ LB.full ] base in
+  let m1 = Model.make ~bounds:[ LB.full ] ~blocking:[ ("t", q "3") ] base in
+  let r0 = Holistic.analyze m0 and r1 = Holistic.analyze m1 in
+  check_bound "without blocking" (Report.Finite (q "2"))
+    r0.Report.results.(0).(0).Report.response;
+  check_bound "with blocking" (Report.Finite (q "5"))
+    r1.Report.results.(0).(0).Report.response
+
+let test_release_jitter () =
+  let base = [ txn "g" "10" [ task "t" "2" "1" 0 1 ] ] in
+  let m = Model.make ~bounds:[ LB.full ] ~release_jitter:[ ("g", q "4") ] base in
+  let r = Holistic.analyze m in
+  (* the response is measured from the nominal activation: J + C *)
+  check_bound "jittered" (Report.Finite (q "6"))
+    r.Report.results.(0).(0).Report.response
+
+let test_multi_job_busy_window () =
+  (* J = 15 > T = 10: two delayed jobs share the critical instant; the
+     delayed one released 15 late answers in J + C = 19, hand-derived:
+     p0 = -1, w(-1) = 4, R(-1) = 4 + 15 = 19 *)
+  let m =
+    Model.make ~bounds:[ LB.full ]
+      ~release_jitter:[ ("g", q "15") ]
+      [ txn "g" "10" [ task "t" "4" "4" 0 1 ] ]
+  in
+  let r = Holistic.analyze m in
+  check_bound "jitter-delayed job dominates" (Report.Finite (q "19"))
+    r.Report.results.(0).(0).Report.response;
+  (* the simulator's `Max jitter policy reproduces it: every instance
+     shifted by 15, executing alone: R = 15 + 4 *)
+  let sys =
+    Transaction.System.make
+      ~resources:[ Platform.Resource.full ~name:"cpu" () ]
+      [
+        Transaction.Txn.make ~release_jitter:(q "15") ~name:"g" ~period:(q "10")
+          ~deadline:(q "20")
+          [
+            Transaction.Task.make ~name:"t" ~wcet:(q "4") ~bcet:(q "4")
+              ~resource:0 ~priority:1 ();
+          ];
+      ]
+  in
+  let res =
+    Simulator.Engine.run
+      ~config:{ Simulator.Engine.default_config with horizon = q "500" }
+      sys
+  in
+  match Simulator.Stats.sample res.Simulator.Engine.stats ~txn:0 ~task:0 with
+  | None -> Alcotest.fail "no samples"
+  | Some s ->
+      check_q "simulated max" (q "19") s.Simulator.Stats.max_response
+
+let test_model_name_errors () =
+  let base = [ txn "g" "10" [ task "t" "2" "1" 0 1 ] ] in
+  (match Model.make ~bounds:[ LB.full ] ~blocking:[ ("ghost", Q.one) ] base with
+  | _ -> Alcotest.fail "expected error"
+  | exception Invalid_argument _ -> ());
+  match Model.make ~bounds:[ LB.full ] ~release_jitter:[ ("ghost", Q.one) ] base with
+  | _ -> Alcotest.fail "expected error"
+  | exception Invalid_argument _ -> ()
+
+(* --- best case --- *)
+
+let test_best_case_simple () =
+  let m = paper_model () in
+  let rbest = Best_case.simple m in
+  (* Table 1's φmin column is Rbest of the predecessor *)
+  check_q "after init" (q "3") rbest.(0).(0);
+  check_q "after serve1" (q "4") rbest.(0).(1);
+  check_q "after serve2" (q "5") rbest.(0).(2);
+  check_q "after compute" (q "8") rbest.(0).(3)
+
+let test_best_case_refined_dominates () =
+  let m = paper_model () in
+  let jit = zeros m in
+  let simple = Best_case.simple m and refined = Best_case.refined m ~jit in
+  Array.iteri
+    (fun a row ->
+      Array.iteri
+        (fun b s ->
+          if not Q.(refined.(a).(b) >= s) then
+            Alcotest.failf "refined < simple at %d,%d" a b)
+        row)
+    simple
+
+(* --- report rendering --- *)
+
+let test_report_pp_smoke () =
+  let m = paper_model () in
+  let r = Holistic.analyze m in
+  let names a b = (Model.task m a b).Model.name in
+  let table = Format.asprintf "%a" (Report.pp ~names) r in
+  Alcotest.(check bool) "mentions schedulable" true
+    (String.length table > 0
+    && List.exists
+         (fun line -> String.length line >= 11 && String.sub line 0 11 = "schedulable")
+         (String.split_on_char '\n' table));
+  let history = Format.asprintf "%a" (Report.pp_history ~names ~txn:0) r in
+  Alcotest.(check bool) "history has J(0)" true
+    (let contains hay needle =
+       let ln = String.length needle and lh = String.length hay in
+       let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+       go 0
+     in
+     contains history "J(0)")
+
+let test_bound_helpers () =
+  let open Report in
+  Alcotest.(check bool) "le finite" true (bound_le (Finite (q "3")) (q "3"));
+  Alcotest.(check bool) "le divergent" false (bound_le Divergent (q "1000"));
+  Alcotest.(check bool) "max" true
+    (equal_bound (bound_max (Finite (q "2")) (Finite (q "5"))) (Finite (q "5")));
+  Alcotest.(check bool) "max divergent" true
+    (equal_bound (bound_max (Finite (q "2")) Divergent) Divergent);
+  Alcotest.(check bool) "add" true
+    (equal_bound (bound_add (Finite (q "2")) (q "3")) (Finite (q "5")));
+  Alcotest.(check bool) "add divergent" true
+    (equal_bound (bound_add Divergent (q "3")) Divergent)
+
+let test_classical_divergent () =
+  (* the higher-priority demand alone exceeds the processor: the lowest
+     task's busy recurrence grows without bound *)
+  let tasks =
+    [
+      { Classical.name = "a"; c = q "6"; period = q "10"; deadline = q "10";
+        jitter = Q.zero; prio = 3 };
+      { Classical.name = "b"; c = q "5"; period = q "10"; deadline = q "10";
+        jitter = Q.zero; prio = 2 };
+      { Classical.name = "c"; c = q "1"; period = q "10"; deadline = q "10";
+        jitter = Q.zero; prio = 1 };
+    ]
+  in
+  match Classical.response_times tasks with
+  | [ (_, Report.Finite _); (_, Report.Finite _); (_, Report.Divergent) ] -> ()
+  | _ -> Alcotest.fail "expected the lowest task to diverge"
+
+let test_early_exit_flag () =
+  (* a hopeless system: with early exit the loop stops quickly; without
+     it, the same verdict is reached but with full iteration counts *)
+  let m =
+    Model.make
+      ~bounds:[ LB.make ~alpha:(q "0.5") ~delta:Q.zero ~beta:Q.zero ]
+      [
+        { Model.tname = "g"; period = q "10"; deadline = q "4";
+          tasks = [| task "t" "3" "1" 0 1 |] };
+      ]
+  in
+  let fast = Holistic.analyze m in
+  Alcotest.(check bool) "unschedulable" false fast.Report.schedulable;
+  Alcotest.(check bool) "not converged (early exit)" false fast.Report.converged;
+  Alcotest.(check int) "one iteration" 1 fast.Report.outer_iterations;
+  let full =
+    Holistic.analyze
+      ~params:{ Analysis.Params.default with Analysis.Params.early_exit = false }
+      m
+  in
+  Alcotest.(check bool) "same verdict" false full.Report.schedulable;
+  (* single-task transaction: jitters never change, so the full run
+     converges in 2 iterations with a genuine fixed point *)
+  Alcotest.(check bool) "full run converges" true full.Report.converged;
+  match full.Report.results.(0).(0).Report.response with
+  | Report.Divergent -> Alcotest.fail "divergent"
+  | Report.Finite r -> check_q "R = C/alpha" (q "6") r
+
+(* --- exact vs reduced --- *)
+
+let test_exact_never_exceeds_reduced () =
+  for seed = 1 to 12 do
+    let spec = { Workload.Gen.default_spec with n_txns = 3; max_tasks_per_txn = 2 } in
+    let sys = Workload.Gen.system ~seed spec in
+    let m = Model.of_system sys in
+    let re = Holistic.analyze ~params:P.exact m in
+    let rr = Holistic.analyze ~params:P.default m in
+    Array.iteri
+      (fun a row ->
+        Array.iteri
+          (fun b (res : Report.task_result) ->
+            match (res.Report.response, rr.Report.results.(a).(b).Report.response) with
+            | Report.Finite e, Report.Finite r ->
+                if not Q.(e <= r) then
+                  Alcotest.failf "seed %d: exact %s > reduced %s at %d,%d" seed
+                    (Q.to_string e) (Q.to_string r) a b
+            | Report.Divergent, Report.Finite _ ->
+                Alcotest.failf "seed %d: exact diverged but reduced did not" seed
+            | _, Report.Divergent -> ())
+          row)
+      re.Report.results
+  done
+
+let test_scenario_count () =
+  let m = paper_model () in
+  (* τ4,1: hp Γ1 on P3 = {init, compute}, own scenarios = itself *)
+  let g4 = match Model.find_task m "Integrator.Thread1.serve" with
+    | Some (a, _) -> a | None -> Alcotest.fail "missing" in
+  Alcotest.(check int) "reduced scenarios" 1
+    (Rta.scenario_count m P.default ~a:g4 ~b:0);
+  Alcotest.(check int) "exact scenarios" 2
+    (Rta.scenario_count m P.exact ~a:g4 ~b:0)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ("busy", [ Alcotest.test_case "fixpoint" `Quick test_fixpoint ]);
+      ( "interference",
+        [
+          Alcotest.test_case "hp sets (Eq. 17)" `Quick test_hp_sets;
+          Alcotest.test_case "phase and jobs (Eq. 7-10)" `Quick test_phase_and_jobs;
+          Alcotest.test_case "contribution (Eq. 11, 15)" `Quick
+            test_contribution_table3;
+        ] );
+      ( "classical",
+        [
+          Alcotest.test_case "textbook values" `Quick test_classical_textbook;
+          Alcotest.test_case "holistic degenerates to classical" `Quick
+            test_classical_equivalence;
+          Alcotest.test_case "jitter" `Quick test_classical_with_jitter;
+          Alcotest.test_case "abstract platform" `Quick
+            test_classical_on_abstract_platform;
+          Alcotest.test_case "utilization tests" `Quick test_utilization_tests;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "divergence detected" `Quick test_divergence;
+          Alcotest.test_case "deadline miss detected" `Quick
+            test_deadline_miss_detected;
+          Alcotest.test_case "blocking term" `Quick test_blocking_term;
+          Alcotest.test_case "release jitter" `Quick test_release_jitter;
+          Alcotest.test_case "multi-job busy window (J > T)" `Quick
+            test_multi_job_busy_window;
+          Alcotest.test_case "named-parameter errors" `Quick test_model_name_errors;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "pp smoke" `Quick test_report_pp_smoke;
+          Alcotest.test_case "bound helpers" `Quick test_bound_helpers;
+          Alcotest.test_case "classical divergence" `Quick test_classical_divergent;
+          Alcotest.test_case "early-exit flag" `Quick test_early_exit_flag;
+        ] );
+      ( "best_case",
+        [
+          Alcotest.test_case "simple (Table 1 offsets)" `Quick test_best_case_simple;
+          Alcotest.test_case "refined dominates simple" `Quick
+            test_best_case_refined_dominates;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "exact <= reduced" `Quick test_exact_never_exceeds_reduced;
+          Alcotest.test_case "scenario counts" `Quick test_scenario_count;
+        ] );
+    ]

@@ -1,0 +1,204 @@
+(* Design-space search (the paper's §5 future work): families, minimal
+   rates, balanced descent, breakdown utilisation, delay margins. *)
+
+module Q = Rational
+module LB = Platform.Linear_bound
+module D = Design.Param_search
+
+let q = Q.of_decimal_string
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let paper_sys = lazy (Hsched.Paper_example.system ())
+
+let paper_families sys =
+  Array.map
+    (fun (r : Platform.Resource.t) ->
+      let b = r.Platform.Resource.bound in
+      D.fixed_latency_family ~delta:b.LB.delta ~beta:b.LB.beta)
+    sys.Transaction.System.resources
+
+let test_families () =
+  let f = D.periodic_server_family ~period:(q "5") in
+  let b = f.D.bound_of_rate (q "0.4") in
+  check_q "alpha" (q "0.4") b.LB.alpha;
+  check_q "delta = 2P(1-a)" (q "6") b.LB.delta;
+  check_q "beta = 2aP(1-a)" (q "2.4") b.LB.beta;
+  let g = D.fixed_latency_family ~delta:(q "2") ~beta:Q.one in
+  let c = g.D.bound_of_rate (q "0.3") in
+  check_q "fixed delta" (q "2") c.LB.delta;
+  check_q "fixed beta" Q.one c.LB.beta
+
+let test_schedulable_with () =
+  let sys = Lazy.force paper_sys in
+  let bounds =
+    Array.map
+      (fun (r : Platform.Resource.t) -> r.Platform.Resource.bound)
+      sys.Transaction.System.resources
+  in
+  Alcotest.(check bool) "paper bounds schedulable" true
+    (D.schedulable_with sys ~bounds);
+  let starved = Array.copy bounds in
+  starved.(2) <- LB.make ~alpha:(q "0.01") ~delta:(q "2") ~beta:Q.one;
+  Alcotest.(check bool) "starved P3 fails" false (D.schedulable_with sys ~bounds:starved)
+
+let test_min_rate () =
+  let sys = Lazy.force paper_sys in
+  let families = paper_families sys in
+  match D.min_rate sys ~resource:2 ~family:families.(2) with
+  | None -> Alcotest.fail "no feasible rate"
+  | Some alpha ->
+      (* P3 runs at 0.2 in the paper; the minimum must not exceed it and
+         must still be feasible *)
+      Alcotest.(check bool) "alpha <= 1/5" true Q.(alpha <= q "0.2");
+      let bounds =
+        Array.map
+          (fun (r : Platform.Resource.t) -> r.Platform.Resource.bound)
+          sys.Transaction.System.resources
+      in
+      bounds.(2) <- families.(2).D.bound_of_rate alpha;
+      Alcotest.(check bool) "feasible at minimum" true
+        (D.schedulable_with sys ~bounds)
+
+let test_min_rate_monotone () =
+  (* feasibility is monotone in the rate: everything above the found
+     minimum must also be schedulable *)
+  let sys = Lazy.force paper_sys in
+  let families = paper_families sys in
+  match D.min_rate ~precision:6 sys ~resource:0 ~family:families.(0) with
+  | None -> Alcotest.fail "no feasible rate"
+  | Some alpha ->
+      let bounds () =
+        Array.map
+          (fun (r : Platform.Resource.t) -> r.Platform.Resource.bound)
+          sys.Transaction.System.resources
+      in
+      List.iter
+        (fun step ->
+          let b = bounds () in
+          let a = Q.min Q.one (Q.add alpha (q step)) in
+          b.(0) <- families.(0).D.bound_of_rate a;
+          Alcotest.(check bool) ("schedulable at +" ^ step) true
+            (D.schedulable_with sys ~bounds:b))
+        [ "0.05"; "0.2"; "0.5" ]
+
+let test_minimize_and_balance () =
+  let sys = Lazy.force paper_sys in
+  let families = paper_families sys in
+  (match D.minimize_rates ~precision:6 sys ~families with
+  | None -> Alcotest.fail "coordinate descent found nothing"
+  | Some rates ->
+      Array.iter
+        (fun a -> Alcotest.(check bool) "rate in (0,1]" true Q.(a > Q.zero && a <= Q.one))
+        rates);
+  match D.balance_rates ~precision:6 sys ~families with
+  | None -> Alcotest.fail "balance found nothing"
+  | Some rates ->
+      let total = Array.fold_left Q.add Q.zero rates in
+      (* the paper hand-picks Σα = 1; the search must do at least as well *)
+      Alcotest.(check bool) "beats the paper's allocation" true Q.(total <= Q.one)
+
+let test_breakdown () =
+  let sys = Lazy.force paper_sys in
+  let factor = D.breakdown_utilization ~precision:6 sys in
+  (* schedulable as given, so the margin is at least 1 *)
+  Alcotest.(check bool) "factor >= 1" true Q.(factor >= Q.one);
+  Alcotest.(check bool) "factor < 4" true Q.(factor < q "4")
+
+let test_breakdown_of_infeasible () =
+  (* an overloaded system scales below 1 *)
+  let r = Platform.Resource.of_bound ~name:"slow" (LB.make ~alpha:(q "0.5") ~delta:Q.zero ~beta:Q.zero) in
+  let sys =
+    Transaction.System.make ~resources:[ r ]
+      [
+        Transaction.Txn.make ~name:"g" ~period:(q "10") ~deadline:(q "10")
+          [
+            Transaction.Task.make ~name:"t" ~wcet:(q "8") ~bcet:(q "8")
+              ~resource:0 ~priority:1 ();
+          ];
+      ]
+  in
+  let factor = D.breakdown_utilization ~precision:6 sys in
+  Alcotest.(check bool) "factor < 1" true Q.(factor < Q.one);
+  Alcotest.(check bool) "factor > 0" true Q.(factor > Q.zero)
+
+let test_max_delta () =
+  let sys = Lazy.force paper_sys in
+  match D.max_delta ~precision:6 sys ~resource:2 with
+  | None -> Alcotest.fail "schedulable system reported infeasible"
+  | Some d ->
+      (* the paper uses Δ = 2 on P3 and has slack: margin must exceed it *)
+      Alcotest.(check bool) "margin > 2" true Q.(d > q "2")
+
+(* --- sensitivity --- *)
+
+let test_task_scaling () =
+  let sys = Lazy.force paper_sys in
+  (* compute (tau_1,4) has the transaction-level slack 50 - 31; scaling
+     its wcet must be possible but bounded *)
+  let f = Design.Sensitivity.task_scaling ~precision:6 sys ~txn:0 ~task:3 in
+  Alcotest.(check bool) "scalable" true Q.(f > Q.one);
+  Alcotest.(check bool) "bounded" true Q.(f < q "8");
+  (* scaled system at the found factor stays schedulable *)
+  ()
+
+let test_all_margins_sorted () =
+  let sys = Lazy.force paper_sys in
+  let margins = Design.Sensitivity.all_task_margins ~precision:5 sys in
+  Alcotest.(check int) "one margin per task" 7 (List.length margins);
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        Q.(a.Design.Sensitivity.factor <= b.Design.Sensitivity.factor)
+        && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "most critical first" true (sorted margins);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (m.Design.Sensitivity.name ^ " margin > 1")
+        true
+        Q.(m.Design.Sensitivity.factor > Q.one))
+    margins
+
+let test_transaction_slack () =
+  let sys = Lazy.force paper_sys in
+  let slack = Design.Sensitivity.transaction_slack sys in
+  Alcotest.(check int) "4 transactions" 4 (List.length slack);
+  match List.find_opt (fun (n, _, _) -> n = "Integrator.Thread2") slack with
+  | None -> Alcotest.fail "missing Γ1"
+  | Some (_, response, deadline) -> (
+      check_q "deadline" (q "50") deadline;
+      match response with
+      | Analysis.Report.Divergent -> Alcotest.fail "divergent"
+      | Analysis.Report.Finite r -> check_q "response" (q "31") r)
+
+let () =
+  Alcotest.run "design"
+    [
+      ( "families",
+        [
+          Alcotest.test_case "closed forms" `Quick test_families;
+          Alcotest.test_case "schedulable_with" `Quick test_schedulable_with;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "min rate" `Quick test_min_rate;
+          Alcotest.test_case "monotone feasibility" `Quick test_min_rate_monotone;
+          Alcotest.test_case "minimize and balance" `Quick test_minimize_and_balance;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "breakdown of the example" `Quick test_breakdown;
+          Alcotest.test_case "breakdown of infeasible" `Quick
+            test_breakdown_of_infeasible;
+          Alcotest.test_case "max delta" `Quick test_max_delta;
+        ] );
+      ( "sensitivity",
+        [
+          Alcotest.test_case "task scaling" `Quick test_task_scaling;
+          Alcotest.test_case "margins sorted" `Quick test_all_margins_sorted;
+          Alcotest.test_case "transaction slack" `Quick test_transaction_slack;
+        ] );
+    ]

@@ -1,0 +1,206 @@
+(* EDF on abstract platforms: demand-bound arithmetic, the supply-aware
+   feasibility test, optimality relative to fixed priorities, and the
+   simulator's EDF dispatching. *)
+
+module Q = Rational
+module LB = Platform.Linear_bound
+module Edf = Analysis.Edf
+module Classical = Analysis.Classical
+
+let q = Q.of_decimal_string
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let task name c period deadline =
+  { Edf.name; c = q c; period = q period; deadline = q deadline }
+
+(* --- demand bound function --- *)
+
+let test_dbf_values () =
+  let ts = [ task "a" "1" "4" "4"; task "b" "2" "6" "5" ] in
+  check_q "dbf 0" Q.zero (Edf.demand_bound ts Q.zero);
+  check_q "dbf 3 (no deadline yet)" Q.zero (Edf.demand_bound ts (q "3"));
+  check_q "dbf 4" Q.one (Edf.demand_bound ts (q "4"));
+  check_q "dbf 5" (q "3") (Edf.demand_bound ts (q "5"));
+  check_q "dbf 8 (second job of a)" (q "4") (Edf.demand_bound ts (q "8"));
+  check_q "dbf 11 (second of b)" (q "6") (Edf.demand_bound ts (q "11"));
+  check_q "dbf 12 (third of a)" (q "7") (Edf.demand_bound ts (q "12"))
+
+let test_dbf_deadline_beyond_period () =
+  let ts = [ task "a" "1" "4" "10" ] in
+  check_q "nothing before D" Q.zero (Edf.demand_bound ts (q "9"));
+  check_q "one at D" Q.one (Edf.demand_bound ts (q "10"));
+  check_q "two at D+T" (q "2") (Edf.demand_bound ts (q "14"))
+
+(* --- feasibility --- *)
+
+let test_full_platform_feasible () =
+  (* U = 1 exactly with implicit deadlines is EDF-feasible on a dedicated
+     CPU, but our conservative test requires U < alpha; use U just
+     below 1 *)
+  let ts = [ task "a" "1" "4" "4"; task "b" "2" "6" "6"; task "c" "1" "3" "3" ] in
+  (* U = 0.25 + 0.333 + 0.333 = 0.9167 *)
+  Alcotest.(check bool) "feasible" true (Edf.schedulable ts)
+
+let test_overload_infeasible () =
+  let ts = [ task "a" "3" "4" "4"; task "b" "2" "6" "6" ] in
+  (* U = 0.75 + 0.333 > 1 *)
+  Alcotest.(check bool) "infeasible" false (Edf.schedulable ts);
+  Alcotest.(check bool) "no testing points" true (Edf.testing_points ts = []);
+  Alcotest.(check bool) "no margin" true (Edf.margin ts = None)
+
+let test_tight_deadlines () =
+  (* constrained deadlines can break feasibility below U = 1 *)
+  let ok = [ task "a" "2" "8" "4"; task "b" "2" "8" "8" ] in
+  Alcotest.(check bool) "feasible with slack" true (Edf.schedulable ok);
+  let bad = [ task "a" "2" "8" "2"; task "b" "2" "8" "3" ] in
+  (* at t=3: dbf = 4 > 3 *)
+  Alcotest.(check bool) "infeasible when squeezed" false (Edf.schedulable bad)
+
+let test_abstract_platform () =
+  let bound = LB.make ~alpha:(q "0.5") ~delta:(q "2") ~beta:Q.zero in
+  (* one task: needs C/alpha + delta = 4 + 2 = 6 <= D *)
+  Alcotest.(check bool) "fits" true
+    (Edf.schedulable ~bound [ task "a" "2" "10" "6" ]);
+  Alcotest.(check bool) "delta makes it miss" false
+    (Edf.schedulable ~bound [ task "a" "2" "10" "5" ]);
+  match Edf.margin ~bound [ task "a" "2" "10" "6" ] with
+  | None -> Alcotest.fail "margin missing"
+  | Some m -> check_q "zero spare at the edge" Q.zero m
+
+let test_testing_points_sorted () =
+  let ts = [ task "a" "1" "4" "4"; task "b" "1" "6" "5" ] in
+  let pts = Edf.testing_points ts in
+  Alcotest.(check bool) "nonempty" true (pts <> []);
+  let sorted = List.sort Q.compare pts in
+  Alcotest.(check bool) "sorted unique" true
+    (List.length pts = List.length (List.sort_uniq Q.compare pts) && pts = sorted)
+
+(* --- EDF optimality vs fixed priorities (qcheck) --- *)
+
+let arb_taskset =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 5 in
+      let task_gen =
+        let* c = int_range 1 4 in
+        let* t = int_range 8 30 in
+        let* d_off = int_range 0 10 in
+        return (c, t, min t (c + d_off + 1))
+      in
+      list_repeat n task_gen)
+  in
+  QCheck.make gen ~print:(fun ts ->
+      String.concat ";"
+        (List.map (fun (c, t, d) -> Printf.sprintf "(%d,%d,%d)" c t d) ts))
+
+let fp_implies_edf =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"FP-schedulable => EDF-feasible" ~count:300
+       arb_taskset
+       (fun ts ->
+         let bound = LB.make ~alpha:(q "0.8") ~delta:Q.one ~beta:Q.zero in
+         let classical =
+           List.mapi
+             (fun i (c, t, d) ->
+               {
+                 Classical.name = Printf.sprintf "t%d" i;
+                 c = Q.of_int c;
+                 period = Q.of_int t;
+                 deadline = Q.of_int d;
+                 jitter = Q.zero;
+                 (* deadline-monotonic priorities *)
+                 prio = 1000 - d;
+               })
+             ts
+         in
+         let edf =
+           List.mapi
+             (fun i (c, t, d) ->
+               {
+                 Edf.name = Printf.sprintf "t%d" i;
+                 c = Q.of_int c;
+                 period = Q.of_int t;
+                 deadline = Q.of_int d;
+               })
+             ts
+         in
+         (* optimality: whenever DM/FP fits, EDF fits *)
+         (not (Classical.schedulable ~bound classical))
+         || Edf.schedulable ~bound edf))
+
+(* a concrete set EDF schedules but fixed priorities cannot *)
+let test_edf_beats_fp () =
+  let sets prio_order =
+    List.map
+      (fun (name, c, t, p) ->
+        { Classical.name; c = q c; period = q t; deadline = q t; jitter = Q.zero;
+          prio = p })
+      prio_order
+  in
+  (* classic: C=(2,4), T=(5,7): U = 0.971; RM misses, EDF fits *)
+  let fp_rm = sets [ ("a", "2", "5", 2); ("b", "4", "7", 1) ] in
+  let fp_inv = sets [ ("a", "2", "5", 1); ("b", "4", "7", 2) ] in
+  Alcotest.(check bool) "RM misses" false (Classical.schedulable fp_rm);
+  Alcotest.(check bool) "inverse misses too" false (Classical.schedulable fp_inv);
+  let edf = [ task "a" "2" "5" "5"; task "b" "4" "7" "7" ] in
+  Alcotest.(check bool) "EDF fits" true (Edf.schedulable edf)
+
+(* --- simulator EDF dispatching --- *)
+
+let test_simulator_edf () =
+  let mk name c t prio =
+    Transaction.Txn.make ~name ~period:(q t) ~deadline:(q t)
+      [
+        Transaction.Task.make ~name:(name ^ ".t") ~wcet:(q c) ~bcet:(q c)
+          ~resource:0 ~priority:prio ();
+      ]
+  in
+  let sys =
+    Transaction.System.make
+      ~resources:[ Platform.Resource.full ~name:"cpu" () ]
+      [ mk "a" "2" "5" 2; mk "b" "4" "7" 1 ]
+  in
+  let run policy =
+    Simulator.Engine.run
+      ~config:
+        {
+          Simulator.Engine.default_config with
+          horizon = Q.of_int 3500;
+          policy;
+        }
+      sys
+  in
+  (* under EDF the set is schedulable (U < 1); under RM priorities task b
+     misses *)
+  let edf = run Simulator.Engine.Edf in
+  Alcotest.(check int) "EDF: no misses" 0 edf.Simulator.Engine.deadline_misses;
+  let fp = run Simulator.Engine.Fixed_priority in
+  Alcotest.(check bool) "FP: misses occur" true
+    (fp.Simulator.Engine.deadline_misses > 0)
+
+let () =
+  Alcotest.run "edf"
+    [
+      ( "demand bound",
+        [
+          Alcotest.test_case "values" `Quick test_dbf_values;
+          Alcotest.test_case "deadline beyond period" `Quick
+            test_dbf_deadline_beyond_period;
+        ] );
+      ( "feasibility",
+        [
+          Alcotest.test_case "full platform" `Quick test_full_platform_feasible;
+          Alcotest.test_case "overload" `Quick test_overload_infeasible;
+          Alcotest.test_case "tight deadlines" `Quick test_tight_deadlines;
+          Alcotest.test_case "abstract platform" `Quick test_abstract_platform;
+          Alcotest.test_case "testing points" `Quick test_testing_points_sorted;
+        ] );
+      ( "optimality",
+        [
+          fp_implies_edf;
+          Alcotest.test_case "EDF beats FP" `Quick test_edf_beats_fp;
+        ] );
+      ("simulator", [ Alcotest.test_case "EDF dispatching" `Quick test_simulator_edf ]);
+    ]

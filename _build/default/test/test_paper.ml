@@ -1,0 +1,188 @@
+(* Reproduction of the paper's worked example: Table 1 (derived task
+   parameters), Table 2 (platforms), Table 3 (the dynamic-offset
+   iterations of Γ1), and the paper's schedulability verdict.
+
+   One known discrepancy, recorded in EXPERIMENTS.md: the paper prints
+   R(3)_{1,4} = R(4)_{1,4} = 39, but its own equations (Eq. 16 with the
+   converged jitter J_{1,4} = 19) yield 31 — the busy window of τ1,4
+   holds a single job, so R = φ + J + Δ + C/α = 5 + 19 + 2 + 5 = 31.  We
+   assert our exact replay of the equations, i.e. 31. *)
+
+module Q = Rational
+module LB = Platform.Linear_bound
+module Model = Analysis.Model
+module Report = Analysis.Report
+module P = Analysis.Params
+
+let q = Q.of_decimal_string
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+let report = lazy (Hsched.Paper_example.report ())
+
+let model = lazy (Hsched.Paper_example.model ())
+
+let location = Hsched.Paper_example.paper_location
+
+(* --- Table 1: task parameters as derived from the component spec --- *)
+
+(* Table 1 prints priority 3 for the poll tasks τ2,1/τ3,1, while Figure 1
+   declares SensorReading.Thread1 with priority 2.  We stay faithful to
+   the component declaration; since priorities only matter relative to
+   the tasks sharing the platform (poll vs serve: 2 > 1 and 3 > 1 agree),
+   every number in Table 3 is unaffected.  Recorded in EXPERIMENTS.md. *)
+let table1 =
+  (* label, platform index, Cbest, C, T, D, prio, phi_min *)
+  [
+    ("tau_1,1", 2, "0.8", "1", "50", "50", 2, "0");
+    ("tau_1,2", 0, "0.8", "1", "50", "50", 1, "3");
+    ("tau_1,3", 1, "0.8", "1", "50", "50", 1, "4");
+    ("tau_1,4", 2, "0.8", "1", "50", "50", 3, "5");
+    ("tau_2,1", 0, "0.25", "1", "15", "15", 2, "0");
+    ("tau_3,1", 1, "0.25", "1", "15", "15", 2, "0");
+    ("tau_4,1", 2, "5", "7", "70", "70", 1, "0");
+  ]
+
+let test_table1 () =
+  let m = Lazy.force model in
+  let r = Lazy.force report in
+  List.iter
+    (fun (label, res, cb, c, t, d, prio, phi) ->
+      let a, b = location label in
+      let tk = Model.task m a b in
+      let tx = m.Model.txns.(a) in
+      Alcotest.(check int) (label ^ " platform") res tk.Model.res;
+      check_q (label ^ " Cbest") (q cb) tk.Model.cb;
+      check_q (label ^ " C") (q c) tk.Model.c;
+      check_q (label ^ " T") (q t) tx.Model.period;
+      check_q (label ^ " D") (q d) tx.Model.deadline;
+      Alcotest.(check int) (label ^ " priority") prio tk.Model.prio;
+      check_q (label ^ " phi_min") (q phi) r.Report.results.(a).(b).Report.offset)
+    table1
+
+(* Table 1's priorities are inconsistent with a single priority per
+   thread (init=2 vs compute=3 inside Integrator.Thread2); the model
+   reproduces them through the per-task override, asserted here so a
+   refactor cannot silently lose it. *)
+let test_priority_override () =
+  let m = Lazy.force model in
+  let a1, b1 = location "tau_1,1" and a4, b4 = location "tau_1,4" in
+  Alcotest.(check int) "init keeps thread priority" 2 (Model.task m a1 b1).Model.prio;
+  Alcotest.(check int) "compute overridden" 3 (Model.task m a4 b4).Model.prio
+
+(* --- Table 2: platforms --- *)
+
+let test_table2 () =
+  let m = Lazy.force model in
+  let expect = [ ("0.4", "1", "1"); ("0.4", "1", "1"); ("0.2", "2", "1") ] in
+  List.iteri
+    (fun i (a, d, b) ->
+      let bound = m.Model.bounds.(i) in
+      check_q (Printf.sprintf "alpha %d" i) (q a) bound.LB.alpha;
+      check_q (Printf.sprintf "delta %d" i) (q d) bound.LB.delta;
+      check_q (Printf.sprintf "beta %d" i) (q b) bound.LB.beta)
+    expect
+
+(* --- Table 3: iteration history of Γ1 --- *)
+
+(* (label, [(J(n), R(n)); ...]) exactly as printed in the paper, except
+   the final response of τ1,4 (39 in the paper, 31 from the equations —
+   see the module comment). *)
+let table3 =
+  [
+    ("tau_1,1", [ ("0", "12") ]);
+    ("tau_1,2", [ ("0", "9"); ("9", "18") ]);
+    ("tau_1,3", [ ("0", "10"); ("5", "15"); ("14", "24") ]);
+    ("tau_1,4", [ ("0", "12"); ("5", "17"); ("10", "22"); ("19", "31") ]);
+  ]
+
+let test_table3_history () =
+  let r = Lazy.force report in
+  let history = Array.of_list r.Report.history in
+  Alcotest.(check bool) "at least 4 iterations" true (Array.length history >= 4);
+  List.iter
+    (fun (label, cells) ->
+      let a, b = location label in
+      List.iteri
+        (fun n (jn, rn) ->
+          let it = history.(n) in
+          check_q
+            (Printf.sprintf "%s J(%d)" label n)
+            (q jn) it.Report.jitters.(a).(b);
+          match it.Report.responses.(a).(b) with
+          | Report.Divergent -> Alcotest.failf "%s diverged at %d" label n
+          | Report.Finite x -> check_q (Printf.sprintf "%s R(%d)" label n) (q rn) x)
+        cells)
+    table3
+
+let test_table3_fixed_point () =
+  let r = Lazy.force report in
+  Alcotest.(check bool) "converged" true r.Report.converged;
+  let expect =
+    [
+      ("tau_1,1", "0", "12");
+      ("tau_1,2", "9", "18");
+      ("tau_1,3", "14", "24");
+      ("tau_1,4", "19", "31");
+      ("tau_2,1", "0", "3.5");
+      ("tau_3,1", "0", "3.5");
+      ("tau_4,1", "0", "52");
+    ]
+  in
+  List.iter
+    (fun (label, j, resp) ->
+      let a, b = location label in
+      let res = r.Report.results.(a).(b) in
+      check_q (label ^ " final J") (q j) res.Report.jitter;
+      match res.Report.response with
+      | Report.Divergent -> Alcotest.failf "%s divergent" label
+      | Report.Finite x -> check_q (label ^ " final R") (q resp) x)
+    expect
+
+let test_verdict () =
+  let r = Lazy.force report in
+  Alcotest.(check bool) "paper verdict: schedulable" true r.Report.schedulable
+
+let test_exact_matches_reduced_here () =
+  let re = Hsched.Paper_example.report ~params:P.exact () in
+  let rr = Lazy.force report in
+  Array.iteri
+    (fun a row ->
+      Array.iteri
+        (fun b (res : Report.task_result) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "τ%d,%d" a b)
+            true
+            (Report.equal_bound res.Report.response
+               rr.Report.results.(a).(b).Report.response))
+        row)
+    re.Report.results
+
+(* Γ1's response stays within the deadline with margin: the example's
+   whole point is that the distributed transaction closes in 31 < 50. *)
+let test_gamma1_margin () =
+  let r = Lazy.force report in
+  match Report.transaction_response r 0 with
+  | Report.Divergent -> Alcotest.fail "divergent"
+  | Report.Finite x -> Alcotest.(check bool) "R(Γ1) < D" true Q.(x < q "50")
+
+let () =
+  Alcotest.run "paper"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "Table 1 (derived)" `Quick test_table1;
+          Alcotest.test_case "priority override" `Quick test_priority_override;
+          Alcotest.test_case "Table 2 (platforms)" `Quick test_table2;
+          Alcotest.test_case "Table 3 iterations" `Quick test_table3_history;
+          Alcotest.test_case "Table 3 fixed point" `Quick test_table3_fixed_point;
+        ] );
+      ( "verdict",
+        [
+          Alcotest.test_case "schedulable" `Quick test_verdict;
+          Alcotest.test_case "exact = reduced on the example" `Quick
+            test_exact_matches_reduced_here;
+          Alcotest.test_case "Γ1 margin" `Quick test_gamma1_margin;
+        ] );
+    ]

@@ -1,0 +1,327 @@
+(* Supply functions and their (α, Δ, β) abstraction — including the exact
+   shape of Figure 3 for the periodic server. *)
+
+module Q = Rational
+module LB = Platform.Linear_bound
+module S = Platform.Supply
+module R = Platform.Resource
+
+let q = Q.of_decimal_string
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+(* --- linear bounds --- *)
+
+let test_linear_bound_basics () =
+  let b = LB.make ~alpha:(q "0.4") ~delta:(q "1") ~beta:(q "1") in
+  check_q "lower before delay" Q.zero (LB.supply_lower b (q "0.5"));
+  check_q "lower after delay" (q "2") (LB.supply_lower b (q "6"));
+  check_q "upper at 0" Q.zero (LB.supply_upper b Q.zero);
+  check_q "upper" (q "3") (LB.supply_upper b (q "5"));
+  check_q "time_for 2 cycles" (q "6") (LB.time_for b (q "2"));
+  check_q "time_for 0" Q.zero (LB.time_for b Q.zero);
+  check_q "best_time_for 2" (q "4") (LB.best_time_for b (q "2"));
+  check_q "best_time_for small" Q.zero (LB.best_time_for b (q "0.2"));
+  check_q "scale demand" (q "5") (LB.scale_demand b (q "2"))
+
+let test_linear_bound_validation () =
+  let expect_invalid f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid (fun () -> LB.make ~alpha:Q.zero ~delta:Q.zero ~beta:Q.zero);
+  expect_invalid (fun () -> LB.make ~alpha:(q "1.5") ~delta:Q.zero ~beta:Q.zero);
+  expect_invalid (fun () -> LB.make ~alpha:Q.one ~delta:(q "-1") ~beta:Q.zero);
+  expect_invalid (fun () -> LB.make ~alpha:Q.one ~delta:Q.zero ~beta:(q "-1"))
+
+let test_full_platform () =
+  check_q "full lower" (q "7") (LB.supply_lower LB.full (q "7"));
+  check_q "full upper" (q "7") (LB.supply_upper LB.full (q "7"))
+
+(* --- periodic server: the worked shape of Figure 3 --- *)
+
+(* Q = 2, P = 5: worst case idles for 2(P-Q) = 6, then supplies in
+   (Q, P-Q) alternation; best case starts with a 2Q = 4 burst. *)
+let server = S.Periodic_server { budget = q "2"; period = q "5" }
+
+let test_server_zmin () =
+  let zmin t = S.z_min server (q t) in
+  check_q "0 at 0" Q.zero (zmin "0");
+  check_q "0 through the gap" Q.zero (zmin "6");
+  check_q "ramps after 2(P-Q)" (q "1") (zmin "7");
+  check_q "full budget" (q "2") (zmin "8");
+  check_q "flat to next period" (q "2") (zmin "11");
+  check_q "second budget" (q "4") (zmin "13");
+  check_q "third period" (q "6") (zmin "18")
+
+let test_server_zmax () =
+  let zmax t = S.z_max server (q t) in
+  check_q "0 at 0" Q.zero (zmax "0");
+  check_q "immediate supply" (q "1") (zmax "1");
+  check_q "double budget burst" (q "4") (zmax "4");
+  check_q "flat after burst" (q "4") (zmax "7");
+  check_q "next period arrives" (q "6") (zmax "9");
+  check_q "flat again" (q "6") (zmax "12")
+
+let test_server_linear_bound () =
+  let b = S.linear_bound server in
+  check_q "alpha = Q/P" (q "0.4") b.LB.alpha;
+  check_q "delta = 2(P-Q)" (q "6") b.LB.delta;
+  check_q "beta = 2Q(P-Q)/P" (q "2.4") b.LB.beta
+
+(* --- TDMA slots --- *)
+
+let tdma = S.Static_slots { frame = q "10"; slots = [ (q "0", q "2"); (q "5", q "3") ] }
+
+let test_slots_zmin_zmax () =
+  check_q "rate" (q "0.5") (S.rate tdma);
+  (* the longest idle stretch is [2, 5): windows up to length 3 can get
+     nothing, a window of length 4 anchored there reaches [5, 6) *)
+  check_q "zmin 3" Q.zero (S.z_min tdma (q "3"));
+  check_q "zmin 4" Q.one (S.z_min tdma (q "4"));
+  (* best window of length 3: [5, 8) fully inside the long slot *)
+  check_q "zmax 3" (q "3") (S.z_max tdma (q "3"));
+  (* one frame supplies exactly 5 cycles whatever the anchor *)
+  check_q "zmin frame" (q "5") (S.z_min tdma (q "10"));
+  check_q "zmax frame" (q "5") (S.z_max tdma (q "10"))
+
+let test_slots_linear_bound () =
+  let b = S.linear_bound tdma in
+  check_q "alpha" (q "0.5") b.LB.alpha;
+  (* longest idle stretch is [7+1, 10) ∪ [0...: after the second slot ends
+     at 8, nothing until 10; worst delay: t - zmin/alpha maximised *)
+  Alcotest.(check bool) "delta positive" true Q.(b.LB.delta > Q.zero);
+  Alcotest.(check bool) "beta positive" true Q.(b.LB.beta > Q.zero);
+  (* sanity: the bound really bounds, on a dense grid *)
+  for i = 0 to 200 do
+    let t = Q.make i 5 in
+    let zl = S.z_min tdma t and zu = S.z_max tdma t in
+    if not Q.(LB.supply_lower b t <= zl) then
+      Alcotest.failf "lower bound violated at t=%s" (Q.to_string t);
+    if not Q.(zu <= LB.supply_upper b t) then
+      Alcotest.failf "upper bound violated at t=%s" (Q.to_string t)
+  done
+
+(* a single slot per frame is stricter than a floating server with the
+   same rate: its delay is (P-Q) + ... compared against 2(P-Q) *)
+let test_slot_vs_server_delta () =
+  let slot = S.Static_slots { frame = q "5"; slots = [ (q "0", q "2") ] } in
+  let b_slot = S.linear_bound slot in
+  let b_server = S.linear_bound server in
+  Alcotest.(check bool) "same rate" true (Q.equal b_slot.LB.alpha b_server.LB.alpha);
+  Alcotest.(check bool) "slot delta <= server delta" true
+    Q.(b_slot.LB.delta <= b_server.LB.delta)
+
+(* --- pfair --- *)
+
+let test_pfair () =
+  let p = S.Pfair { weight = q "0.5" } in
+  check_q "zmin lags fluid by 1" (q "1") (S.z_min p (q "4"));
+  check_q "zmin clamped" Q.zero (S.z_min p (q "1"));
+  check_q "zmax leads fluid by 1" (q "3") (S.z_max p (q "4"));
+  check_q "zmax capped by t" (q "1") (S.z_max p (q "1"));
+  let b = S.linear_bound p in
+  check_q "delta = 1/w" (q "2") b.LB.delta;
+  check_q "beta = 1" Q.one b.LB.beta
+
+(* --- nested reservations (multi-level hierarchy) --- *)
+
+let nested =
+  S.Nested
+    {
+      inner = S.Periodic_server { budget = q "1"; period = q "4" };
+      outer = S.Static_slots { frame = q "2"; slots = [ (q "0", q "1") ] };
+    }
+
+let test_nested_rate_and_bound () =
+  check_q "rate multiplies" (q "1/8") (S.rate nested);
+  let b = S.linear_bound nested in
+  check_q "alpha composed" (q "1/8") b.LB.alpha;
+  (* delta = delta_outer + delta_inner/alpha_outer = 1 + 6/(1/2) = 13 *)
+  check_q "delta composed" (q "13") b.LB.delta;
+  (* beta = beta_inner + alpha_inner * beta_outer *)
+  let beta_inner =
+    (S.linear_bound (S.Periodic_server { budget = q "1"; period = q "4" })).LB.beta
+  in
+  let outer_b =
+    S.linear_bound (S.Static_slots { frame = q "2"; slots = [ (q "0", q "1") ] })
+  in
+  check_q "beta composed"
+    Q.(beta_inner + (q "1/4" * outer_b.LB.beta))
+    b.LB.beta
+
+let test_nested_supply_values () =
+  (* composition: Zmin = Zmin_server(Zmin_slots(t)); the server needs 6
+     virtual-time units before it guarantees anything, and the slots
+     deliver at most (t-1)/2, so nothing is guaranteed before t = 13 *)
+  check_q "nothing early" Q.zero (S.z_min nested (q "13"));
+  Alcotest.(check bool) "eventually supplies" true
+    Q.(S.z_min nested (q "40") > Q.zero);
+  (* best case: slots give min(t, ...); server gives 2Q burst *)
+  Alcotest.(check bool) "zmax bounded by t" true
+    Q.(S.z_max nested (q "3") <= q "3")
+
+(* --- validation --- *)
+
+let test_validate () =
+  let bad msg m =
+    match S.validate m with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail msg
+  in
+  bad "zero budget" (S.Periodic_server { budget = Q.zero; period = q "5" });
+  bad "budget > period" (S.Periodic_server { budget = q "6"; period = q "5" });
+  bad "pfair weight" (S.Pfair { weight = q "1.5" });
+  bad "no slots" (S.Static_slots { frame = q "10"; slots = [] });
+  bad "overlapping slots"
+    (S.Static_slots { frame = q "10"; slots = [ (q "0", q "3"); (q "2", q "2") ] });
+  bad "slot outside frame"
+    (S.Static_slots { frame = q "10"; slots = [ (q "8", q "4") ] });
+  Alcotest.(check bool) "good server" true
+    (S.validate server = Ok ())
+
+(* --- resources --- *)
+
+let test_resources () =
+  let r = R.of_supply ~name:"srv" server in
+  check_q "bound computed" (q "0.4") r.R.bound.LB.alpha;
+  Alcotest.(check string) "default host" "node0" r.R.host;
+  let n =
+    R.of_bound ~kind:R.Network ~host:"bus" ~name:"net"
+      (LB.make ~alpha:Q.one ~delta:Q.zero ~beta:Q.zero)
+  in
+  Alcotest.(check bool) "network kind" true (n.R.kind = R.Network);
+  let f = R.full ~name:"cpu" () in
+  Alcotest.(check bool) "full bound" true (LB.equal f.R.bound LB.full)
+
+(* --- qcheck: supply-function laws --- *)
+
+let arb_server =
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun b p ->
+          let period = Q.make (b + p) 4 in
+          let budget = Q.make b 4 in
+          S.Periodic_server { budget; period })
+        (int_range 1 20) (int_range 0 20))
+  in
+  QCheck.make gen ~print:(Format.asprintf "%a" S.pp)
+
+let arb_time = QCheck.map (fun n -> Q.make n 8) QCheck.(int_range 0 800)
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let supply_laws =
+  let models m_arb =
+    [
+      prop "zmin <= zmax" 300 (QCheck.pair m_arb arb_time) (fun (m, t) ->
+          Q.(S.z_min m t <= S.z_max m t));
+      prop "zmax <= t" 300 (QCheck.pair m_arb arb_time) (fun (m, t) ->
+          Q.(S.z_max m t <= t));
+      prop "zmin within linear lower bound" 300 (QCheck.pair m_arb arb_time)
+        (fun (m, t) ->
+          let b = S.linear_bound m in
+          Q.(LB.supply_lower b t <= S.z_min m t));
+      prop "zmax within linear upper bound" 300 (QCheck.pair m_arb arb_time)
+        (fun (m, t) ->
+          let b = S.linear_bound m in
+          Q.(S.z_max m t <= LB.supply_upper b t));
+      prop "zmin monotone" 300
+        (QCheck.triple m_arb arb_time arb_time)
+        (fun (m, t1, t2) ->
+          let lo = Q.min t1 t2 and hi = Q.max t1 t2 in
+          Q.(S.z_min m lo <= S.z_min m hi));
+      prop "zmax monotone" 300
+        (QCheck.triple m_arb arb_time arb_time)
+        (fun (m, t1, t2) ->
+          let lo = Q.min t1 t2 and hi = Q.max t1 t2 in
+          Q.(S.z_max m lo <= S.z_max m hi));
+    ]
+  in
+  models arb_server
+
+let arb_nested =
+  let gen =
+    QCheck.Gen.(
+      let server =
+        map2
+          (fun b p ->
+            S.Periodic_server { budget = Q.make b 4; period = Q.make (b + p) 4 })
+          (int_range 1 12) (int_range 0 12)
+      in
+      let slots =
+        map2
+          (fun len gap ->
+            S.Static_slots
+              {
+                frame = Q.make (len + gap) 2;
+                slots = [ (Q.zero, Q.make len 2) ];
+              })
+          (int_range 1 8) (int_range 0 8)
+      in
+      let* inner = server in
+      let* outer = oneof [ server; slots ] in
+      return (S.Nested { inner; outer }))
+  in
+  QCheck.make gen ~print:(Format.asprintf "%a" S.pp)
+
+let nested_laws =
+  [
+    prop "nested zmin <= zmax" 200 (QCheck.pair arb_nested arb_time)
+      (fun (m, t) -> Q.(S.z_min m t <= S.z_max m t));
+    prop "nested zmin within linear lower bound" 200
+      (QCheck.pair arb_nested arb_time)
+      (fun (m, t) ->
+        let b = S.linear_bound m in
+        Q.(LB.supply_lower b t <= S.z_min m t));
+    prop "nested zmax <= t" 200 (QCheck.pair arb_nested arb_time)
+      (fun (m, t) -> Q.(S.z_max m t <= t));
+    prop "nesting never increases supply" 200
+      (QCheck.pair arb_nested arb_time)
+      (fun (m, t) ->
+        match m with
+        | S.Nested { inner; outer } ->
+            Q.(S.z_min m t <= S.z_min inner t)
+            && Q.(S.z_min m t <= S.z_min outer t)
+        | _ -> true);
+  ]
+
+
+let () =
+  Alcotest.run "platform"
+    [
+      ( "linear_bound",
+        [
+          Alcotest.test_case "basics" `Quick test_linear_bound_basics;
+          Alcotest.test_case "validation" `Quick test_linear_bound_validation;
+          Alcotest.test_case "full" `Quick test_full_platform;
+        ] );
+      ( "periodic_server",
+        [
+          Alcotest.test_case "zmin (Figure 3 worst case)" `Quick test_server_zmin;
+          Alcotest.test_case "zmax (Figure 3 best case)" `Quick test_server_zmax;
+          Alcotest.test_case "linear bound closed form" `Quick
+            test_server_linear_bound;
+        ] );
+      ( "static_slots",
+        [
+          Alcotest.test_case "zmin/zmax" `Quick test_slots_zmin_zmax;
+          Alcotest.test_case "linear bound" `Quick test_slots_linear_bound;
+          Alcotest.test_case "slot vs server delta" `Quick
+            test_slot_vs_server_delta;
+        ] );
+      ("pfair", [ Alcotest.test_case "bounds" `Quick test_pfair ]);
+      ("validation", [ Alcotest.test_case "rejects bad models" `Quick test_validate ]);
+      ("resources", [ Alcotest.test_case "constructors" `Quick test_resources ]);
+      ( "nested",
+        [
+          Alcotest.test_case "rate and bound composition" `Quick
+            test_nested_rate_and_bound;
+          Alcotest.test_case "supply values" `Quick test_nested_supply_values;
+        ] );
+      ("laws", supply_laws @ nested_laws);
+    ]

@@ -1,0 +1,182 @@
+(* Exact rational arithmetic: unit cases for the number-theoretic
+   helpers the analysis leans on (floor/ceil/fmod at boundaries) and
+   qcheck laws for the field operations. *)
+
+module Q = Rational
+
+let q = Q.of_decimal_string
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+(* --- construction and printing --- *)
+
+let test_make_normalises () =
+  check_q "6/4 = 3/2" (Q.make 3 2) (Q.make 6 4);
+  check_q "-6/4 = -3/2" (Q.make (-3) 2) (Q.make 6 (-4));
+  check_q "0/7 = 0" Q.zero (Q.make 0 7);
+  Alcotest.check_raises "den 0" Q.Division_by_zero (fun () ->
+      ignore (Q.make 1 0))
+
+let test_of_decimal_string () =
+  check_q "int" (Q.of_int 12) (q "12");
+  check_q "negative int" (Q.of_int (-3)) (q "-3");
+  check_q "decimal" (Q.make 4 5) (q "0.8");
+  check_q "decimal 2" (Q.make 13 4) (q "3.25");
+  check_q "negative decimal" (Q.make (-1) 4) (q "-0.25");
+  check_q "fraction" (Q.make 2 5) (q "2/5");
+  check_q "fraction negative" (Q.make (-2) 5) (q "-2/5");
+  check_q "no leading digit" (Q.make 1 2) (q ".5");
+  List.iter
+    (fun s ->
+      match q s with
+      | _ -> Alcotest.failf "%S should not parse" s
+      | exception Invalid_argument _ -> ())
+    [ ""; "abc"; "1/"; "/2"; "1.2.3"; "--3" ]
+
+let test_to_string () =
+  Alcotest.(check string) "int" "5" (Q.to_string (Q.of_int 5));
+  Alcotest.(check string) "frac" "-3/4" (Q.to_string (Q.make (-3) 4))
+
+let test_pp_decimal () =
+  let s x = Format.asprintf "%a" Q.pp_decimal x in
+  Alcotest.(check string) "int" "7" (s (Q.of_int 7));
+  Alcotest.(check string) "half" "0.5" (s (Q.make 1 2));
+  Alcotest.(check string) "third rounded" "0.3333" (s (Q.make 1 3));
+  Alcotest.(check string) "two thirds rounded" "0.6667" (s (Q.make 2 3));
+  Alcotest.(check string) "negative" "-2.25" (s (Q.make (-9) 4))
+
+(* --- rounding --- *)
+
+let test_floor_ceil () =
+  Alcotest.(check int) "floor 7/2" 3 (Q.floor (Q.make 7 2));
+  Alcotest.(check int) "floor -1/2" (-1) (Q.floor (Q.make (-1) 2));
+  Alcotest.(check int) "floor -4/2" (-2) (Q.floor (Q.make (-4) 2));
+  Alcotest.(check int) "ceil 7/2" 4 (Q.ceil (Q.make 7 2));
+  Alcotest.(check int) "ceil -1/2" 0 (Q.ceil (Q.make (-1) 2));
+  Alcotest.(check int) "ceil 3" 3 (Q.ceil (Q.of_int 3));
+  (* the boundary that matters for Table 3: (19 + 31) / 50 = 1 exactly *)
+  Alcotest.(check int) "floor (J+phi)/T boundary" 1
+    (Q.floor Q.((of_int 19 + of_int 31) / of_int 50))
+
+let test_fmod () =
+  check_q "19 mod 50" (Q.of_int 19) (Q.fmod (Q.of_int 19) (Q.of_int 50));
+  check_q "50 mod 50" Q.zero (Q.fmod (Q.of_int 50) (Q.of_int 50));
+  check_q "-3 mod 50" (Q.of_int 47) (Q.fmod (Q.of_int (-3)) (Q.of_int 50));
+  check_q "7/2 mod 3/2" (Q.make 1 2) (Q.fmod (Q.make 7 2) (Q.make 3 2));
+  Alcotest.check_raises "mod 0" Q.Division_by_zero (fun () ->
+      ignore (Q.fmod Q.one Q.zero))
+
+let test_gcd_lcm () =
+  check_q "gcd ints" (Q.of_int 6) (Q.gcd_q (Q.of_int 12) (Q.of_int 18));
+  check_q "gcd fractions" (Q.make 1 6) (Q.gcd_q (Q.make 1 2) (Q.make 1 3));
+  check_q "gcd with zero" (Q.make 3 4) (Q.gcd_q Q.zero (Q.make 3 4));
+  check_q "lcm ints" (Q.of_int 36) (Q.lcm_q (Q.of_int 12) (Q.of_int 18));
+  check_q "lcm fractions" Q.one (Q.lcm_q (Q.make 1 2) (Q.make 1 3));
+  check_q "lcm mixed" (Q.of_int 15) (Q.lcm_q (Q.of_int 5) (Q.make 15 2));
+  Alcotest.check_raises "lcm with zero" Q.Division_by_zero (fun () ->
+      ignore (Q.lcm_q Q.zero Q.one))
+
+let test_overflow_detected () =
+  let big = Q.of_int max_int in
+  Alcotest.check_raises "add overflow" Q.Overflow (fun () ->
+      ignore (Q.add big big));
+  Alcotest.check_raises "mul overflow" Q.Overflow (fun () ->
+      ignore (Q.mul big (Q.of_int 2)))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div" Q.Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero));
+  Alcotest.check_raises "inv" Q.Division_by_zero (fun () ->
+      ignore (Q.inv Q.zero))
+
+(* --- qcheck laws --- *)
+
+let rational_gen =
+  QCheck.Gen.(
+    map2
+      (fun num den -> Q.make num (1 + abs den))
+      (int_range (-10_000) 10_000)
+      (int_range 0 999))
+
+let arb_rational =
+  QCheck.make rational_gen ~print:(fun x -> Q.to_string x)
+
+let prop name count arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb law)
+
+let laws =
+  [
+    prop "add commutative" 500
+      (QCheck.pair arb_rational arb_rational)
+      (fun (a, b) -> Q.equal (Q.add a b) (Q.add b a));
+    prop "add associative" 500
+      (QCheck.triple arb_rational arb_rational arb_rational)
+      (fun (a, b, c) -> Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c)));
+    prop "mul distributes" 500
+      (QCheck.triple arb_rational arb_rational arb_rational)
+      (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "sub inverse" 500
+      (QCheck.pair arb_rational arb_rational)
+      (fun (a, b) -> Q.equal (Q.add (Q.sub a b) b) a);
+    prop "compare antisymmetric" 500
+      (QCheck.pair arb_rational arb_rational)
+      (fun (a, b) -> Q.compare a b = -Q.compare b a);
+    prop "compare consistent with sub" 500
+      (QCheck.pair arb_rational arb_rational)
+      (fun (a, b) -> Q.compare a b = Q.sign (Q.sub a b));
+    prop "floor <= x < floor+1" 500 arb_rational (fun x ->
+        let f = Q.of_int (Q.floor x) in
+        Q.(f <= x) && Q.(x < Q.add f Q.one));
+    prop "ceil is -floor(-x)" 500 arb_rational (fun x ->
+        Q.ceil x = -Q.floor (Q.neg x));
+    prop "fmod in [0, y)" 500
+      (QCheck.pair arb_rational arb_rational)
+      (fun (x, y) ->
+        let y = Q.add (Q.abs y) Q.one in
+        let m = Q.fmod x y in
+        Q.(m >= Q.zero) && Q.(m < y));
+    prop "fmod consistent" 500
+      (QCheck.pair arb_rational arb_rational)
+      (fun (x, y) ->
+        let y = Q.add (Q.abs y) Q.one in
+        let m = Q.fmod x y in
+        let k = Q.floor (Q.div x y) in
+        Q.equal x (Q.add (Q.mul y (Q.of_int k)) m));
+    prop "to_string round-trips" 500 arb_rational (fun x ->
+        Q.equal x (Q.of_decimal_string (Q.to_string x)));
+    prop "mul_int matches mul" 500
+      (QCheck.pair arb_rational QCheck.small_int)
+      (fun (x, n) -> Q.equal (Q.mul_int x n) (Q.mul x (Q.of_int n)));
+    prop "lcm is a common integer multiple" 300
+      (QCheck.pair arb_rational arb_rational)
+      (fun (x, y) ->
+        let x = Q.add (Q.abs x) Q.one and y = Q.add (Q.abs y) Q.one in
+        let l = Q.lcm_q x y in
+        Q.is_integer (Q.div l x) && Q.is_integer (Q.div l y));
+    prop "gcd divides both into integers" 300
+      (QCheck.pair arb_rational arb_rational)
+      (fun (x, y) ->
+        let x = Q.add (Q.abs x) Q.one and y = Q.add (Q.abs y) Q.one in
+        let g = Q.gcd_q x y in
+        Q.is_integer (Q.div x g) && Q.is_integer (Q.div y g));
+  ]
+
+let () =
+  Alcotest.run "rational"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make normalises" `Quick test_make_normalises;
+          Alcotest.test_case "of_decimal_string" `Quick test_of_decimal_string;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+          Alcotest.test_case "pp_decimal" `Quick test_pp_decimal;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "fmod" `Quick test_fmod;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "overflow detected" `Quick test_overflow_detected;
+          Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+        ] );
+      ("laws", laws);
+    ]

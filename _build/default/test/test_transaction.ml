@@ -1,0 +1,302 @@
+(* Transaction derivation (§2.4): thread flattening through bindings,
+   message-task insertion, sporadic transactions from environment-driven
+   methods. *)
+
+module Q = Rational
+module LB = Platform.Linear_bound
+module R = Platform.Resource
+module M = Component.Method_sig
+module Th = Component.Thread
+module Comp = Component.Comp
+module A = Component.Assembly
+module Task = Transaction.Task
+module Txn = Transaction.Txn
+module Sys_ = Transaction.System
+module Derive = Transaction.Derive
+
+let q = Q.of_decimal_string
+
+let expect_invalid msg f =
+  match f () with
+  | _ -> Alcotest.fail (msg ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+(* --- Task and Txn constructors --- *)
+
+let mk_task ?(name = "t") ?(wcet = "1") ?(bcet = "1") ?(resource = 0) ?(priority = 1) () =
+  Task.make ~name ~wcet:(q wcet) ~bcet:(q bcet) ~resource ~priority ()
+
+let test_task_validation () =
+  expect_invalid "wcet 0" (fun () -> mk_task ~wcet:"0" ~bcet:"0" ());
+  expect_invalid "bcet > wcet" (fun () -> mk_task ~wcet:"1" ~bcet:"2" ());
+  expect_invalid "negative resource" (fun () -> mk_task ~resource:(-1) ());
+  expect_invalid "priority 0" (fun () -> mk_task ~priority:0 ())
+
+let test_txn_accessors () =
+  let tx =
+    Txn.make ~name:"g" ~period:(q "10") ~deadline:(q "10")
+      [ mk_task ~name:"a" ~resource:0 (); mk_task ~name:"b" ~wcet:"2" ~bcet:"1" ~resource:1 () ]
+  in
+  Alcotest.(check int) "length" 2 (Txn.length tx);
+  Alcotest.(check string) "task name" "b" (Txn.task tx 1).Task.name;
+  Alcotest.(check string) "demand on 1" "2" (Q.to_string (Txn.demand_on tx 1));
+  Alcotest.(check string) "utilization on 1" "1/5"
+    (Q.to_string (Txn.utilization_on tx 1));
+  expect_invalid "index range" (fun () -> Txn.task tx 2);
+  expect_invalid "duplicate task names" (fun () ->
+      Txn.make ~name:"g" ~period:(q "10") ~deadline:(q "10")
+        [ mk_task ~name:"a" (); mk_task ~name:"a" () ])
+
+let test_system_validation () =
+  let r = R.full ~name:"cpu" () in
+  expect_invalid "resource out of range" (fun () ->
+      Sys_.make ~resources:[ r ]
+        [
+          Txn.make ~name:"g" ~period:(q "10") ~deadline:(q "10")
+            [ mk_task ~resource:3 () ];
+        ]);
+  expect_invalid "duplicate txn" (fun () ->
+      let tx () =
+        Txn.make ~name:"g" ~period:(q "10") ~deadline:(q "10") [ mk_task () ]
+      in
+      Sys_.make ~resources:[ r ] [ tx (); tx () ])
+
+let test_over_utilized () =
+  let r = R.of_bound ~name:"slow" (LB.make ~alpha:(q "0.1") ~delta:Q.zero ~beta:Q.zero) in
+  let sys =
+    Sys_.make ~resources:[ r ]
+      [
+        Txn.make ~name:"g" ~period:(q "10") ~deadline:(q "10")
+          [ mk_task ~wcet:"2" ~bcet:"1" () ];
+      ]
+  in
+  match Sys_.over_utilized sys with
+  | [ (0, u, a) ] ->
+      Alcotest.(check string) "utilization" "1/5" (Q.to_string u);
+      Alcotest.(check string) "alpha" "1/10" (Q.to_string a)
+  | other -> Alcotest.failf "expected one overload, got %d" (List.length other)
+
+let test_hyperperiod () =
+  let sys = Hsched.Paper_example.system () in
+  (* periods 50, 70, 15, 15: lcm = 1050 *)
+  Alcotest.(check string) "hyperperiod" "1050"
+    (Q.to_string (Sys_.hyperperiod sys))
+
+(* --- derivation on the paper example --- *)
+
+let paper_system () = Hsched.Paper_example.system ()
+
+let test_paper_structure () =
+  let sys = paper_system () in
+  Alcotest.(check int) "4 transactions" 4 (Sys_.n_transactions sys);
+  Alcotest.(check int) "3 platforms" 3 (Sys_.n_resources sys);
+  let g1 = sys.Sys_.transactions.(0) in
+  Alcotest.(check string) "Γ1 name" "Integrator.Thread2" g1.Txn.name;
+  Alcotest.(check int) "Γ1 has 4 tasks" 4 (Txn.length g1);
+  let names = Array.to_list (Array.map (fun (t : Task.t) -> t.Task.name) g1.Txn.tasks) in
+  Alcotest.(check (list string)) "Γ1 order (the paper's τ1,1..τ1,4)"
+    [
+      "Integrator.Thread2.init";
+      "Sensor1.Thread2.serve";
+      "Sensor2.Thread2.serve";
+      "Integrator.Thread2.compute";
+    ]
+    names;
+  (* platform mapping (Figure 5): init/compute on P3 (index 2), the two
+     serves on P1/P2 (indices 0/1) *)
+  let resources = Array.to_list (Array.map (fun (t : Task.t) -> t.Task.resource) g1.Txn.tasks) in
+  Alcotest.(check (list int)) "mapping" [ 2; 0; 1; 2 ] resources;
+  (* priorities from Table 1, including the compute override *)
+  let prios = Array.to_list (Array.map (fun (t : Task.t) -> t.Task.priority) g1.Txn.tasks) in
+  Alcotest.(check (list int)) "priorities" [ 2; 1; 1; 3 ] prios
+
+let test_paper_sporadic () =
+  let sys = paper_system () in
+  (* Integrator.read() is driven by the environment: T = D = MIT = 70 *)
+  match Sys_.find_transaction sys "Integrator.Thread1" with
+  | None -> Alcotest.fail "missing sporadic transaction"
+  | Some i ->
+      let tx = sys.Sys_.transactions.(i) in
+      Alcotest.(check string) "period from MIT" "70" (Q.to_string tx.Txn.period);
+      Alcotest.(check string) "deadline" "70" (Q.to_string tx.Txn.deadline);
+      Alcotest.(check int) "one task" 1 (Txn.length tx);
+      Alcotest.(check string) "C" "7" (Q.to_string (Txn.task tx 0).Task.wcet)
+
+let test_paper_wcets () =
+  let sys = paper_system () in
+  let g1 = sys.Sys_.transactions.(0) in
+  Array.iter
+    (fun (t : Task.t) ->
+      Alcotest.(check string) (t.Task.name ^ " wcet") "1" (Q.to_string t.Task.wcet);
+      Alcotest.(check string) (t.Task.name ^ " bcet") "4/5" (Q.to_string t.Task.bcet))
+    g1.Txn.tasks
+
+(* --- cross-host derivation with messages --- *)
+
+let distributed_assembly () =
+  let client =
+    Comp.make ~name:"Client" ~provided:[]
+      ~required:[ M.make ~name:"go" ~mit:(q "20") ]
+      [
+        Th.make ~name:"Main"
+          ~activation:
+            (Th.Periodic { period = q "20"; deadline = q "20"; jitter = Q.zero })
+          ~priority:2
+          [
+            Th.Task
+              { name = "pre"; wcet = q "1"; bcet = q "1"; blocking = None; priority = None };
+            Th.Call { method_name = "go" };
+            Th.Task
+              { name = "post"; wcet = q "1"; bcet = q "1"; blocking = None; priority = None };
+          ];
+      ]
+  in
+  let server =
+    Comp.make ~name:"Server"
+      ~provided:[ M.make ~name:"serve" ~mit:(q "20") ]
+      ~required:[]
+      [
+        Th.make ~name:"H"
+          ~activation:(Th.Realizes { method_name = "serve"; deadline = None })
+          ~priority:1
+          [ Th.Task { name = "work"; wcet = q "2"; bcet = q "1"; blocking = None; priority = None } ];
+      ]
+  in
+  A.make ~classes:[ client; server ]
+    ~resources:
+      [
+        R.of_bound ~host:"n1" ~name:"C1" LB.full;
+        R.of_bound ~host:"n2" ~name:"C2" LB.full;
+        R.of_bound ~kind:R.Network ~host:"wire" ~name:"NET"
+          (LB.make ~alpha:(q "0.5") ~delta:(q "1") ~beta:Q.zero);
+      ]
+    ~instances:[ { A.iname = "c"; cls = "Client" }; { A.iname = "s"; cls = "Server" } ]
+    ~bindings:
+      [
+        {
+          A.caller = "c";
+          required = "go";
+          callee = "s";
+          provided = "serve";
+          via =
+            Some
+              {
+                A.network = "NET";
+                priority = 3;
+                request = (q "0.5", q "0.25");
+                reply = Some (q "0.5", q "0.25");
+              };
+        };
+      ]
+    ~allocation:[ ("c", "C1"); ("s", "C2") ]
+
+let test_messages_inserted () =
+  let sys = Derive.derive_exn (distributed_assembly ()) in
+  Alcotest.(check int) "one transaction" 1 (Sys_.n_transactions sys);
+  let tx = sys.Sys_.transactions.(0) in
+  (* pre, request, work, reply, post *)
+  Alcotest.(check int) "5 tasks" 5 (Txn.length tx);
+  let kinds =
+    Array.to_list
+      (Array.map
+         (fun (t : Task.t) ->
+           match t.Task.source with
+           | Task.Code _ -> "code"
+           | Task.Message { direction = `Request; _ } -> "req"
+           | Task.Message { direction = `Reply; _ } -> "rep"
+           | Task.Synthetic _ -> "synthetic")
+         tx.Txn.tasks)
+  in
+  Alcotest.(check (list string)) "task kinds" [ "code"; "req"; "code"; "rep"; "code" ] kinds;
+  (* message tasks sit on the network platform with the link priority *)
+  let req = Txn.task tx 1 in
+  Alcotest.(check int) "request resource" 2 req.Task.resource;
+  Alcotest.(check int) "request priority" 3 req.Task.priority;
+  Alcotest.(check string) "request wcet" "1/2" (Q.to_string req.Task.wcet)
+
+let test_repeated_call_names () =
+  (* calling the same method twice splices its task twice with
+     disambiguated names *)
+  let client =
+    Comp.make ~name:"Client" ~provided:[]
+      ~required:[ M.make ~name:"go" ~mit:(q "10") ]
+      [
+        Th.make ~name:"Main"
+          ~activation:
+            (Th.Periodic { period = q "20"; deadline = q "20"; jitter = Q.zero })
+          ~priority:1
+          [ Th.Call { method_name = "go" }; Th.Call { method_name = "go" } ];
+      ]
+  in
+  let server =
+    Comp.make ~name:"Server"
+      ~provided:[ M.make ~name:"serve" ~mit:(q "10") ]
+      ~required:[]
+      [
+        Th.make ~name:"H"
+          ~activation:(Th.Realizes { method_name = "serve"; deadline = None })
+          ~priority:1
+          [ Th.Task { name = "work"; wcet = q "1"; bcet = q "1"; blocking = None; priority = None } ];
+      ]
+  in
+  let asm =
+    A.make ~classes:[ client; server ]
+      ~resources:[ R.full ~name:"C1" () ]
+      ~instances:[ { A.iname = "c"; cls = "Client" }; { A.iname = "s"; cls = "Server" } ]
+      ~bindings:
+        [ { A.caller = "c"; required = "go"; callee = "s"; provided = "serve"; via = None } ]
+      ~allocation:[ ("c", "C1"); ("s", "C1") ]
+  in
+  let sys = Derive.derive_exn asm in
+  let tx = sys.Sys_.transactions.(0) in
+  let names = Array.to_list (Array.map (fun (t : Task.t) -> t.Task.name) tx.Txn.tasks) in
+  Alcotest.(check (list string)) "disambiguated"
+    [ "s.H.work"; "s.H.work@2" ] names
+
+let test_derive_rejects_invalid () =
+  let asm = distributed_assembly () in
+  let broken = { asm with A.bindings = [] } in
+  match Derive.derive broken with
+  | Ok _ -> Alcotest.fail "expected validation failure"
+  | Error es -> Alcotest.(check bool) "has diagnostics" true (es <> [])
+
+let test_chain_assembly_generator () =
+  (* generated assemblies always validate and derive *)
+  for seed = 1 to 8 do
+    let asm =
+      Workload.Gen.chain_assembly ~seed ~n_chains:2 ~chain_length:3
+        ~cross_host:(seed mod 2 = 0) ()
+    in
+    match Derive.derive asm with
+    | Ok sys ->
+        Alcotest.(check bool) "has transactions" true (Sys_.n_transactions sys > 0)
+    | Error es -> Alcotest.failf "seed %d: %s" seed (String.concat "; " es)
+  done
+
+let () =
+  Alcotest.run "transaction"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "task validation" `Quick test_task_validation;
+          Alcotest.test_case "txn accessors" `Quick test_txn_accessors;
+          Alcotest.test_case "system validation" `Quick test_system_validation;
+          Alcotest.test_case "over-utilization" `Quick test_over_utilized;
+          Alcotest.test_case "hyperperiod" `Quick test_hyperperiod;
+        ] );
+      ( "paper example",
+        [
+          Alcotest.test_case "structure (Figure 5)" `Quick test_paper_structure;
+          Alcotest.test_case "sporadic from MIT" `Quick test_paper_sporadic;
+          Alcotest.test_case "execution demands (Table 1)" `Quick test_paper_wcets;
+        ] );
+      ( "derivation",
+        [
+          Alcotest.test_case "messages inserted" `Quick test_messages_inserted;
+          Alcotest.test_case "repeated calls renamed" `Quick test_repeated_call_names;
+          Alcotest.test_case "invalid assemblies rejected" `Quick
+            test_derive_rejects_invalid;
+          Alcotest.test_case "generated chains derive" `Quick
+            test_chain_assembly_generator;
+        ] );
+    ]
