@@ -1,0 +1,24 @@
+# Dev loop. `make check` is what a PR must keep green.
+
+.PHONY: all build test doc bench clean check
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# @doc needs odoc; without it the alias is empty and this is a no-op,
+# so `make check` stays runnable on minimal switches.
+doc:
+	dune build @doc
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+
+check: build test doc

@@ -578,6 +578,112 @@ let best_case_ablation () =
     "(the refined lower bound counts phase-independent guaranteed@.     interference; it tightens the jitter bounds J = R - Rbest on loaded@.     platforms, while the paper's simple bound remains the sound default)@."
 
 (* ------------------------------------------------------------------ *)
+(* X9: parallel analysis engine — wall-clock scaling vs domain count   *)
+(* ------------------------------------------------------------------ *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  ((Unix.gettimeofday () -. t0) *. 1000., r)
+
+let parallel_scaling () =
+  header "X9 — parallel analysis engine: scaling and batch admission";
+  Format.printf
+    "host offers %d domain(s); speedup beyond that count is not expected@."
+    (Domain.recommended_domain_count ());
+  (* an 8-transaction workload on two shared platforms: interference
+     concentrates, so the exact scenario product (Eq. 12) dominates and
+     is exactly the region the pool chunks *)
+  let spec =
+    {
+      Workload.Gen.default_spec with
+      Workload.Gen.n_txns = 8;
+      n_resources = 2;
+      max_tasks_per_txn = 3;
+    }
+  in
+  let sys = Workload.Gen.system ~seed:3 spec in
+  let m = Model.of_system sys in
+  let scenarios =
+    let total = ref 0 in
+    Array.iteri
+      (fun a (tx : Model.txn) ->
+        Array.iteri
+          (fun b _ ->
+            total := !total + Analysis.Rta.scenario_count m Analysis.Params.exact ~a ~b)
+          tx.Model.tasks)
+      m.Model.txns;
+    !total
+  in
+  Format.printf "workload: seed 3, 8 txns on 2 platforms, %d exact scenarios@."
+    scenarios;
+  Format.printf "%6s %12s %9s %10s@." "jobs" "wall (ms)" "speedup" "identical";
+  let baseline = ref Float.nan in
+  let reference = ref None in
+  let all_identical = ref true in
+  List.iter
+    (fun jobs ->
+      let ms, report =
+        Parallel.Pool.with_pool ~jobs (fun pool ->
+            wall (fun () ->
+                Analysis.Holistic.analyze ~params:Analysis.Params.exact ~pool m))
+      in
+      if Float.is_nan !baseline then baseline := ms;
+      (* Report.t is pure data (exact rationals, ints, bools), so
+         structural equality is the bit-identical check the engine
+         promises *)
+      let identical =
+        match !reference with
+        | None ->
+            reference := Some report;
+            true
+        | Some r -> r = report
+      in
+      if not identical then all_identical := false;
+      Format.printf "%6d %12.1f %9.2f %10s@." jobs ms (!baseline /. ms)
+        (if identical then "yes" else "NO"))
+    [ 1; 2; 4 ];
+  Format.printf "determinism across job counts: %s@."
+    (if !all_identical then "PASS" else "FAIL");
+  (* batch admission: the workload sweep itself parallelised — one
+     seeded system per pool slot, admitted set compared across pools *)
+  let seeds = List.init 24 (fun i -> i + 1) in
+  let admitted jobs =
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        wall (fun () ->
+            Parallel.Pool.map_list pool
+              (fun seed ->
+                let sys = Workload.Gen.system ~seed Workload.Gen.default_spec in
+                let report = Analysis.Holistic.analyze (Model.of_system sys) in
+                (seed, report.Report.schedulable))
+              seeds))
+  in
+  let seq_ms, seq = admitted 1 in
+  let par_ms, par = admitted 4 in
+  let admitted_of l = List.filter_map (fun (s, ok) -> if ok then Some s else None) l in
+  Format.printf
+    "batch admission, 24 seeds: %d admitted; jobs 1: %.1f ms, jobs 4: %.1f ms@."
+    (List.length (admitted_of seq))
+    seq_ms par_ms;
+  Format.printf "admitted sets identical across job counts: %s@."
+    (if seq = par then "PASS" else "FAIL");
+  (* memoization ablation: same report with the cross-sweep interference
+     memo on (the default) and off *)
+  let memo_ms, with_memo =
+    wall (fun () -> Analysis.Holistic.analyze ~params:Analysis.Params.exact m)
+  in
+  let plain_ms, without_memo =
+    wall (fun () ->
+        Analysis.Holistic.analyze
+          ~params:{ Analysis.Params.exact with Analysis.Params.memoize = false }
+          m)
+  in
+  Format.printf
+    "interference memo (sequential): on %.1f ms, off %.1f ms, reports equal: %s@."
+    memo_ms plain_ms
+    (if with_memo = without_memo then "PASS" else "FAIL")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings: one Test.make per paper artefact                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -680,6 +786,7 @@ let sections =
     ("fp_vs_edf", fp_vs_edf);
     ("sensitivity", sensitivity);
     ("scalability", scalability);
+    ("parallel_scaling", parallel_scaling);
     ("best_case_ablation", best_case_ablation);
     ("timings", timings);
   ]

@@ -53,6 +53,24 @@ let exact_flag =
 let params_of_exact exact =
   if exact then Analysis.Params.exact else Analysis.Params.default
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run the analysis engine on $(docv) parallel domains ($(b,0) = all \
+           cores, $(b,1) = sequential).  Results are bit-identical for every \
+           job count; see docs/PERFORMANCE.md for when parallelism helps.")
+
+(* Every subcommand creates its pool around the whole run, so design
+   sweeps reuse one set of domains across all their analyses. *)
+let with_jobs jobs f =
+  if jobs < 0 then begin
+    prerr_endline "hsched: --jobs must be >= 0";
+    exit 1
+  end;
+  Parallel.Pool.with_pool ~jobs f
+
 (* --- validate --- *)
 
 let validate_cmd =
@@ -99,10 +117,13 @@ let csv_flag =
         ~doc:"Emit machine-readable CSV (one row per task) instead of the table.")
 
 let analyze_cmd =
-  let run file exact history csv =
+  let run file exact history csv jobs =
     let sys = or_die (load_system file) in
     let m = Analysis.Model.of_system sys in
-    let report = Analysis.Holistic.analyze ~params:(params_of_exact exact) m in
+    let report =
+      with_jobs jobs @@ fun pool ->
+      Analysis.Holistic.analyze ~params:(params_of_exact exact) ~pool m
+    in
     let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
     if csv then begin
       print_endline
@@ -150,7 +171,7 @@ let analyze_cmd =
        ~doc:
          "Holistic schedulability analysis on abstract platforms (Section 3).  \
           Exits 0 when schedulable, 2 when not.")
-    Term.(const run $ file_arg $ exact_flag $ history_arg $ csv_flag)
+    Term.(const run $ file_arg $ exact_flag $ history_arg $ csv_flag $ jobs_arg)
 
 (* --- simulate --- *)
 
@@ -249,11 +270,12 @@ let simulate_cmd =
 (* --- sensitivity --- *)
 
 let sensitivity_cmd =
-  let run file precision =
+  let run file precision jobs =
     let sys = or_die (load_system file) in
+    with_jobs jobs @@ fun pool ->
     Format.printf "per-task WCET scaling margins (most critical first):@.%a@."
       Design.Sensitivity.pp_margins
-      (Design.Sensitivity.all_task_margins ~precision sys);
+      (Design.Sensitivity.all_task_margins ~pool ~precision sys);
     Format.printf "@.end-to-end slack per transaction:@.";
     List.iter
       (fun (name, response, deadline) ->
@@ -263,7 +285,7 @@ let sensitivity_cmd =
         | Analysis.Report.Finite r ->
             Format.printf "  %-28s R = %a, D = %a, slack = %a@." name
               Q.pp_decimal r Q.pp_decimal deadline Q.pp_decimal Q.(deadline - r))
-      (Design.Sensitivity.transaction_slack sys);
+      (Design.Sensitivity.transaction_slack ~pool sys);
     0
   in
   let precision_arg =
@@ -274,7 +296,7 @@ let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Per-task growth margins and per-transaction slack.")
-    Term.(const run $ file_arg $ precision_arg)
+    Term.(const run $ file_arg $ precision_arg $ jobs_arg)
 
 (* --- design --- *)
 
@@ -295,8 +317,9 @@ let server_period_arg =
            delay and burstiness fixed.")
 
 let design_cmd =
-  let run file precision server_period =
+  let run file precision server_period jobs =
     let sys = or_die (load_system file) in
+    with_jobs jobs @@ fun pool ->
     let resources = sys.Transaction.System.resources in
     let families =
       match server_period with
@@ -315,7 +338,7 @@ let design_cmd =
                 ~beta:b.Platform.Linear_bound.beta)
             resources
     in
-    (match Design.Param_search.balance_rates ~precision sys ~families with
+    (match Design.Param_search.balance_rates ~pool ~precision sys ~families with
     | None ->
         print_endline "not schedulable even at full rates";
         exit 2
@@ -330,7 +353,7 @@ let design_cmd =
         Format.printf "  Σα = %a@." Q.pp_decimal
           (Array.fold_left Q.add Q.zero rates));
     Format.printf "breakdown utilization: %a@." Q.pp_decimal
-      (Design.Param_search.breakdown_utilization ~precision sys);
+      (Design.Param_search.breakdown_utilization ~pool ~precision sys);
     0
   in
   Cmd.v
@@ -338,7 +361,7 @@ let design_cmd =
        ~doc:
          "Search minimal platform rates keeping the system schedulable (the \
           optimisation of the paper's Section 5).")
-    Term.(const run $ file_arg $ precision_arg $ server_period_arg)
+    Term.(const run $ file_arg $ precision_arg $ server_period_arg $ jobs_arg)
 
 (* --- format --- *)
 

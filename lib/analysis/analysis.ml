@@ -8,6 +8,7 @@ module Model = Model
 module Report = Report
 module Busy = Busy
 module Interference = Interference
+module Memo = Memo
 module Rta = Rta
 module Best_case = Best_case
 module Holistic = Holistic

@@ -15,7 +15,13 @@ let offsets_of m rbest =
         tx.Model.tasks)
     m.Model.txns
 
-let analyze ?(params = Params.default) m =
+let analyze ?(params = Params.default) ?pool m =
+  let pool = Option.value pool ~default:Parallel.Pool.sequential in
+  let memo =
+    if params.Params.memoize then
+      Some (Memo.create m ~slots:(Parallel.Pool.jobs pool))
+    else None
+  in
   let n = Model.n_txns m in
   let zero_matrix () =
     Array.init n (fun a -> Array.make (Model.n_tasks m a) Q.zero)
@@ -39,7 +45,7 @@ let analyze ?(params = Params.default) m =
     let resp =
       Array.init n (fun a ->
           Array.init (Model.n_tasks m a) (fun b ->
-              Rta.response_time m params ~phi:!phi ~jit ~a ~b))
+              Rta.response_time ~pool ?memo m params ~phi:!phi ~jit ~a ~b))
     in
     responses := resp;
     history := { Report.jitters = copy_matrix jit; responses = resp } :: !history;
@@ -118,8 +124,8 @@ let analyze ?(params = Params.default) m =
     schedulable;
   }
 
-let analyze_system ?params sys = analyze ?params (Model.of_system sys)
+let analyze_system ?params ?pool sys = analyze ?params ?pool (Model.of_system sys)
 
-let response_times ?params m =
-  (analyze ?params m).Report.results
+let response_times ?params ?pool m =
+  (analyze ?params ?pool m).Report.results
   |> Array.map (Array.map (fun r -> r.Report.response))

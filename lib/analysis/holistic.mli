@@ -9,16 +9,31 @@
     (Eq. 18), Jacobi style, until the jitter vector repeats.  Response
     times grow monotonically with jitters, so the iteration converges to
     the least fixed point or diverges — divergence and iteration-cap
-    overruns are reported as non-schedulable. *)
+    overruns are reported as non-schedulable.
 
-val analyze : ?params:Params.t -> Model.t -> Report.t
+    The outer iteration itself is inherently sequential (each sweep
+    consumes the previous sweep's responses), but within a sweep the
+    interference terms are memoised across sweeps ({!Memo}; off via
+    {!Params.t.memoize}) and the exact scenario enumeration is spread
+    over a domain pool when one is supplied.  Neither changes the least
+    fixed point: memoised values are exact rationals a recomputation
+    would reproduce bit-for-bit, and the parallel reduction is a
+    maximum folded in a fixed slot order — see the memoisation section
+    of docs/THEORY.md for the full argument and docs/PERFORMANCE.md for
+    when parallelism pays. *)
+
+val analyze : ?params:Params.t -> ?pool:Parallel.Pool.t -> Model.t -> Report.t
 (** Full analysis.  The returned report carries the per-iteration history
     (the paper's Table 3) and the final verdict: schedulable iff the
     iteration converged and the last task of every transaction meets the
-    transaction deadline. *)
+    transaction deadline.  [pool] (default {!Parallel.Pool.sequential})
+    parallelises the exact scenario enumeration of each response-time
+    computation; reports are bit-identical for every job count. *)
 
-val analyze_system : ?params:Params.t -> Transaction.System.t -> Report.t
+val analyze_system :
+  ?params:Params.t -> ?pool:Parallel.Pool.t -> Transaction.System.t -> Report.t
 (** Convenience: {!Model.of_system} followed by {!analyze}. *)
 
-val response_times : ?params:Params.t -> Model.t -> Report.bound array array
+val response_times :
+  ?params:Params.t -> ?pool:Parallel.Pool.t -> Model.t -> Report.bound array array
 (** Final worst-case response times only. *)

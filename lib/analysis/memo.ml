@@ -1,0 +1,103 @@
+module Q = Rational
+
+module QTbl = Hashtbl.Make (struct
+  type t = Q.t
+
+  let equal = Q.equal
+  let hash = Q.hash
+end)
+
+(* One entry caches the demand curve of transaction [i] initiated by
+   τ_{i,k} against a fixed task under analysis: (t -> W^k_i) samples,
+   valid as long as the jitter and offset rows of transaction [i] still
+   hold the values the samples were computed under. *)
+type entry = {
+  mutable jit_sig : Q.t array;
+  mutable phi_sig : Q.t array;
+  values : Q.t QTbl.t;
+}
+
+type cache = {
+  entries : (int * int, entry) Hashtbl.t;  (* keyed by (i, k) *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
+type t = { caches : cache array array array (* [a].[b].[slot] *) }
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+let create m ~slots =
+  if slots < 1 then invalid_arg "Memo.create: slots < 1";
+  let fresh () =
+    { entries = Hashtbl.create 16; hits = 0; misses = 0; invalidations = 0 }
+  in
+  {
+    caches =
+      Array.init (Model.n_txns m) (fun a ->
+          Array.init (Model.n_tasks m a) (fun _ ->
+              Array.init slots (fun _ -> fresh ())));
+  }
+
+let cache t ~a ~b ~slot = t.caches.(a).(b).(slot)
+
+let rows_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (Q.equal x b.(i)) then ok := false) a;
+  !ok
+
+let entry_for c ~i ~k ~jit_row ~phi_row =
+  match Hashtbl.find_opt c.entries (i, k) with
+  | Some e ->
+      if not (rows_equal e.jit_sig jit_row && rows_equal e.phi_sig phi_row)
+      then begin
+        QTbl.reset e.values;
+        e.jit_sig <- Array.copy jit_row;
+        e.phi_sig <- Array.copy phi_row;
+        c.invalidations <- c.invalidations + 1
+      end;
+      e
+  | None ->
+      let e =
+        {
+          jit_sig = Array.copy jit_row;
+          phi_sig = Array.copy phi_row;
+          values = QTbl.create 32;
+        }
+      in
+      Hashtbl.add c.entries (i, k) e;
+      e
+
+let contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t =
+  let e = entry_for c ~i ~k ~jit_row:jit.(i) ~phi_row:phi.(i) in
+  match QTbl.find_opt e.values t with
+  | Some v ->
+      c.hits <- c.hits + 1;
+      v
+  | None ->
+      c.misses <- c.misses + 1;
+      let v = Interference.contribution ~hp_list m ~phi ~jit ~i ~k ~a ~b ~t in
+      QTbl.add e.values t v;
+      v
+
+let w_star c m ~phi ~jit ~i ~hp_list ~a ~b ~t =
+  List.fold_left
+    (fun acc k -> Q.max acc (contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t))
+    Q.zero hp_list
+
+let stats t =
+  let acc = ref { hits = 0; misses = 0; invalidations = 0 } in
+  Array.iter
+    (Array.iter
+       (Array.iter (fun (c : cache) ->
+            acc :=
+              {
+                hits = !acc.hits + c.hits;
+                misses = !acc.misses + c.misses;
+                invalidations = !acc.invalidations + c.invalidations;
+              })))
+    t.caches;
+  !acc

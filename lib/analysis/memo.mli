@@ -1,0 +1,70 @@
+(** Memoisation of the interference terms across the Jacobi sweeps of
+    the holistic analysis.
+
+    One outer iteration of {!Holistic.analyze} evaluates the demand
+    functions W{^k}{_i}(τ{_a,b}, t) (Eqs. 7–11, 15, 17) at every point
+    the busy-period fixed points visit; the next sweep re-evaluates most
+    of them with {e identical} arguments, because only some jitter rows
+    changed — transactions whose jitters already converged contribute
+    exactly the same demand curves.  For a fixed pair ((a,b), (i,k)) the
+    value of W{^k}{_i}(τ{_a,b}, t) depends on the model constants and on
+    the slices [jit.(i)] and [phi.(i)] only, so a cache entry keyed by
+    [(i, k)] and signed with a copy of those two rows can replay every
+    previously computed [(t, W)] pair for free and is invalidated the
+    moment its row signature changes.  Memoised values are exact
+    rationals that a recomputation would reproduce bit-for-bit, so the
+    memo cannot change the least fixed point — see the memoisation
+    section of docs/THEORY.md for the argument.
+
+    Caches are partitioned per task under analysis and per pool slot
+    ({!Parallel.Pool}): the static slot→chunk mapping of the pool
+    guarantees each cache is only ever touched by one domain per region,
+    so no locking is needed, and entries stay warm across sweeps. *)
+
+type t
+(** Memo state for one {!Holistic.analyze} run. *)
+
+type cache
+(** The caches of one (task under analysis, pool slot) pair. *)
+
+val create : Model.t -> slots:int -> t
+(** Fresh memo for [slots] pool slots (≥ 1). *)
+
+val cache : t -> a:int -> b:int -> slot:int -> cache
+(** The cache task [(a, b)] must use on pool slot [slot]. *)
+
+val contribution :
+  cache ->
+  Model.t ->
+  phi:Rational.t array array ->
+  jit:Rational.t array array ->
+  i:int ->
+  k:int ->
+  hp_list:int list ->
+  a:int ->
+  b:int ->
+  t:Rational.t ->
+  Rational.t
+(** Memoised {!Interference.contribution}: identical value, computed at
+    most once per (jitter/offset row state of transaction [i], [t]). *)
+
+val w_star :
+  cache ->
+  Model.t ->
+  phi:Rational.t array array ->
+  jit:Rational.t array array ->
+  i:int ->
+  hp_list:int list ->
+  a:int ->
+  b:int ->
+  t:Rational.t ->
+  Rational.t
+(** Memoised {!Interference.w_star}, built from the same per-[(i, k)]
+    entries as {!contribution} (the reduced analysis and the exact one
+    share the cache). *)
+
+type stats = { hits : int; misses : int; invalidations : int }
+
+val stats : t -> stats
+(** Aggregate lookup statistics over every cache, for benchmarks and
+    tests.  Read only between parallel regions. *)

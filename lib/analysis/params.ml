@@ -8,6 +8,7 @@ type t = {
   horizon_factor : int;
   max_outer_iterations : int;
   early_exit : bool;
+  memoize : bool;
 }
 
 let default =
@@ -17,6 +18,7 @@ let default =
     horizon_factor = 64;
     max_outer_iterations = 256;
     early_exit = true;
+    memoize = true;
   }
 
 let exact = { default with variant = Exact }

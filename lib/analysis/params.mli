@@ -36,11 +36,17 @@ type t = {
           already decided; the remaining iterations would only refine the
           numbers of a failing system (sometimes very slowly).  Reports
           produced by an early exit carry [converged = false]. *)
+  memoize : bool;
+      (** Cache interference evaluations across the outer Jacobi sweeps
+          ({!Memo}).  Purely an optimisation: memoised values are exact
+          rationals a recomputation would reproduce bit-for-bit, so
+          reports are identical either way (asserted by the test suite);
+          disable only to benchmark the memo itself. *)
 }
 
 val default : t
 (** [Reduced], [Simple], horizon factor 64, at most 256 outer
-    iterations, early exit on. *)
+    iterations, early exit on, memoisation on. *)
 
 val exact : t
 (** [default] with [variant = Exact]. *)

@@ -32,9 +32,12 @@ let scenario_count m params ~a ~b =
         (remote_participants m ~a ~b)
 
 (* Response of task (a,b) within busy periods started by scenario where
-   τ_{a,c} initiates the own transaction and [remote_interference t] sums
-   the other transactions' demand (already scaled to platform time). *)
-let scenario_response m params ~phi ~jit ~a ~b ~c ~remote_interference =
+   τ_{a,c} initiates the own transaction, [own_interference t] is the
+   demand of the own transaction's other tasks, and [remote_interference
+   t] sums the other transactions' demand (already scaled to platform
+   time). *)
+let scenario_response m params ~phi ~jit ~a ~b ~c ~own_interference
+    ~remote_interference =
   let tk = Model.task m a b in
   let tx = m.Model.txns.(a) in
   let ta = tx.Model.period in
@@ -43,10 +46,6 @@ let scenario_response m params ~phi ~jit ~a ~b ~c ~remote_interference =
   let scaled_c = Q.(tk.Model.c / alpha) in
   let horizon = horizon_of m params ~a in
   let ph = Interference.phase m ~phi ~jit ~i:a ~k:c ~j:b in
-  let own_hp = Interference.hp m ~i:a ~a ~b in
-  let own_interference t =
-    Interference.contribution ~hp_list:own_hp m ~phi ~jit ~i:a ~k:c ~a ~b ~t
-  in
   let p0 = 1 - Q.floor Q.((jit.(a).(b) + ph) / ta) in
   let base = Q.(delta + blocking) in
   (* Nominal self activations inside (0, l); clamped at 0 so evaluating
@@ -83,42 +82,82 @@ let scenario_response m params ~phi ~jit ~a ~b ~c ~remote_interference =
       done;
       !best
 
-let response_time m params ~phi ~jit ~a ~b =
-  let result = ref (Report.Finite Q.zero) in
-  let consider ~c ~remote_interference =
-    result :=
-      Report.bound_max !result
-        (scenario_response m params ~phi ~jit ~a ~b ~c ~remote_interference)
+let response_time ?pool ?memo m params ~phi ~jit ~a ~b =
+  let pool = Option.value pool ~default:Parallel.Pool.sequential in
+  let own_hp = Interference.hp m ~i:a ~a ~b in
+  let own = own_hp @ [ b ] in
+  let cache_of slot = Option.map (fun t -> Memo.cache t ~a ~b ~slot) memo in
+  let contribution cache ~i ~k ~hp_list t =
+    match cache with
+    | Some c -> Memo.contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t
+    | None -> Interference.contribution ~hp_list m ~phi ~jit ~i ~k ~a ~b ~t
   in
-  (match params.Params.variant with
+  let best_over_own cache ~remote_interference acc =
+    List.fold_left
+      (fun acc c ->
+        let own_interference t = contribution cache ~i:a ~k:c ~hp_list:own_hp t in
+        Report.bound_max acc
+          (scenario_response m params ~phi ~jit ~a ~b ~c ~own_interference
+             ~remote_interference))
+      acc own
+  in
+  let remotes = remote_participants m ~a ~b in
+  match params.Params.variant with
   | Params.Reduced ->
-      let remotes = remote_participants m ~a ~b in
+      let cache = cache_of 0 in
       let remote_interference t =
         List.fold_left
           (fun acc (i, hp_list) ->
-            Q.(acc + Interference.w_star ~hp_list m ~phi ~jit ~i ~a ~b ~t))
+            let w =
+              match cache with
+              | Some c -> Memo.w_star c m ~phi ~jit ~i ~hp_list ~a ~b ~t
+              | None -> Interference.w_star ~hp_list m ~phi ~jit ~i ~a ~b ~t
+            in
+            Q.(acc + w))
           Q.zero remotes
       in
-      List.iter (fun c -> consider ~c ~remote_interference) (own_choices m ~a ~b)
+      best_over_own cache ~remote_interference (Report.Finite Q.zero)
   | Params.Exact ->
-      let remotes = remote_participants m ~a ~b in
-      (* Depth-first enumeration of the scenario vectors ν (Eq. 12). *)
-      let rec enumerate chosen = function
-        | [] ->
-            let remote_interference t =
-              List.fold_left
-                (fun acc (i, k, hp_list) ->
-                  Q.(
-                    acc
-                    + Interference.contribution ~hp_list m ~phi ~jit ~i ~k ~a ~b
-                        ~t))
-                Q.zero chosen
-            in
-            List.iter
-              (fun c -> consider ~c ~remote_interference)
-              (own_choices m ~a ~b)
-        | (i, hp) :: rest ->
-            List.iter (fun k -> enumerate ((i, k, hp) :: chosen) rest) hp
+      (* The scenario vectors ν (Eq. 12) of the remote transactions form
+         a mixed-radix space of size Π |hp_i|; indexing it lets the
+         domain pool split it into contiguous chunks.  Each slot folds
+         its chunk in index order and the slot maxima are reduced in
+         slot order — with exact rationals the result is bit-identical
+         to the sequential enumeration for any job count. *)
+      let remote_arr =
+        Array.of_list
+          (List.map (fun (i, hp) -> (i, Array.of_list hp, hp)) remotes)
       in
-      enumerate [] remotes);
-  !result
+      let total =
+        Array.fold_left (fun acc (_, ks, _) -> acc * Array.length ks) 1 remote_arr
+      in
+      let best_in ~slot ~lo ~hi =
+        let cache = cache_of slot in
+        let best = ref (Report.Finite Q.zero) in
+        for v = lo to hi - 1 do
+          let remote_interference t =
+            let acc = ref Q.zero and rem = ref v in
+            Array.iter
+              (fun (i, ks, hp_list) ->
+                let s = Array.length ks in
+                let k = ks.(!rem mod s) in
+                rem := !rem / s;
+                acc := Q.(!acc + contribution cache ~i ~k ~hp_list t))
+              remote_arr;
+            !acc
+          in
+          best := best_over_own cache ~remote_interference !best
+        done;
+        !best
+      in
+      let jobs = Parallel.Pool.jobs pool in
+      if jobs = 1 || total <= 1 then best_in ~slot:0 ~lo:0 ~hi:total
+      else begin
+        let slots = Stdlib.min jobs total in
+        let results = Array.make jobs (Report.Finite Q.zero) in
+        Parallel.Pool.run pool (fun slot ->
+            if slot < slots then
+              let lo = slot * total / slots and hi = (slot + 1) * total / slots in
+              results.(slot) <- best_in ~slot ~lo ~hi);
+        Array.fold_left Report.bound_max (Report.Finite Q.zero) results
+      end

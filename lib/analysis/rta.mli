@@ -17,6 +17,8 @@
     exceeds [params.horizon_factor * max period deadline]. *)
 
 val response_time :
+  ?pool:Parallel.Pool.t ->
+  ?memo:Memo.t ->
   Model.t ->
   Params.t ->
   phi:Rational.t array array ->
@@ -24,6 +26,14 @@ val response_time :
   a:int ->
   b:int ->
   Report.bound
+(** [pool] splits the exact scenario enumeration (Eq. 12) into
+    contiguous index chunks across the pool's domains; the reduction is
+    a maximum of exact rationals folded in slot order, so the result is
+    bit-identical to the sequential enumeration for every job count (the
+    reduced variant's handful of scenarios is never parallelised).
+    [memo] caches interference evaluations across calls — see {!Memo};
+    when both are given, slot [s] of the pool only touches cache slot
+    [s], so no synchronisation is needed. *)
 
 val scenario_count : Model.t -> Params.t -> a:int -> b:int -> int
 (** Number of scenarios the chosen variant examines for task [(a, b)]

@@ -7,6 +7,7 @@
     paper's worked example. *)
 
 module Rational = Rational
+module Parallel = Parallel
 module Platform = Platform
 module Component = Component
 module Transaction = Transaction

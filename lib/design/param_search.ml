@@ -21,42 +21,76 @@ let fixed_latency_family ~delta ~beta =
     bound_of_rate = (fun alpha -> LB.make ~alpha ~delta ~beta);
   }
 
-let schedulable_with ?params sys ~bounds =
+let schedulable_with ?params ?pool sys ~bounds =
   let m = Analysis.Model.of_system sys in
   let m = { m with Analysis.Model.bounds } in
-  (Analysis.Holistic.analyze ?params m).Analysis.Report.schedulable
+  (Analysis.Holistic.analyze ?params ?pool m).Analysis.Report.schedulable
 
 let current_bounds (sys : Transaction.System.t) =
   Array.map
     (fun (r : Platform.Resource.t) -> r.Platform.Resource.bound)
     sys.Transaction.System.resources
 
+(* One round of the bracketing searches below, on the integer grid
+   interval (lo, hi) of a monotone predicate [ok] whose value at the
+   [hi] end is [ok_at_hi] (and the negation at [lo]).  With a one-slot
+   pool this is the classical bisection probe at (lo + hi) / 2; with
+   more slots it is a parallel multisection: min(jobs, width − 1)
+   evenly spaced interior points are probed concurrently and the
+   interval shrinks to the sub-interval bracketing the flip.  Both
+   shapes converge to the same unique flip point of a monotone
+   predicate, so the search result is independent of the job count
+   (the candidate sweeps of docs/PERFORMANCE.md). *)
+let multisection_round ~pool ~ok_at_hi ok (lo, hi) =
+  let jobs = Parallel.Pool.jobs pool in
+  let width = hi - lo in
+  let n = Stdlib.min jobs (width - 1) in
+  if n <= 1 then begin
+    let mid = (lo + hi) / 2 in
+    if ok mid = ok_at_hi then (lo, mid) else (mid, hi)
+  end
+  else begin
+    let probes =
+      List.init n (fun m -> lo + ((m + 1) * width / (n + 1)))
+      |> List.sort_uniq Stdlib.compare
+      |> List.filter (fun p -> p > lo && p < hi)
+    in
+    Parallel.Pool.map_list pool (fun p -> (p, ok p)) probes
+    |> List.fold_left
+         (fun (lo, hi) (p, okp) ->
+           if okp = ok_at_hi then (lo, Stdlib.min hi p)
+           else (Stdlib.max lo p, hi))
+         (lo, hi)
+  end
+
 (* Least grid point k/2^precision in (0, 1] satisfying [ok]; assumes [ok]
    is monotone (false below the threshold, true above). *)
-let search_min_rate ~precision ok =
+let search_min_rate ?(pool = Parallel.Pool.sequential) ~precision ok =
   let den = 1 lsl precision in
   if not (ok Q.one) then None
   else begin
     (* Invariant: ok(hi/den), not ok(lo/den) (lo = 0 is never feasible:
        rate must be positive). *)
-    let lo = ref 0 and hi = ref den in
-    while !hi - !lo > 1 do
-      let mid = (!lo + !hi) / 2 in
-      if ok (Q.make mid den) then hi := mid else lo := mid
+    let bracket = ref (0, den) in
+    while (fun (lo, hi) -> hi - lo > 1) !bracket do
+      bracket :=
+        multisection_round ~pool ~ok_at_hi:true
+          (fun p -> ok (Q.make p den))
+          !bracket
     done;
-    Some (Q.make !hi den)
+    Some (Q.make (snd !bracket) den)
   end
 
-let min_rate ?params ?(precision = 10) sys ~resource ~family =
+let min_rate ?params ?pool ?(precision = 10) sys ~resource ~family =
   let base = current_bounds sys in
   let ok alpha =
     let bounds = Array.copy base in
     bounds.(resource) <- family.bound_of_rate alpha;
-    schedulable_with ?params sys ~bounds
+    schedulable_with ?params ?pool sys ~bounds
   in
-  search_min_rate ~precision ok
+  search_min_rate ?pool ~precision ok
 
-let minimize_rates ?params ?(precision = 10) sys ~families =
+let minimize_rates ?params ?pool ?(precision = 10) sys ~families =
   let n = Array.length families in
   if n <> Array.length sys.Transaction.System.resources then
     invalid_arg "Design.minimize_rates: one family per platform required";
@@ -64,7 +98,7 @@ let minimize_rates ?params ?(precision = 10) sys ~families =
   let bounds_of rates =
     Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
   in
-  if not (schedulable_with ?params sys ~bounds:(bounds_of rates)) then None
+  if not (schedulable_with ?params ?pool sys ~bounds:(bounds_of rates)) then None
   else begin
     let changed = ref true in
     while !changed do
@@ -73,9 +107,9 @@ let minimize_rates ?params ?(precision = 10) sys ~families =
         let ok alpha =
           let attempt = Array.copy rates in
           attempt.(i) <- alpha;
-          schedulable_with ?params sys ~bounds:(bounds_of attempt)
+          schedulable_with ?params ?pool sys ~bounds:(bounds_of attempt)
         in
-        match search_min_rate ~precision ok with
+        match search_min_rate ?pool ~precision ok with
         | Some alpha when Q.(alpha < rates.(i)) ->
             rates.(i) <- alpha;
             changed := true
@@ -85,7 +119,7 @@ let minimize_rates ?params ?(precision = 10) sys ~families =
     Some rates
   end
 
-let balance_rates ?params ?(precision = 6) sys ~families =
+let balance_rates ?params ?pool ?(precision = 6) sys ~families =
   let n = Array.length families in
   if n <> Array.length sys.Transaction.System.resources then
     invalid_arg "Design.balance_rates: one family per platform required";
@@ -94,7 +128,7 @@ let balance_rates ?params ?(precision = 6) sys ~families =
   let bounds_of rates =
     Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
   in
-  if not (schedulable_with ?params sys ~bounds:(bounds_of rates)) then None
+  if not (schedulable_with ?params ?pool sys ~bounds:(bounds_of rates)) then None
   else begin
     let step = Q.make 1 den in
     let progress = ref true in
@@ -105,7 +139,8 @@ let balance_rates ?params ?(precision = 6) sys ~families =
         if Q.(candidate > zero) then begin
           let attempt = Array.copy rates in
           attempt.(i) <- candidate;
-          if schedulable_with ?params sys ~bounds:(bounds_of attempt) then begin
+          if schedulable_with ?params ?pool sys ~bounds:(bounds_of attempt)
+          then begin
             rates.(i) <- candidate;
             progress := true
           end
@@ -117,17 +152,19 @@ let balance_rates ?params ?(precision = 6) sys ~families =
 
 (* Largest grid point in [0, limit] satisfying the monotone-decreasing
    predicate [ok] (ok 0 assumed true). *)
-let search_max ~precision ~limit ok =
+let search_max ?(pool = Parallel.Pool.sequential) ~precision ~limit ok =
   let den = 1 lsl precision in
   if ok limit then limit
   else begin
-    let lo = ref 0 and hi = ref den in
     (* ok at lo*limit/den, not ok at hi*limit/den *)
-    while !hi - !lo > 1 do
-      let mid = (!lo + !hi) / 2 in
-      if ok Q.(limit * make mid den) then lo := mid else hi := mid
+    let bracket = ref (0, den) in
+    while (fun (lo, hi) -> hi - lo > 1) !bracket do
+      bracket :=
+        multisection_round ~pool ~ok_at_hi:false
+          (fun p -> ok Q.(limit * make p den))
+          !bracket
     done;
-    Q.(limit * make !lo den)
+    Q.(limit * make (fst !bracket) den)
   end
 
 let scale_demands (m : Analysis.Model.t) factor =
@@ -151,17 +188,17 @@ let scale_demands (m : Analysis.Model.t) factor =
         m.Analysis.Model.txns;
   }
 
-let breakdown_utilization ?params ?(precision = 10) sys =
+let breakdown_utilization ?params ?pool ?(precision = 10) sys =
   let m = Analysis.Model.of_system sys in
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Analysis.Holistic.analyze ?params (scale_demands m factor))
+      (Analysis.Holistic.analyze ?params ?pool (scale_demands m factor))
         .Analysis.Report.schedulable
   in
   if not (ok Q.one) then
     (* Even the given demands fail; search downwards instead. *)
-    search_max ~precision ~limit:Q.one ok
+    search_max ?pool ~precision ~limit:Q.one ok
   else begin
     (* Grow the ceiling until infeasible, then search inside. *)
     let rec ceiling limit =
@@ -170,10 +207,10 @@ let breakdown_utilization ?params ?(precision = 10) sys =
       else limit
     in
     let limit = ceiling (Q.of_int 2) in
-    if ok limit then limit else search_max ~precision ~limit ok
+    if ok limit then limit else search_max ?pool ~precision ~limit ok
   end
 
-let max_delta ?params ?(precision = 10) ?limit sys ~resource =
+let max_delta ?params ?pool ?(precision = 10) ?limit sys ~resource =
   let base = current_bounds sys in
   let default_limit =
     Array.fold_left
@@ -185,6 +222,7 @@ let max_delta ?params ?(precision = 10) ?limit sys ~resource =
     let bounds = Array.copy base in
     let b = bounds.(resource) in
     bounds.(resource) <- LB.make ~alpha:b.LB.alpha ~delta ~beta:b.LB.beta;
-    schedulable_with ?params sys ~bounds
+    schedulable_with ?params ?pool sys ~bounds
   in
-  if not (ok Q.zero) then None else Some (search_max ~precision ~limit ok)
+  if not (ok Q.zero) then None
+  else Some (search_max ?pool ~precision ~limit ok)

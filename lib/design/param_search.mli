@@ -7,9 +7,18 @@
     concrete reservation mechanism (e.g. a periodic server of fixed
     period: shrinking the budget both lowers the rate and lengthens the
     delay).  Schedulability is monotone along a family — more rate and
-    less delay never hurt — so minimal rates are found by binary search
-    on a dyadic grid, and a whole system is optimised by coordinate
-    descent across its platforms. *)
+    less delay never hurt — so minimal rates are found by bracketing
+    search on a dyadic grid, and a whole system is optimised by
+    coordinate descent across its platforms.
+
+    Every search accepts a {!Parallel.Pool}: with more than one slot the
+    bisection becomes a parallel multisection (one analysis per slot and
+    per round, evenly spaced over the open bracket), and the pool is
+    also handed to the underlying analyses, which use it for the exact
+    scenario enumeration whenever the sweep itself has not saturated it
+    (the pool self-serialises nested regions).  A monotone predicate has
+    a unique flip point, so results are independent of the job count —
+    see docs/PERFORMANCE.md. *)
 
 type family = {
   describe : string;
@@ -25,6 +34,7 @@ val fixed_latency_family : delta:Rational.t -> beta:Rational.t -> family
 
 val schedulable_with :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   Transaction.System.t ->
   bounds:Platform.Linear_bound.t array ->
   bool
@@ -32,6 +42,7 @@ val schedulable_with :
 
 val min_rate :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   ?precision:int ->
   Transaction.System.t ->
   resource:int ->
@@ -43,6 +54,7 @@ val min_rate :
 
 val minimize_rates :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   ?precision:int ->
   Transaction.System.t ->
   families:family array ->
@@ -54,6 +66,7 @@ val minimize_rates :
 
 val balance_rates :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   ?precision:int ->
   Transaction.System.t ->
   families:family array ->
@@ -66,6 +79,7 @@ val balance_rates :
 
 val breakdown_utilization :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   ?precision:int ->
   Transaction.System.t ->
   Rational.t
@@ -76,6 +90,7 @@ val breakdown_utilization :
 
 val max_delta :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   ?precision:int ->
   ?limit:Rational.t ->
   Transaction.System.t ->

@@ -49,38 +49,38 @@ let search_scaling ~precision ok =
     Q.(limit * make !lo den)
   end
 
-let task_scaling ?params ?(precision = 7) sys ~txn ~task =
+let task_scaling ?params ?pool ?(precision = 7) sys ~txn ~task =
   let m = Model.of_system sys in
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Analysis.Holistic.analyze ?params (scale_one m ~txn ~task factor))
+      (Analysis.Holistic.analyze ?params ?pool (scale_one m ~txn ~task factor))
         .Report.schedulable
   in
   search_scaling ~precision ok
 
-let all_task_margins ?params ?precision sys =
+let all_task_margins ?params ?pool ?precision sys =
   let m = Model.of_system sys in
-  let out = ref [] in
+  let sites = ref [] in
   Array.iteri
     (fun txn (tx : Model.txn) ->
       Array.iteri
-        (fun task (tk : Model.task) ->
-          out :=
-            {
-              txn;
-              task;
-              name = tk.Model.name;
-              factor = task_scaling ?params ?precision sys ~txn ~task;
-            }
-            :: !out)
+        (fun task (tk : Model.task) -> sites := (txn, task, tk.Model.name) :: !sites)
         tx.Model.tasks)
     m.Model.txns;
-  List.sort (fun a b -> Q.compare a.factor b.factor) !out
+  (* One independent search per task — the candidate sweep the pool
+     parallelises; the inner analyses reuse the same pool and
+     self-serialise while the sweep holds it. *)
+  let pool' = Option.value pool ~default:Parallel.Pool.sequential in
+  Parallel.Pool.map_list pool'
+    (fun (txn, task, name) ->
+      { txn; task; name; factor = task_scaling ?params ?pool ?precision sys ~txn ~task })
+    !sites
+  |> List.sort (fun a b -> Q.compare a.factor b.factor)
 
-let transaction_slack ?params sys =
+let transaction_slack ?params ?pool sys =
   let m = Model.of_system sys in
-  let report = Analysis.Holistic.analyze ?params m in
+  let report = Analysis.Holistic.analyze ?params ?pool m in
   Array.to_list
     (Array.mapi
        (fun a (tx : Model.txn) ->

@@ -12,6 +12,7 @@ type task_margin = {
 
 val task_scaling :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   ?precision:int ->
   Transaction.System.t ->
   txn:int ->
@@ -24,14 +25,18 @@ val task_scaling :
 
 val all_task_margins :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   ?precision:int ->
   Transaction.System.t ->
   task_margin list
 (** {!task_scaling} for every task, sorted most-critical (smallest
-    factor) first. *)
+    factor) first.  The per-task searches are independent; [pool]
+    spreads them over its domains (the margin list is identical for
+    every job count). *)
 
 val transaction_slack :
   ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
   Transaction.System.t ->
   (string * Analysis.Report.bound * Rational.t) list
 (** Per transaction: name, end-to-end response bound, and deadline;

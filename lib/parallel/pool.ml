@@ -1,0 +1,159 @@
+(* Resident worker domains synchronised by a single mutex: the caller
+   publishes a region (epoch bump + broadcast), every worker executes
+   its slot once per epoch, the caller takes slot 0 itself and waits for
+   the unfinished count to drain.  No work queue, no stealing — the
+   chunk geometry is static, which is what keeps per-slot caches valid
+   across regions and the reduction order deterministic. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable epoch : int;
+  mutable work : (int -> unit) option;
+  mutable unfinished : int;
+  mutable stopped : bool;
+  errors : (exn * Printexc.raw_backtrace) option array;
+      (* per-slot, so the caller re-raises the lowest slot's exception
+         regardless of the order the domains actually failed in *)
+  busy : bool Atomic.t;
+  mutable workers : unit Domain.t array;
+}
+
+let jobs t = t.jobs
+
+let record_error t slot e =
+  t.errors.(slot) <- Some (e, Printexc.get_raw_backtrace ())
+
+let worker t slot =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while t.epoch = !seen && not t.stopped do
+      Condition.wait t.work_ready t.mutex
+    done;
+    if t.stopped then begin
+      running := false;
+      Mutex.unlock t.mutex
+    end
+    else begin
+      seen := t.epoch;
+      let f = match t.work with Some f -> f | None -> assert false in
+      Mutex.unlock t.mutex;
+      (try f slot with e -> record_error t slot e);
+      Mutex.lock t.mutex;
+      t.unfinished <- t.unfinished - 1;
+      if t.unfinished = 0 then Condition.broadcast t.work_done;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~jobs =
+  if jobs < 0 then invalid_arg "Parallel.Pool.create: jobs < 0";
+  let jobs = if jobs = 0 then Domain.recommended_domain_count () else jobs in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      epoch = 0;
+      work = None;
+      unfinished = 0;
+      stopped = false;
+      errors = Array.make jobs None;
+      busy = Atomic.make false;
+      workers = [||];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  t
+
+let sequential = create ~jobs:1
+
+let shutdown t =
+  if t.jobs > 1 && not t.stopped then begin
+    Mutex.lock t.mutex;
+    t.stopped <- true;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.mutex;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let reraise_first t =
+  let err = ref None in
+  for slot = t.jobs - 1 downto 0 do
+    match t.errors.(slot) with
+    | Some _ as e ->
+        err := e;
+        t.errors.(slot) <- None
+    | None -> ()
+  done;
+  match !err with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let run t f =
+  if t.jobs = 1 then f 0
+  else if t.stopped then invalid_arg "Parallel.Pool.run: pool was shut down"
+  else if not (Atomic.compare_and_set t.busy false true) then begin
+    (* reentrant call from a worker of this pool: the outer region holds
+       the domains, so execute every slot inline — same slots, same
+       chunks, same results, just sequentially *)
+    for slot = 0 to t.jobs - 1 do
+      try f slot with e -> record_error t slot e
+    done;
+    reraise_first t
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Atomic.set t.busy false)
+      (fun () ->
+        Mutex.lock t.mutex;
+        t.work <- Some f;
+        t.unfinished <- t.jobs - 1;
+        Array.fill t.errors 0 t.jobs None;
+        t.epoch <- t.epoch + 1;
+        Condition.broadcast t.work_ready;
+        Mutex.unlock t.mutex;
+        (try f 0 with e -> record_error t 0 e);
+        Mutex.lock t.mutex;
+        while t.unfinished > 0 do
+          Condition.wait t.work_done t.mutex
+        done;
+        t.work <- None;
+        Mutex.unlock t.mutex;
+        reraise_first t)
+
+let chunk ~jobs ~n ~slot = (slot * n / jobs, (slot + 1) * n / jobs)
+
+let tabulate t n f =
+  if n < 0 then invalid_arg "Parallel.Pool.tabulate: negative length";
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    if t.jobs = 1 || n = 1 then
+      for i = 0 to n - 1 do
+        results.(i) <- Some (f i)
+      done
+    else
+      run t (fun slot ->
+          let lo, hi = chunk ~jobs:t.jobs ~n ~slot in
+          for i = lo to hi - 1 do
+            results.(i) <- Some (f i)
+          done);
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_array t f arr = tabulate t (Array.length arr) (fun i -> f arr.(i))
+
+let map_list t f l =
+  Array.to_list (map_array t f (Array.of_list l))

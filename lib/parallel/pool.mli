@@ -1,0 +1,64 @@
+(** A chunked pool of OCaml 5 domains for the analysis engine.
+
+    Deliberately work-stealing-free: a parallel region over [n] items is
+    split into at most [jobs] {e contiguous} chunks, chunk [s] always
+    covers the index range [\[s·n/jobs, (s+1)·n/jobs)], and chunk [s] is
+    always executed by the same domain (the caller takes slot [0], the
+    [jobs − 1] resident worker domains take slots [1 .. jobs − 1]).  The
+    static slot→chunk mapping keeps per-slot caches (the interference
+    memo of [Analysis.Memo]) valid across successive regions, and makes
+    reductions deterministic: results land at their index, and folds are
+    performed in slot order by the caller.  Combined with the exact
+    rational arithmetic of the analysis, a computation run with any job
+    count returns results bit-identical to the sequential run — the
+    property the determinism tests assert (see docs/PERFORMANCE.md and
+    the memoization section of docs/THEORY.md).
+
+    A pool is {e reentrant}: calling {!run} (or anything built on it)
+    from inside a worker of the same pool degrades to executing every
+    slot sequentially in the calling domain instead of deadlocking, so
+    nested parallel code (e.g. a design-space sweep whose probes run the
+    analysis with the same pool) self-serialises at the inner level.
+
+    A pool must only be driven from the domain that created it. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool of [jobs] slots backed by [jobs − 1] resident worker domains.
+    [jobs = 0] means {!Domain.recommended_domain_count}; [jobs = 1]
+    spawns no domains and runs everything in the caller.
+    @raise Invalid_argument if [jobs < 0]. *)
+
+val jobs : t -> int
+(** Number of slots (≥ 1). *)
+
+val sequential : t
+(** The shared one-slot pool: no domains, every region runs inline.
+    Passing it anywhere [?pool] is accepted reproduces the sequential
+    engine exactly.  Never needs {!shutdown}. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  Idempotent; running a region on a pool
+    that was shut down raises [Invalid_argument].  {!sequential} and
+    single-job pools are unaffected. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], apply, then [shutdown] (also on exceptions). *)
+
+val run : t -> (int -> unit) -> unit
+(** [run t f] executes [f 0], …, [f (jobs t − 1)] — [f slot] on slot
+    [slot]'s domain — and returns when all have finished.  If several
+    slots raise, the exception of the lowest slot is re-raised in the
+    caller (deterministically), after every slot has completed. *)
+
+val tabulate : t -> int -> (int -> 'a) -> 'a array
+(** [tabulate t n f] is [Array.init n f] with the index range chunked
+    over the slots; [f] must tolerate being called from worker domains.
+    Order of the result is the index order, regardless of job count. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** {!tabulate} over the elements of an array. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!tabulate} over the elements of a list, preserving order. *)

@@ -17,6 +17,19 @@ The exact variant agrees on this system:
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --exact --csv | grep compute
   Integrator.Thread2,Integrator.Thread2.compute,2,3,1,4/5,5,19,8,31,50,true
 
+Parallel domains return the identical report (--jobs 0 = all cores):
+
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --exact --jobs 2 --csv | grep compute
+  Integrator.Thread2,Integrator.Thread2.compute,2,3,1,4/5,5,19,8,31,50,true
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --exact --jobs 0 --csv | grep compute
+  Integrator.Thread2,Integrator.Thread2.compute,2,3,1,4/5,5,19,8,31,50,true
+
+A negative job count is rejected:
+
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --jobs=-1
+  hsched: --jobs must be >= 0
+  [1]
+
 Unknown transaction names are reported:
 
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --history Nope | tail -1

@@ -1,0 +1,255 @@
+(* Parallel engine: pool semantics, memoised interference, and the
+   bit-identical determinism guarantee across job counts.  Report.t and
+   the design-search results are pure data (exact rationals, ints,
+   bools), so structural equality [=] is exactly the "bit-identical"
+   property the engine promises. *)
+
+module Q = Rational
+module P = Parallel.Pool
+module G = Workload.Gen
+module Model = Analysis.Model
+module Params = Analysis.Params
+
+let check_q msg expected actual =
+  Alcotest.(check string) msg (Q.to_string expected) (Q.to_string actual)
+
+(* --- pool --- *)
+
+let test_create_bounds () =
+  (try
+     ignore (P.create ~jobs:(-1));
+     Alcotest.fail "negative jobs accepted"
+   with Invalid_argument _ -> ());
+  P.with_pool ~jobs:0 @@ fun pool ->
+  Alcotest.(check bool) "jobs 0 = all cores (>= 1)" true (P.jobs pool >= 1)
+
+let test_tabulate_matches_init () =
+  List.iter
+    (fun jobs ->
+      P.with_pool ~jobs @@ fun pool ->
+      List.iter
+        (fun n ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs %d, n %d" jobs n)
+            (Array.init n (fun i -> (i * 7) mod 13))
+            (P.tabulate pool n (fun i -> (i * 7) mod 13)))
+        (* n below, equal to, and far above the slot count *)
+        [ 0; 1; 2; 3; 7; 64 ])
+    [ 1; 2; 4; 5 ]
+
+let test_map_order () =
+  P.with_pool ~jobs:3 @@ fun pool ->
+  Alcotest.(check (list int))
+    "map_list preserves order" [ 2; 4; 6; 8; 10 ]
+    (P.map_list pool (fun x -> 2 * x) [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check (array int))
+    "map_array preserves order" [| 1; 4; 9 |]
+    (P.map_array pool (fun x -> x * x) [| 1; 2; 3 |])
+
+let test_run_covers_slots () =
+  P.with_pool ~jobs:4 @@ fun pool ->
+  let hits = Array.make 4 0 in
+  P.run pool (fun slot -> hits.(slot) <- hits.(slot) + 1);
+  Alcotest.(check (array int)) "each slot exactly once" [| 1; 1; 1; 1 |] hits
+
+exception Boom of int
+
+let test_exception_propagation () =
+  P.with_pool ~jobs:3 @@ fun pool ->
+  (try
+     P.run pool (fun slot -> if slot >= 1 then raise (Boom slot));
+     Alcotest.fail "no exception propagated"
+   with Boom s -> Alcotest.(check int) "lowest failing slot wins" 1 s);
+  (* the pool survives a failed region *)
+  Alcotest.(check (array int))
+    "usable after failure" [| 0; 1; 4; 9; 16 |]
+    (P.tabulate pool 5 (fun i -> i * i))
+
+let test_reentrant () =
+  P.with_pool ~jobs:3 @@ fun pool ->
+  let nested = Array.make 3 [||] in
+  (* every slot re-enters the busy pool; the inner regions degrade to
+     inline execution instead of deadlocking *)
+  P.run pool (fun slot ->
+      nested.(slot) <- P.tabulate pool 5 (fun i -> (10 * slot) + i));
+  Array.iteri
+    (fun slot row ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "nested region on slot %d" slot)
+        (Array.init 5 (fun i -> (10 * slot) + i))
+        row)
+    nested
+
+let test_shutdown () =
+  let pool = P.create ~jobs:2 in
+  P.shutdown pool;
+  P.shutdown pool;
+  (* idempotent *)
+  try
+    ignore (P.tabulate pool 3 Fun.id);
+    Alcotest.fail "ran on a shut-down pool"
+  with Invalid_argument _ -> ()
+
+(* --- memoised interference --- *)
+
+let zeros (m : Model.t) =
+  Array.map
+    (fun (tx : Model.txn) -> Array.make (Array.length tx.Model.tasks) Q.zero)
+    m.Model.txns
+
+let probe_times = List.map Q.of_int [ 1; 5; 12; 30 ]
+
+(* probe every (task under analysis, interfering transaction, t) of the
+   paper example, checking the memoised value against the direct one *)
+let sweep_against_direct memo m ~phi ~jit =
+  Array.iteri
+    (fun a (tx : Model.txn) ->
+      Array.iteri
+        (fun b _ ->
+          let cache = Analysis.Memo.cache memo ~a ~b ~slot:0 in
+          for i = 0 to Array.length m.Model.txns - 1 do
+            let hp_list = Analysis.Interference.hp m ~i ~a ~b in
+            if hp_list <> [] then
+              List.iter
+                (fun t ->
+                  check_q
+                    (Printf.sprintf "w_star a=%d b=%d i=%d t=%s" a b i
+                       (Q.to_string t))
+                    (Analysis.Interference.w_star ~hp_list m ~phi ~jit ~i ~a ~b
+                       ~t)
+                    (Analysis.Memo.w_star cache m ~phi ~jit ~i ~hp_list ~a ~b
+                       ~t))
+                probe_times
+          done)
+        tx.Model.tasks)
+    m.Model.txns
+
+let test_memo_values_and_stats () =
+  let m = Hsched.Paper_example.model () in
+  let phi = zeros m and jit = zeros m in
+  let memo = Analysis.Memo.create m ~slots:1 in
+  sweep_against_direct memo m ~phi ~jit;
+  let s1 = Analysis.Memo.stats memo in
+  Alcotest.(check bool) "first sweep misses" true (s1.Analysis.Memo.misses > 0);
+  (* replay with unchanged rows: pure hits *)
+  sweep_against_direct memo m ~phi ~jit;
+  let s2 = Analysis.Memo.stats memo in
+  Alcotest.(check int) "replay adds no misses" s1.Analysis.Memo.misses
+    s2.Analysis.Memo.misses;
+  Alcotest.(check bool) "replay hits" true
+    (s2.Analysis.Memo.hits > s1.Analysis.Memo.hits);
+  (* a changed jitter row invalidates its entries, and the memoised
+     values still match the direct computation on the new rows *)
+  jit.(0).(0) <- Q.one;
+  sweep_against_direct memo m ~phi ~jit;
+  let s3 = Analysis.Memo.stats memo in
+  Alcotest.(check bool) "row change invalidates" true
+    (s3.Analysis.Memo.invalidations > s2.Analysis.Memo.invalidations)
+
+let test_memo_transparent () =
+  let m = Hsched.Paper_example.model () in
+  List.iter
+    (fun params ->
+      let on = Analysis.Holistic.analyze ~params m in
+      let off =
+        Analysis.Holistic.analyze
+          ~params:{ params with Params.memoize = false }
+          m
+      in
+      Alcotest.(check bool) "memo on/off reports equal" true (on = off))
+    [ Params.default; Params.exact ]
+
+(* --- determinism across job counts --- *)
+
+let test_paper_example_determinism () =
+  let m = Hsched.Paper_example.model () in
+  List.iter
+    (fun params ->
+      let seq = Analysis.Holistic.analyze ~params m in
+      List.iter
+        (fun jobs ->
+          let par =
+            P.with_pool ~jobs (fun pool ->
+                Analysis.Holistic.analyze ~params ~pool m)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs %d report" jobs)
+            true (seq = par))
+        [ 2; 3; 4 ])
+    [ Params.default; Params.exact ]
+
+let test_design_determinism () =
+  let sys = Hsched.Paper_example.system () in
+  let seq = Design.Param_search.breakdown_utilization ~precision:5 sys in
+  let par =
+    P.with_pool ~jobs:4 (fun pool ->
+        Design.Param_search.breakdown_utilization ~pool ~precision:5 sys)
+  in
+  check_q "breakdown utilization" seq par;
+  let mseq = Design.Sensitivity.all_task_margins ~precision:4 sys in
+  let mpar =
+    P.with_pool ~jobs:4 (fun pool ->
+        Design.Sensitivity.all_task_margins ~pool ~precision:4 sys)
+  in
+  Alcotest.(check bool) "task margins equal" true (mseq = mpar)
+
+let small_spec = { G.default_spec with G.n_txns = 3; max_tasks_per_txn = 3 }
+
+let scenario_total (m : Model.t) =
+  let total = ref 0 in
+  Array.iteri
+    (fun a (tx : Model.txn) ->
+      Array.iteri
+        (fun b _ ->
+          total := !total + Analysis.Rta.scenario_count m Params.exact ~a ~b)
+        tx.Model.tasks)
+    m.Model.txns;
+  !total
+
+let determinism_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"jobs 1 = jobs 4, exact and reduced" ~count:12
+       (QCheck.int_range 1 1000)
+       (fun seed ->
+         let sys = G.system ~seed small_spec in
+         let m = Model.of_system sys in
+         QCheck.assume (scenario_total m < 20_000);
+         let agrees params =
+           let seq = Analysis.Holistic.analyze ~params m in
+           let par =
+             P.with_pool ~jobs:4 (fun pool ->
+                 Analysis.Holistic.analyze ~params ~pool m)
+           in
+           seq = par
+         in
+         agrees Params.exact && agrees Params.default))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create bounds" `Quick test_create_bounds;
+          Alcotest.test_case "tabulate = Array.init" `Quick
+            test_tabulate_matches_init;
+          Alcotest.test_case "map order" `Quick test_map_order;
+          Alcotest.test_case "run covers slots" `Quick test_run_covers_slots;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "reentrancy" `Quick test_reentrant;
+          Alcotest.test_case "shutdown" `Quick test_shutdown;
+        ] );
+      ( "memo",
+        [
+          Alcotest.test_case "values and stats" `Quick test_memo_values_and_stats;
+          Alcotest.test_case "transparent in the analysis" `Quick
+            test_memo_transparent;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "paper example" `Quick
+            test_paper_example_determinism;
+          Alcotest.test_case "design searches" `Quick test_design_determinism;
+          determinism_prop;
+        ] );
+    ]
