@@ -28,6 +28,52 @@ let header title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: every PASS/FAIL check and the headline    *)
+(* numbers are also recorded and dumped to BENCH_analysis.json, so CI  *)
+(* can assert on them without scraping the human-readable output.      *)
+(* ------------------------------------------------------------------ *)
+
+let quick = ref false
+(* --quick: identity/soundness checks only — skip the timing sweeps
+   whose numbers are meaningless on loaded CI machines *)
+
+let checks : (string * bool) list ref = ref []
+
+let metrics : (string * float) list ref = ref []
+
+let check name ok =
+  checks := (name, ok) :: !checks;
+  Format.printf "%s: %s@." name (if ok then "PASS" else "FAIL")
+
+let metric name v = metrics := (name, v) :: !metrics
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  let field (k, v) = Printf.sprintf "    \"%s\": %s" (json_escape k) v in
+  let obj entries = String.concat ",\n" (List.map field entries) in
+  Printf.fprintf oc
+    "{\n  \"quick\": %b,\n  \"checks\": {\n%s\n  },\n  \"metrics\": {\n%s\n  }\n}\n"
+    !quick
+    (obj (List.rev_map (fun (k, ok) -> (k, string_of_bool ok)) !checks))
+    (obj
+       (List.rev_map
+          (fun (k, v) ->
+            (k, if Float.is_nan v then "null" else Printf.sprintf "%.3f" v))
+          !metrics));
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
 (* Figure 3: supply functions of a periodic server                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -48,8 +94,7 @@ let figure3 () =
     Format.printf "%6s %10s %12s %10s %12s@." (dec t) (dec lo) (dec zmin)
       (dec zmax) (dec hi)
   done;
-  Format.printf "shape check (α(t-Δ) <= Zmin <= Zmax <= β+αt everywhere): %s@."
-    (if !ok then "PASS" else "FAIL")
+  check "figure3/shape (α(t-Δ) <= Zmin <= Zmax <= β+αt everywhere)" !ok
 
 (* ------------------------------------------------------------------ *)
 (* Figure 5 + Tables 1 and 2: the derived example                      *)
@@ -258,8 +303,7 @@ let analysis_vs_simulation () =
     !total
     (!sum /. float_of_int !total)
     !worst;
-  Format.printf "soundness: every ratio <= 1.0: %s@."
-    (if !worst <= 1.0 then "PASS" else "FAIL")
+  check "analysis_vs_simulation/every ratio <= 1.0" (!worst <= 1.0)
 
 (* ------------------------------------------------------------------ *)
 (* X3: design-space search (§5 future work)                            *)
@@ -343,7 +387,7 @@ let classical_equivalence () =
         (bound hr)
         (if m then "yes" else "NO"))
     (Analysis.Classical.response_times classical);
-  Format.printf "generalisation check: %s@." (if !all then "PASS" else "FAIL")
+  check "classical_equivalence/degenerate platform matches classical RTA" !all
 
 (* ------------------------------------------------------------------ *)
 (* X7: scalability of the analysis                                     *)
@@ -640,11 +684,11 @@ let parallel_scaling () =
         | Some r -> r = report
       in
       if not identical then all_identical := false;
+      metric (Printf.sprintf "x9/exact_jobs%d_ms" jobs) ms;
       Format.printf "%6d %12.1f %9.2f %10s@." jobs ms (!baseline /. ms)
         (if identical then "yes" else "NO"))
-    [ 1; 2; 4 ];
-  Format.printf "determinism across job counts: %s@."
-    (if !all_identical then "PASS" else "FAIL");
+    (if !quick then [ 1; 4 ] else [ 1; 2; 4 ]);
+  check "x9/determinism across job counts" !all_identical;
   (* batch admission: the workload sweep itself parallelised — one
      seeded system per pool slot, admitted set compared across pools *)
   let seeds = List.init 24 (fun i -> i + 1) in
@@ -665,8 +709,9 @@ let parallel_scaling () =
     "batch admission, 24 seeds: %d admitted; jobs 1: %.1f ms, jobs 4: %.1f ms@."
     (List.length (admitted_of seq))
     seq_ms par_ms;
-  Format.printf "admitted sets identical across job counts: %s@."
-    (if seq = par then "PASS" else "FAIL");
+  metric "x9/batch_jobs1_ms" seq_ms;
+  metric "x9/batch_jobs4_ms" par_ms;
+  check "x9/admitted sets identical across job counts" (seq = par);
   (* memoization ablation: same report with the cross-sweep interference
      memo on (the default) and off *)
   let memo_ms, with_memo =
@@ -678,10 +723,90 @@ let parallel_scaling () =
           ~params:{ Analysis.Params.exact with Analysis.Params.memoize = false }
           m)
   in
-  Format.printf
-    "interference memo (sequential): on %.1f ms, off %.1f ms, reports equal: %s@."
-    memo_ms plain_ms
-    (if with_memo = without_memo then "PASS" else "FAIL")
+  Format.printf "interference memo (sequential): on %.1f ms, off %.1f ms@."
+    memo_ms plain_ms;
+  metric "x9/memo_on_ms" memo_ms;
+  metric "x9/memo_off_ms" plain_ms;
+  check "x9/memo ablation reports equal" (with_memo = without_memo)
+
+(* ------------------------------------------------------------------ *)
+(* X10: branch-and-bound pruning + incremental fixed point — ablation  *)
+(* ------------------------------------------------------------------ *)
+
+let prune_incremental () =
+  header "X10 — pruning and incrementality: ablation matrix";
+  (* same interference-heavy workload as X9: the exact scenario product
+     dominates, which is exactly what pruning attacks *)
+  let spec =
+    {
+      Workload.Gen.default_spec with
+      Workload.Gen.n_txns = (if !quick then 6 else 8);
+      n_resources = 2;
+      max_tasks_per_txn = 3;
+    }
+  in
+  let sys = Workload.Gen.system ~seed:3 spec in
+  let m = Model.of_system sys in
+  let cell ~prune ~incremental ~jobs =
+    let params =
+      { Analysis.Params.exact with Analysis.Params.prune; incremental }
+    in
+    let counters = Analysis.Rta.counters () in
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        let ms, report =
+          wall (fun () -> Analysis.Holistic.analyze ~params ~pool ~counters m)
+        in
+        (ms, report, counters))
+  in
+  Format.printf "%-22s %10s %10s %10s %10s %8s@." "cell (jobs)" "wall (ms)"
+    "total" "visited" "pruned" "bounds";
+  let show name ((ms, _, c) as r) =
+    Format.printf "%-22s %10.1f %10d %10d %10d %8d@." name ms
+      (Analysis.Rta.total_scenarios c)
+      (Analysis.Rta.visited_scenarios c)
+      (Analysis.Rta.pruned_scenarios c)
+      (Analysis.Rta.bound_evaluations c);
+    metric (Printf.sprintf "x10/%s_ms" name) ms;
+    metric (Printf.sprintf "x10/%s_total" name)
+      (float_of_int (Analysis.Rta.total_scenarios c));
+    metric (Printf.sprintf "x10/%s_visited" name)
+      (float_of_int (Analysis.Rta.visited_scenarios c));
+    r
+  in
+  let naive = show "naive (1)" (cell ~prune:false ~incremental:false ~jobs:1) in
+  let prune_only =
+    show "prune (1)" (cell ~prune:true ~incremental:false ~jobs:1)
+  in
+  let incr_only =
+    show "incremental (1)" (cell ~prune:false ~incremental:true ~jobs:1)
+  in
+  let both = show "prune+incr (1)" (cell ~prune:true ~incremental:true ~jobs:1) in
+  let both4 =
+    show "prune+incr (4)" (cell ~prune:true ~incremental:true ~jobs:4)
+  in
+  let report (_, r, _) = r in
+  let visited (_, _, c) = Analysis.Rta.visited_scenarios c in
+  (* Reports are pure data (exact rationals, ints, bools): structural
+     equality is the bit-identity every cell promises. *)
+  check "x10/identity prune" (report prune_only = report naive);
+  check "x10/identity incremental" (report incr_only = report naive);
+  check "x10/identity prune+incremental" (report both = report naive);
+  check "x10/identity prune+incremental jobs 4" (report both4 = report naive);
+  check "x10/naive visits everything" (visited naive = Analysis.Rta.total_scenarios (let _, _, c = naive in c));
+  check "x10/pruning visits strictly fewer scenarios"
+    (visited prune_only < visited naive);
+  check "x10/incremental visits strictly fewer scenarios"
+    (visited incr_only < visited naive);
+  check "x10/combined visits strictly fewer than either"
+    (visited both <= visited prune_only && visited both <= visited incr_only);
+  if not !quick then begin
+    let ms (t, _, _) = t in
+    Format.printf "speedup vs naive: prune %.2fx, incremental %.2fx, both %.2fx@."
+      (ms naive /. ms prune_only)
+      (ms naive /. ms incr_only)
+      (ms naive /. ms both);
+    check "x10/prune+incremental faster than naive" (ms both < ms naive)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timings: one Test.make per paper artefact                  *)
@@ -788,19 +913,43 @@ let sections =
     ("scalability", scalability);
     ("parallel_scaling", parallel_scaling);
     ("best_case_ablation", best_case_ablation);
+    ("prune_incremental", prune_incremental);
     ("timings", timings);
   ]
 
+let run_section (name, f) =
+  let ms, () = wall f in
+  metric (Printf.sprintf "section/%s_ms" name) ms
+
+let finish () =
+  write_json "BENCH_analysis.json";
+  let failed = List.filter (fun (_, ok) -> not ok) !checks in
+  Format.printf "@.BENCH_analysis.json written: %d check(s), %d failed@."
+    (List.length !checks) (List.length failed);
+  List.iter (fun (n, _) -> Format.printf "FAILED: %s@." n) failed;
+  if failed <> [] then exit 1
+
 let () =
-  match Array.to_list Sys.argv with
-  | [] | _ :: [] -> List.iter (fun (_, f) -> f ()) sections
-  | _ :: [ "list" ] -> List.iter (fun (n, _) -> print_endline n) sections
-  | _ :: names ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    if List.mem "--quick" args then begin
+      quick := true;
+      List.filter (fun a -> a <> "--quick") args
+    end
+    else args
+  in
+  match args with
+  | [] ->
+      List.iter run_section sections;
+      finish ()
+  | [ "list" ] -> List.iter (fun (n, _) -> print_endline n) sections
+  | names ->
       List.iter
         (fun n ->
           match List.assoc_opt n sections with
-          | Some f -> f ()
+          | Some f -> run_section (n, f)
           | None ->
               Format.printf "unknown section %s (try: list)@." n;
               exit 1)
-        names
+        names;
+      finish ()

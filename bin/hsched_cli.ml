@@ -53,6 +53,32 @@ let exact_flag =
 let params_of_exact exact =
   if exact then Analysis.Params.exact else Analysis.Params.default
 
+let no_prune_flag =
+  Arg.(
+    value & flag
+    & info [ "no-prune" ]
+        ~doc:
+          "Disable the branch-and-bound pruning of the exact scenario \
+           enumeration and enumerate exhaustively.  Reports are identical \
+           either way; this only trades speed for a reference measurement.")
+
+let no_incremental_flag =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Recompute every task in every outer fixed-point sweep instead of \
+           only those whose interference inputs changed.  Reports are \
+           identical either way.")
+
+let no_history_flag =
+  Arg.(
+    value & flag
+    & info [ "no-history" ]
+        ~doc:
+          "Do not record the per-iteration history matrices (ignored when \
+           $(b,--history) asks to print them).")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -117,12 +143,21 @@ let csv_flag =
         ~doc:"Emit machine-readable CSV (one row per task) instead of the table.")
 
 let analyze_cmd =
-  let run file exact history csv jobs =
+  let run file exact history csv jobs no_prune no_incremental no_history =
     let sys = or_die (load_system file) in
     let m = Analysis.Model.of_system sys in
+    let params =
+      let p = params_of_exact exact in
+      {
+        p with
+        Analysis.Params.prune = not no_prune;
+        incremental = not no_incremental;
+        (* --history needs the matrices; printing wins over --no-history *)
+        keep_history = (not no_history) || history <> None;
+      }
+    in
     let report =
-      with_jobs jobs @@ fun pool ->
-      Analysis.Holistic.analyze ~params:(params_of_exact exact) ~pool m
+      with_jobs jobs @@ fun pool -> Analysis.Holistic.analyze ~params ~pool m
     in
     let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
     if csv then begin
@@ -171,7 +206,9 @@ let analyze_cmd =
        ~doc:
          "Holistic schedulability analysis on abstract platforms (Section 3).  \
           Exits 0 when schedulable, 2 when not.")
-    Term.(const run $ file_arg $ exact_flag $ history_arg $ csv_flag $ jobs_arg)
+    Term.(
+      const run $ file_arg $ exact_flag $ history_arg $ csv_flag $ jobs_arg
+      $ no_prune_flag $ no_incremental_flag $ no_history_flag)
 
 (* --- simulate --- *)
 

@@ -20,18 +20,38 @@
     would reproduce bit-for-bit, and the parallel reduction is a
     maximum folded in a fixed slot order — see the memoisation section
     of docs/THEORY.md for the full argument and docs/PERFORMANCE.md for
-    when parallelism pays. *)
+    when parallelism pays.
 
-val analyze : ?params:Params.t -> ?pool:Parallel.Pool.t -> Model.t -> Report.t
+    With {!Params.t.incremental} (the default) a sweep does not
+    recompute every task: a task whose dependency rows — the jitter and
+    offset rows of its own transaction and of every remote transaction
+    with interfering tasks — are unchanged since the previous sweep
+    carries its response forward.  The response is a pure function of
+    those rows, so the iterates, the history, the convergence point and
+    the verdict are bit-identical to the non-incremental run. *)
+
+val analyze :
+  ?params:Params.t ->
+  ?pool:Parallel.Pool.t ->
+  ?counters:Rta.counters ->
+  Model.t ->
+  Report.t
 (** Full analysis.  The returned report carries the per-iteration history
-    (the paper's Table 3) and the final verdict: schedulable iff the
-    iteration converged and the last task of every transaction meets the
-    transaction deadline.  [pool] (default {!Parallel.Pool.sequential})
-    parallelises the exact scenario enumeration of each response-time
-    computation; reports are bit-identical for every job count. *)
+    (the paper's Table 3; [[]] when [params.keep_history] is off) and
+    the final verdict: schedulable iff the iteration converged and the
+    last task of every transaction meets the transaction deadline.
+    [pool] (default {!Parallel.Pool.sequential}) parallelises the exact
+    scenario enumeration of each response-time computation; reports are
+    bit-identical for every job count.  [counters] accumulates scenario
+    accounting across every response-time computation of the run (see
+    {!Rta.counters}). *)
 
 val analyze_system :
-  ?params:Params.t -> ?pool:Parallel.Pool.t -> Transaction.System.t -> Report.t
+  ?params:Params.t ->
+  ?pool:Parallel.Pool.t ->
+  ?counters:Rta.counters ->
+  Transaction.System.t ->
+  Report.t
 (** Convenience: {!Model.of_system} followed by {!analyze}. *)
 
 val response_times :

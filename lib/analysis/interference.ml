@@ -31,18 +31,42 @@ let jobs ~jitter ~phase ~period ~t =
   let inside = Stdlib.max 0 (Q.ceil Q.((t - phase) / period)) in
   Stdlib.max 0 (delayed + inside)
 
-let contribution ?hp_list m ~phi ~jit ~i ~k ~a ~b ~t =
+(* A compiled demand curve: the phase, period and platform-scaled cost
+   of every interfering task are constants of one (phi, jit) assignment,
+   so they are hoisted out of the busy-period fixed points, which
+   evaluate the curve at many points t.  Values are canonical rationals,
+   so [eval] returns exactly what the uncompiled fold would: (n·C)/α and
+   n·(C/α) normalise to the same representation. *)
+type term = { jitter : Q.t; ph : Q.t; period : Q.t; scaled_c : Q.t }
+
+type kernel = term array
+
+let compile ?hp_list m ~phi ~jit ~i ~k ~a ~b =
   let target = Model.task m a b in
   let alpha = Model.alpha m target in
   let ti = m.Model.txns.(i).Model.period in
   let hp_list = match hp_list with Some l -> l | None -> hp m ~i ~a ~b in
-  List.fold_left
-    (fun acc j ->
-      let tk = Model.task m i j in
-      let ph = phase m ~phi ~jit ~i ~k ~j in
-      let n = jobs ~jitter:jit.(i).(j) ~phase:ph ~period:ti ~t in
-      Q.(acc + (of_int n * tk.Model.c / alpha)))
-    Q.zero hp_list
+  Array.of_list
+    (List.map
+       (fun j ->
+         let tk = Model.task m i j in
+         {
+           jitter = jit.(i).(j);
+           ph = phase m ~phi ~jit ~i ~k ~j;
+           period = ti;
+           scaled_c = Q.(tk.Model.c / alpha);
+         })
+       hp_list)
+
+let eval kernel ~t =
+  Array.fold_left
+    (fun acc { jitter; ph; period; scaled_c } ->
+      let n = jobs ~jitter ~phase:ph ~period ~t in
+      Q.(acc + (of_int n * scaled_c)))
+    Q.zero kernel
+
+let contribution ?hp_list m ~phi ~jit ~i ~k ~a ~b ~t =
+  eval (compile ?hp_list m ~phi ~jit ~i ~k ~a ~b) ~t
 
 let w_star ?hp_list m ~phi ~jit ~i ~a ~b ~t =
   let hp_list = match hp_list with Some l -> l | None -> hp m ~i ~a ~b in

@@ -34,6 +34,33 @@ val jobs :
     ⌊(J + ϕ)/T⌋ delayed jobs released at the start plus ⌈(t − ϕ)/T⌉
     jobs activated inside (Eq. 8), clamped at 0. *)
 
+type kernel
+(** A compiled demand curve W{^k}{_i}(τ{_a,b}, ·): per interfering task,
+    the phase ϕ{^k}{_i,j}, jitter, period and platform-scaled cost
+    C/α are computed once, instead of on every evaluation inside a
+    busy-period fixed point.  A kernel is valid exactly as long as the
+    jitter and offset rows of transaction [i] it was compiled from are
+    unchanged (the same condition under which {!Memo} entries are
+    valid). *)
+
+val compile :
+  ?hp_list:int list ->
+  Model.t ->
+  phi:Rational.t array array ->
+  jit:Rational.t array array ->
+  i:int ->
+  k:int ->
+  a:int ->
+  b:int ->
+  kernel
+(** Hoist the per-task constants of {!contribution} for the busy-period
+    scenario where τ{_i,k} initiates. *)
+
+val eval : kernel -> t:Rational.t -> Rational.t
+(** [eval kernel ~t] is exactly [contribution ~t] of the assignment the
+    kernel was compiled from — canonical rationals make the hoisted and
+    direct computations bit-identical. *)
+
 val contribution :
   ?hp_list:int list ->
   Model.t ->

@@ -14,6 +14,10 @@ end)
 type entry = {
   mutable jit_sig : Q.t array;
   mutable phi_sig : Q.t array;
+  mutable kernel : Interference.kernel;
+      (* compiled demand curve, recompiled whenever the signature rows
+         change — misses then cost one kernel evaluation instead of a
+         full phase/scaling recomputation per interfering task *)
   values : Q.t QTbl.t;
 }
 
@@ -49,7 +53,8 @@ let rows_equal a b =
   Array.iteri (fun i x -> if not (Q.equal x b.(i)) then ok := false) a;
   !ok
 
-let entry_for c ~i ~k ~jit_row ~phi_row =
+let entry_for c m ~phi ~jit ~i ~k ~hp_list ~a ~b =
+  let jit_row = jit.(i) and phi_row = phi.(i) in
   match Hashtbl.find_opt c.entries (i, k) with
   | Some e ->
       if not (rows_equal e.jit_sig jit_row && rows_equal e.phi_sig phi_row)
@@ -57,6 +62,7 @@ let entry_for c ~i ~k ~jit_row ~phi_row =
         QTbl.reset e.values;
         e.jit_sig <- Array.copy jit_row;
         e.phi_sig <- Array.copy phi_row;
+        e.kernel <- Interference.compile ~hp_list m ~phi ~jit ~i ~k ~a ~b;
         c.invalidations <- c.invalidations + 1
       end;
       e
@@ -65,23 +71,30 @@ let entry_for c ~i ~k ~jit_row ~phi_row =
         {
           jit_sig = Array.copy jit_row;
           phi_sig = Array.copy phi_row;
+          kernel = Interference.compile ~hp_list m ~phi ~jit ~i ~k ~a ~b;
           values = QTbl.create 32;
         }
       in
       Hashtbl.add c.entries (i, k) e;
       e
 
-let contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t =
-  let e = entry_for c ~i ~k ~jit_row:jit.(i) ~phi_row:phi.(i) in
+let lookup (c : cache) e t =
   match QTbl.find_opt e.values t with
   | Some v ->
       c.hits <- c.hits + 1;
       v
   | None ->
       c.misses <- c.misses + 1;
-      let v = Interference.contribution ~hp_list m ~phi ~jit ~i ~k ~a ~b ~t in
+      let v = Interference.eval e.kernel ~t in
       QTbl.add e.values t v;
       v
+
+let evaluator c m ~phi ~jit ~i ~k ~hp_list ~a ~b =
+  let e = entry_for c m ~phi ~jit ~i ~k ~hp_list ~a ~b in
+  fun t -> lookup c e t
+
+let contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t =
+  lookup c (entry_for c m ~phi ~jit ~i ~k ~hp_list ~a ~b) t
 
 let w_star c m ~phi ~jit ~i ~hp_list ~a ~b ~t =
   List.fold_left

@@ -33,6 +33,25 @@ val create : Model.t -> slots:int -> t
 val cache : t -> a:int -> b:int -> slot:int -> cache
 (** The cache task [(a, b)] must use on pool slot [slot]. *)
 
+val evaluator :
+  cache ->
+  Model.t ->
+  phi:Rational.t array array ->
+  jit:Rational.t array array ->
+  i:int ->
+  k:int ->
+  hp_list:int list ->
+  a:int ->
+  b:int ->
+  Rational.t ->
+  Rational.t
+(** Hoisted form of {!contribution}: the cache entry is resolved (and
+    its row signature validated, recompiling the {!Interference.kernel}
+    if a row changed) {e once}, and the returned closure only performs
+    the per-[t] lookup.  Valid while the jitter and offset rows of
+    transaction [i] are unchanged — i.e. within one response-time
+    computation of a sweep. *)
+
 val contribution :
   cache ->
   Model.t ->

@@ -9,6 +9,9 @@ type t = {
   max_outer_iterations : int;
   early_exit : bool;
   memoize : bool;
+  prune : bool;
+  incremental : bool;
+  keep_history : bool;
 }
 
 let default =
@@ -19,6 +22,9 @@ let default =
     max_outer_iterations = 256;
     early_exit = true;
     memoize = true;
+    prune = true;
+    incremental = true;
+    keep_history = true;
   }
 
 let exact = { default with variant = Exact }

@@ -42,11 +42,38 @@ type t = {
           rationals a recomputation would reproduce bit-for-bit, so
           reports are identical either way (asserted by the test suite);
           disable only to benchmark the memo itself. *)
+  prune : bool;
+      (** Branch-and-bound pruning of the exact scenario enumeration
+          ({!Rta}): sub-spaces of the mixed-radix scenario product whose
+          optimistic bound (fixed digits at their actual demand, free
+          digits at the scenario maximum W{^*}) cannot beat the best
+          response found so far are skipped.  Pruning only discards
+          scenarios provably ≤ the running maximum, so the returned
+          bound is the exact same rational — reports are bit-identical
+          (asserted by the test suite and bench X10).  No effect on the
+          [Reduced] variant.  Disable only to benchmark the pruning
+          itself. *)
+  incremental : bool;
+      (** Incremental outer fixed point ({!Holistic}): between Jacobi
+          sweeps, only tasks whose interference inputs (the jitter or
+          offset row of some transaction in their dependency set) changed
+          are recomputed; the rest carry their previous response forward.
+          The recurrence is the same function of the same rows, so the
+          iterates — and hence convergence, history and the final fixed
+          point — are unchanged.  Disable only for benchmarking. *)
+  keep_history : bool;
+      (** Record the per-iteration jitter/response matrices in
+          {!Report.t.history} (the paper's Table 3).  Design-space and
+          sensitivity loops discard the history, so they run their
+          probe analyses with [keep_history = false] and skip the
+          per-sweep deep copies.  [Report.t.history] is [[]] when
+          off. *)
 }
 
 val default : t
 (** [Reduced], [Simple], horizon factor 64, at most 256 outer
-    iterations, early exit on, memoisation on. *)
+    iterations, early exit on, memoisation on, pruning on, incremental
+    sweeps on, history kept. *)
 
 val exact : t
 (** [default] with [variant = Exact]. *)

@@ -31,6 +31,35 @@ let scenario_count m params ~a ~b =
         own
         (remote_participants m ~a ~b)
 
+(* Scenario accounting for benchmarks: one unit is one remote scenario
+   vector ν of the mixed-radix product (all own-transaction choices are
+   always evaluated per unit).  Atomics because the pool's slots bump
+   them concurrently; the counts are diagnostics, not part of any
+   report, and under pruning the visited/pruned split may vary with
+   scheduling while the response stays bit-identical. *)
+type counters = {
+  total : int Atomic.t;
+  visited : int Atomic.t;
+  pruned : int Atomic.t;
+  bounds : int Atomic.t;
+}
+
+let counters () =
+  {
+    total = Atomic.make 0;
+    visited = Atomic.make 0;
+    pruned = Atomic.make 0;
+    bounds = Atomic.make 0;
+  }
+
+let total_scenarios c = Atomic.get c.total
+
+let visited_scenarios c = Atomic.get c.visited
+
+let pruned_scenarios c = Atomic.get c.pruned
+
+let bound_evaluations c = Atomic.get c.bounds
+
 (* Response of task (a,b) within busy periods started by scenario where
    τ_{a,c} initiates the own transaction, [own_interference t] is the
    demand of the own transaction's other tasks, and [remote_interference
@@ -82,82 +111,261 @@ let scenario_response m params ~phi ~jit ~a ~b ~c ~own_interference
       done;
       !best
 
-let response_time ?pool ?memo m params ~phi ~jit ~a ~b =
+let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
   let pool = Option.value pool ~default:Parallel.Pool.sequential in
   let own_hp = Interference.hp m ~i:a ~a ~b in
   let own = own_hp @ [ b ] in
   let cache_of slot = Option.map (fun t -> Memo.cache t ~a ~b ~slot) memo in
-  let contribution cache ~i ~k ~hp_list t =
-    match cache with
-    | Some c -> Memo.contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t
-    | None -> Interference.contribution ~hp_list m ~phi ~jit ~i ~k ~a ~b ~t
+  let bump field n =
+    match counters with
+    | Some c -> ignore (Atomic.fetch_and_add (field c) n)
+    | None -> ()
   in
-  let best_over_own cache ~remote_interference acc =
+  (* Hoisted demand curve of transaction [i] initiated by τ_{i,k}: the
+     kernel (phases, scaled costs) is compiled — or the memo entry
+     resolved — once per response-time computation instead of inside
+     every busy-period evaluation. *)
+  let eval_of cache ~i ~k ~hp_list =
+    match cache with
+    | Some c -> Memo.evaluator c m ~phi ~jit ~i ~k ~hp_list ~a ~b
+    | None ->
+        let kernel = Interference.compile ~hp_list m ~phi ~jit ~i ~k ~a ~b in
+        fun t -> Interference.eval kernel ~t
+  in
+  let own_evals cache =
+    List.map (fun c -> (c, eval_of cache ~i:a ~k:c ~hp_list:own_hp)) own
+  in
+  let best_over_own own_evals ~remote_interference acc =
     List.fold_left
-      (fun acc c ->
-        let own_interference t = contribution cache ~i:a ~k:c ~hp_list:own_hp t in
+      (fun acc (c, own_interference) ->
         Report.bound_max acc
           (scenario_response m params ~phi ~jit ~a ~b ~c ~own_interference
              ~remote_interference))
-      acc own
+      acc own_evals
   in
   let remotes = remote_participants m ~a ~b in
   match params.Params.variant with
   | Params.Reduced ->
       let cache = cache_of 0 in
-      let remote_interference t =
-        List.fold_left
-          (fun acc (i, hp_list) ->
-            let w =
-              match cache with
-              | Some c -> Memo.w_star c m ~phi ~jit ~i ~hp_list ~a ~b ~t
-              | None -> Interference.w_star ~hp_list m ~phi ~jit ~i ~a ~b ~t
-            in
-            Q.(acc + w))
-          Q.zero remotes
+      let remote_ws =
+        List.map
+          (fun (i, hp_list) ->
+            let evals = List.map (fun k -> eval_of cache ~i ~k ~hp_list) hp_list in
+            fun t -> List.fold_left (fun acc f -> Q.max acc (f t)) Q.zero evals)
+          remotes
       in
-      best_over_own cache ~remote_interference (Report.Finite Q.zero)
+      let remote_interference t =
+        List.fold_left (fun acc w -> Q.(acc + w t)) Q.zero remote_ws
+      in
+      bump (fun c -> c.total) 1;
+      bump (fun c -> c.visited) 1;
+      best_over_own (own_evals cache) ~remote_interference (Report.Finite Q.zero)
   | Params.Exact ->
       (* The scenario vectors ν (Eq. 12) of the remote transactions form
          a mixed-radix space of size Π |hp_i|; indexing it lets the
          domain pool split it into contiguous chunks.  Each slot folds
-         its chunk in index order and the slot maxima are reduced in
-         slot order — with exact rationals the result is bit-identical
-         to the sequential enumeration for any job count. *)
+         its chunk in index order and the maxima are joined — with exact
+         rationals the result is bit-identical to the sequential
+         enumeration for any job count. *)
       let remote_arr =
         Array.of_list
           (List.map (fun (i, hp) -> (i, Array.of_list hp, hp)) remotes)
       in
-      let total =
-        Array.fold_left (fun acc (_, ks, _) -> acc * Array.length ks) 1 remote_arr
-      in
-      let best_in ~slot ~lo ~hi =
-        let cache = cache_of slot in
-        let best = ref (Report.Finite Q.zero) in
-        for v = lo to hi - 1 do
-          let remote_interference t =
-            let acc = ref Q.zero and rem = ref v in
-            Array.iter
-              (fun (i, ks, hp_list) ->
-                let s = Array.length ks in
-                let k = ks.(!rem mod s) in
-                rem := !rem / s;
-                acc := Q.(!acc + contribution cache ~i ~k ~hp_list t))
-              remote_arr;
-            !acc
-          in
-          best := best_over_own cache ~remote_interference !best
-        done;
-        !best
-      in
+      let n_rem = Array.length remote_arr in
+      let stride = Array.make (n_rem + 1) 1 in
+      for ri = 0 to n_rem - 1 do
+        let _, ks, _ = remote_arr.(ri) in
+        stride.(ri + 1) <- stride.(ri) * Array.length ks
+      done;
+      let total = stride.(n_rem) in
+      bump (fun c -> c.total) total;
       let jobs = Parallel.Pool.jobs pool in
-      if jobs = 1 || total <= 1 then best_in ~slot:0 ~lo:0 ~hi:total
+      if not params.Params.prune then begin
+        (* Exhaustive enumeration — the reference path pruning is
+           checked against (bench X10, qcheck identity properties). *)
+        bump (fun c -> c.visited) total;
+        let best_in ~slot ~lo ~hi =
+          let cache = cache_of slot in
+          let contrib =
+            Array.map
+              (fun (i, ks, hp_list) ->
+                Array.map (fun k -> eval_of cache ~i ~k ~hp_list) ks)
+              remote_arr
+          in
+          let own_evals = own_evals cache in
+          let best = ref (Report.Finite Q.zero) in
+          for v = lo to hi - 1 do
+            let remote_interference t =
+              let acc = ref Q.zero and rem = ref v in
+              Array.iter
+                (fun fs ->
+                  let s = Array.length fs in
+                  acc := Q.(!acc + fs.(!rem mod s) t);
+                  rem := !rem / s)
+                contrib;
+              !acc
+            in
+            best := best_over_own own_evals ~remote_interference !best
+          done;
+          !best
+        in
+        if jobs = 1 || total <= 1 then best_in ~slot:0 ~lo:0 ~hi:total
+        else begin
+          let slots = Stdlib.min jobs total in
+          let results = Array.make jobs (Report.Finite Q.zero) in
+          Parallel.Pool.run pool (fun slot ->
+              if slot < slots then
+                let lo = slot * total / slots
+                and hi = (slot + 1) * total / slots in
+                results.(slot) <- best_in ~slot ~lo ~hi);
+          Array.fold_left Report.bound_max (Report.Finite Q.zero) results
+        end
+      end
       else begin
-        let slots = Stdlib.min jobs total in
-        let results = Array.make jobs (Report.Finite Q.zero) in
-        Parallel.Pool.run pool (fun slot ->
-            if slot < slots then
-              let lo = slot * total / slots and hi = (slot + 1) * total / slots in
-              results.(slot) <- best_in ~slot ~lo ~hi);
-        Array.fold_left Report.bound_max (Report.Finite Q.zero) results
+        (* Branch and bound over the mixed-radix digit tree.  The
+           incumbent — the best response of any fully evaluated
+           scenario — is shared across slots through a join cell; a
+           subtree is discarded when an optimistic bound (its fixed
+           digits at their actual demand, its free digits at the
+           scenario maximum W{^*} ) cannot beat the incumbent.  Pruning
+           only drops scenarios provably ≤ the running maximum, and the
+           true argmax scenario can never be pruned, so the returned
+           bound is the exact rational of the exhaustive path whatever
+           the job count or interleaving (see docs/THEORY.md). *)
+        let incumbent =
+          Parallel.Pool.Cell.create Report.bound_max (Report.Finite Q.zero)
+        in
+        let horizon = horizon_of m params ~a in
+        let evaluate_index ~slot v =
+          let cache = cache_of slot in
+          let fs =
+            Array.to_list
+              (Array.mapi
+                 (fun ri (i, ks, hp_list) ->
+                   let s = Array.length ks in
+                   let k = ks.(v / stride.(ri) mod s) in
+                   eval_of cache ~i ~k ~hp_list)
+                 remote_arr)
+          in
+          let remote_interference t =
+            List.fold_left (fun acc f -> Q.(acc + f t)) Q.zero fs
+          in
+          best_over_own (own_evals cache) ~remote_interference
+            (Report.Finite Q.zero)
+        in
+        (* Seed: the scenario picking, per remote transaction, the
+           initiator of maximal demand over the horizon — the argmax
+           realising the Reduced variant's W* at the horizon.  It is an
+           ordinary scenario (its response is achieved, so a sound
+           incumbent) and usually a near-maximal one, which is what
+           makes the root and top-level bounds fire. *)
+        let seed_index =
+          let idx = ref 0 in
+          let cache = cache_of 0 in
+          Array.iteri
+            (fun ri (i, ks, hp_list) ->
+              let best_ci = ref 0
+              and best_w = ref ((eval_of cache ~i ~k:ks.(0) ~hp_list) horizon) in
+              for ci = 1 to Array.length ks - 1 do
+                let w = (eval_of cache ~i ~k:ks.(ci) ~hp_list) horizon in
+                if Q.(w > !best_w) then begin
+                  best_w := w;
+                  best_ci := ci
+                end
+              done;
+              idx := !idx + (!best_ci * stride.(ri)))
+            remote_arr;
+          !idx
+        in
+        bump (fun c -> c.visited) 1;
+        Parallel.Pool.Cell.join incumbent (evaluate_index ~slot:0 seed_index);
+        let prune_le ub inc =
+          match (ub, inc) with
+          | _, Report.Divergent -> true
+          | Report.Divergent, Report.Finite _ -> false
+          | Report.Finite u, Report.Finite i -> Q.(u <= i)
+        in
+        let run_slot ~slot ~lo ~hi =
+          if lo < hi then begin
+            let cache = cache_of slot in
+            let contrib =
+              Array.map
+                (fun (i, ks, hp_list) ->
+                  Array.map (fun k -> eval_of cache ~i ~k ~hp_list) ks)
+                remote_arr
+            in
+            let wstar =
+              Array.map
+                (fun fs t ->
+                  Array.fold_left (fun acc f -> Q.max acc (f t)) Q.zero fs)
+                contrib
+            in
+            let own_evals = own_evals cache in
+            (* Optimistic bound of the block where remotes [0..level-1]
+               are free (at W{^*} ) and the rest fixed (their evaluators in
+               [fixed]). *)
+            let block_bound level fixed =
+              bump (fun c -> c.bounds) 1;
+              let remote_interference t =
+                let acc = ref Q.zero in
+                for ri = 0 to level - 1 do
+                  acc := Q.(!acc + wstar.(ri) t)
+                done;
+                List.fold_left (fun acc f -> Q.(acc + f t)) !acc fixed
+              in
+              best_over_own own_evals ~remote_interference
+                (Report.Finite Q.zero)
+            in
+            (* visit level v_base fixed: the block
+               [v_base, v_base + stride.(level)) with digits above
+               [level] fixed; only its intersection with [lo, hi) is
+               this slot's responsibility, but the block bound is valid
+               for any subset. *)
+            let rec visit level v_base fixed =
+              if level = 0 then begin
+                if v_base <> seed_index then begin
+                  bump (fun c -> c.visited) 1;
+                  Parallel.Pool.Cell.join incumbent (evaluate_index' fixed)
+                end
+              end
+              else begin
+                let inside =
+                  Stdlib.min hi (v_base + stride.(level)) - Stdlib.max lo v_base
+                in
+                if
+                  inside > 1
+                  && prune_le (block_bound level fixed)
+                       (Parallel.Pool.Cell.get incumbent)
+                then bump (fun c -> c.pruned) inside
+                else begin
+                  let ri = level - 1 in
+                  let _, ks, _ = remote_arr.(ri) in
+                  let sub = stride.(ri) in
+                  for ci = 0 to Array.length ks - 1 do
+                    let v = v_base + (ci * sub) in
+                    if v + sub > lo && v < hi then
+                      visit ri v (contrib.(ri).(ci) :: fixed)
+                  done
+                end
+              end
+            and evaluate_index' fixed =
+              let remote_interference t =
+                List.fold_left (fun acc f -> Q.(acc + f t)) Q.zero fixed
+              in
+              best_over_own own_evals ~remote_interference
+                (Report.Finite Q.zero)
+            in
+            visit n_rem 0 []
+          end
+        in
+        (if jobs = 1 || total <= 1 then run_slot ~slot:0 ~lo:0 ~hi:total
+         else begin
+           let slots = Stdlib.min jobs total in
+           Parallel.Pool.run pool (fun slot ->
+               if slot < slots then
+                 let lo = slot * total / slots
+                 and hi = (slot + 1) * total / slots in
+                 run_slot ~slot ~lo ~hi)
+         end);
+        Parallel.Pool.Cell.get incumbent
       end

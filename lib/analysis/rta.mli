@@ -14,11 +14,49 @@
 
     Every busy-period recurrence pays the platform delay Δ once and
     scales demands by 1/α.  [Divergent] is returned when a recurrence
-    exceeds [params.horizon_factor * max period deadline]. *)
+    exceeds [params.horizon_factor * max period deadline].
+
+    With [params.prune] (the default) the exact enumeration does not
+    visit every scenario: the mixed-radix scenario space is explored as
+    a digit tree and sub-trees whose optimistic bound — fixed digits at
+    their actual demand, free digits at the scenario maximum W{^*} —
+    cannot beat the best fully evaluated scenario are skipped.  The
+    enumeration is seeded with the W{^*}-argmax scenario, so the
+    incumbent is strong from the first comparison.  Pruning never drops
+    the maximising scenario (the bound is pointwise conservative and
+    ties are kept until evaluated), so the returned bound is the exact
+    same rational as the exhaustive enumeration, for every job count —
+    see docs/THEORY.md for the dominance argument. *)
+
+(** Scenario accounting, shared by benchmarks and the CLI.  One unit is
+    one remote scenario vector ν of Eq. 12 ([Reduced] counts 1 per
+    call).  The counts are cumulative across calls and safe to read
+    concurrently; they are diagnostics only — never part of a
+    {!Report.t} — because the visited/pruned split depends on domain
+    scheduling even though the reported bounds do not. *)
+type counters
+
+val counters : unit -> counters
+(** A fresh set of zeroed counters. *)
+
+val total_scenarios : counters -> int
+(** Scenario units in the spaces examined so far (visited or not). *)
+
+val visited_scenarios : counters -> int
+(** Scenario units actually evaluated ([<= total_scenarios] with
+    pruning, [= total_scenarios] without). *)
+
+val pruned_scenarios : counters -> int
+(** Scenario units discarded by a bound test.  [visited + pruned] can
+    be below [total] — chunks may also be skipped wholesale. *)
+
+val bound_evaluations : counters -> int
+(** Optimistic block bounds computed (the overhead side of pruning). *)
 
 val response_time :
   ?pool:Parallel.Pool.t ->
   ?memo:Memo.t ->
+  ?counters:counters ->
   Model.t ->
   Params.t ->
   phi:Rational.t array array ->
@@ -27,13 +65,15 @@ val response_time :
   b:int ->
   Report.bound
 (** [pool] splits the exact scenario enumeration (Eq. 12) into
-    contiguous index chunks across the pool's domains; the reduction is
-    a maximum of exact rationals folded in slot order, so the result is
-    bit-identical to the sequential enumeration for every job count (the
-    reduced variant's handful of scenarios is never parallelised).
+    contiguous index chunks across the pool's domains; chunks share the
+    branch-and-bound incumbent through a {!Parallel.Pool.Cell}, and the
+    final bound is read from the cell, so the result is bit-identical to
+    the sequential enumeration for every job count (the reduced
+    variant's handful of scenarios is never parallelised).
     [memo] caches interference evaluations across calls — see {!Memo};
     when both are given, slot [s] of the pool only touches cache slot
-    [s], so no synchronisation is needed. *)
+    [s], so no synchronisation is needed.  [counters], when given, is
+    bumped with this call's scenario accounting. *)
 
 val scenario_count : Model.t -> Params.t -> a:int -> b:int -> int
 (** Number of scenarios the chosen variant examines for task [(a, b)]

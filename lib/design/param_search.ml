@@ -21,10 +21,18 @@ let fixed_latency_family ~delta ~beta =
     bound_of_rate = (fun alpha -> LB.make ~alpha ~delta ~beta);
   }
 
+(* The searches below only read the verdict of each probe analysis, so
+   the per-sweep history matrices are dead weight: drop them whatever
+   parameters the caller passed. *)
+let probe_params params =
+  let p = Option.value params ~default:Analysis.Params.default in
+  { p with Analysis.Params.keep_history = false }
+
 let schedulable_with ?params ?pool sys ~bounds =
   let m = Analysis.Model.of_system sys in
   let m = { m with Analysis.Model.bounds } in
-  (Analysis.Holistic.analyze ?params ?pool m).Analysis.Report.schedulable
+  (Analysis.Holistic.analyze ~params:(probe_params params) ?pool m)
+    .Analysis.Report.schedulable
 
 let current_bounds (sys : Transaction.System.t) =
   Array.map
@@ -193,7 +201,8 @@ let breakdown_utilization ?params ?pool ?(precision = 10) sys =
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Analysis.Holistic.analyze ?params ?pool (scale_demands m factor))
+      (Analysis.Holistic.analyze ~params:(probe_params params) ?pool
+         (scale_demands m factor))
         .Analysis.Report.schedulable
   in
   if not (ok Q.one) then

@@ -51,10 +51,15 @@ let search_scaling ~precision ok =
 
 let task_scaling ?params ?pool ?(precision = 7) sys ~txn ~task =
   let m = Model.of_system sys in
+  (* Probes only read the verdict; skip the per-sweep history copies. *)
+  let params =
+    let p = Option.value params ~default:Analysis.Params.default in
+    { p with Analysis.Params.keep_history = false }
+  in
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Analysis.Holistic.analyze ?params ?pool (scale_one m ~txn ~task factor))
+      (Analysis.Holistic.analyze ~params ?pool (scale_one m ~txn ~task factor))
         .Report.schedulable
   in
   search_scaling ~precision ok

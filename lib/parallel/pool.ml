@@ -135,6 +135,28 @@ let run t f =
 
 let chunk ~jobs ~n ~slot = (slot * n / jobs, (slot + 1) * n / jobs)
 
+(* A lock-free cell holding the join of everything published to it.
+   Because the join is associative, commutative and idempotent, the
+   final value does not depend on the interleaving of the publishing
+   slots — only on the set of published values.  Used by the
+   branch-and-bound scenario enumeration to share the best response
+   found so far across chunks: a racy read can only under-approximate
+   the join, which merely prunes less, never changes a result. *)
+module Cell = struct
+  type 'a t = { cell : 'a Atomic.t; join : 'a -> 'a -> 'a }
+
+  let create join init = { cell = Atomic.make init; join }
+
+  let get t = Atomic.get t.cell
+
+  let rec join t v =
+    let cur = Atomic.get t.cell in
+    let next = t.join cur v in
+    if next = cur then ()
+    else if Atomic.compare_and_set t.cell cur next then ()
+    else join t v
+end
+
 let tabulate t n f =
   if n < 0 then invalid_arg "Parallel.Pool.tabulate: negative length";
   if n = 0 then [||]

@@ -62,3 +62,29 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!tabulate} over the elements of a list, preserving order. *)
+
+(** A lock-free join cell shared between the slots of a region.
+
+    The cell accumulates the join (e.g. a maximum) of every value
+    published to it.  The join must be associative, commutative and
+    idempotent on pure data (structural equality is used to cut idle
+    CAS retries) — then the cell's final content is a pure function of
+    the {e set} of published values, independent of scheduling.  The
+    branch-and-bound scenario enumeration ({!Analysis.Rta}) uses one to
+    share its running best across chunks: a stale read only prunes
+    less, so results stay bit-identical while the pruned work varies
+    with timing. *)
+module Cell : sig
+  type 'a t
+
+  val create : ('a -> 'a -> 'a) -> 'a -> 'a t
+  (** [create join init] — [init] must be the join identity (or a value
+      every published value absorbs monotonically). *)
+
+  val get : 'a t -> 'a
+  (** Current join of everything published so far. *)
+
+  val join : 'a t -> 'a -> unit
+  (** Publish a value: [get] afterwards is ≥ (in the join order) both
+      the previous content and the published value. *)
+end

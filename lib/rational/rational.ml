@@ -75,11 +75,32 @@ let div_int x n = div x (of_int n)
 
 let sign x = compare x.num 0
 
+(* Continued-fraction comparison: strip the integer parts, then compare
+   the reciprocals of the remainders with the arguments swapped.  This
+   is the Euclidean algorithm run on both fractions in lockstep — it
+   never multiplies, so it cannot overflow even for values near
+   max_int whose cross products would (the denominators are positive
+   and shrink every round, guaranteeing termination). *)
+let rec compare_frac n1 d1 n2 d2 =
+  (* d1, d2 > 0 *)
+  let fdiv n d = if n >= 0 then n / d else ((n + 1) / d) - 1 in
+  let q1 = fdiv n1 d1 and q2 = fdiv n2 d2 in
+  if q1 <> q2 then compare q1 q2
+  else
+    (* remainders in [0, d): r = n - q*d computed without the product *)
+    let fmod n d =
+      let r = n mod d in
+      if r < 0 then r + d else r
+    in
+    let r1 = fmod n1 d1 and r2 = fmod n2 d2 in
+    if r1 = 0 && r2 = 0 then 0
+    else if r1 = 0 then -1
+    else if r2 = 0 then 1
+    else compare_frac d2 r2 d1 r1
+
 let compare_q x y =
   if x.den = y.den then compare x.num y.num
-  else
-    let g = gcd x.den y.den in
-    compare (mul_exn x.num (y.den / g)) (mul_exn y.num (x.den / g))
+  else compare_frac x.num x.den y.num y.den
 
 let equal x y = x.num = y.num && x.den = y.den
 

@@ -24,6 +24,20 @@ Parallel domains return the identical report (--jobs 0 = all cores):
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --exact --jobs 0 --csv | grep compute
   Integrator.Thread2,Integrator.Thread2.compute,2,3,1,4/5,5,19,8,31,50,true
 
+Disabling the branch-and-bound pruning and the incremental fixed point
+changes nothing in the report — they are pure optimisations:
+
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --exact --no-prune --no-incremental --csv | grep compute
+  Integrator.Thread2,Integrator.Thread2.compute,2,3,1,4/5,5,19,8,31,50,true
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --exact --no-prune --jobs 2 --csv | grep compute
+  Integrator.Thread2,Integrator.Thread2.compute,2,3,1,4/5,5,19,8,31,50,true
+
+So does dropping the history matrices (--history still wins when both
+are given):
+
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --no-history | tail -1
+  schedulable: true (outer iterations: 4, converged: true)
+
 A negative job count is rejected:
 
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --jobs=-1

@@ -388,6 +388,80 @@ let test_exact_never_exceeds_reduced () =
       re.Report.results
   done
 
+(* --- pruning and incrementality are invisible in reports --- *)
+
+let scenario_total (m : Model.t) =
+  let total = ref 0 in
+  Array.iteri
+    (fun a (tx : Model.txn) ->
+      Array.iteri
+        (fun b _ -> total := !total + Rta.scenario_count m P.exact ~a ~b)
+        tx.Model.tasks)
+    m.Model.txns;
+  !total
+
+(* The tentpole identity: branch-and-bound pruning plus the incremental
+   outer fixed point produce, report-for-report (history included), the
+   same exact rationals as the naive enumerate-everything path — under
+   both variants and for both a sequential and a 4-domain pool. *)
+let ablation_identity_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"prune+incremental = naive, exact and reduced, jobs 1 and 4"
+       ~count:10
+       (QCheck.int_range 1 1000)
+       (fun seed ->
+         let spec =
+           {
+             Workload.Gen.default_spec with
+             Workload.Gen.n_txns = 3;
+             max_tasks_per_txn = 3;
+           }
+         in
+         let sys = Workload.Gen.system ~seed spec in
+         let m = Model.of_system sys in
+         QCheck.assume (scenario_total m < 20_000);
+         let agrees base =
+           let reference =
+             Holistic.analyze
+               ~params:{ base with P.prune = false; incremental = false }
+               m
+           in
+           List.for_all
+             (fun jobs ->
+               Parallel.Pool.with_pool ~jobs (fun pool ->
+                   Holistic.analyze ~params:base ~pool m)
+               = reference)
+             [ 1; 4 ]
+         in
+         agrees P.exact && agrees P.default))
+
+let test_keep_history () =
+  let m = paper_model () in
+  let with_h = Holistic.analyze ~params:P.exact m in
+  let without_h =
+    Holistic.analyze ~params:{ P.exact with P.keep_history = false } m
+  in
+  Alcotest.(check bool) "history dropped" true (without_h.Report.history = []);
+  Alcotest.(check bool)
+    "rest of the report identical" true
+    ({ with_h with Report.history = [] } = without_h)
+
+let test_scenario_counters () =
+  let m = paper_model () in
+  let exercise params =
+    let counters = Rta.counters () in
+    ignore (Holistic.analyze ~params ~counters m);
+    (Rta.total_scenarios counters, Rta.visited_scenarios counters)
+  in
+  let t0, v0 =
+    exercise { P.exact with P.prune = false; incremental = false }
+  in
+  Alcotest.(check int) "naive visits everything" t0 v0;
+  let t1, v1 = exercise P.exact in
+  Alcotest.(check bool) "visited within total" true (v1 <= t1);
+  Alcotest.(check bool) "incremental examines no more spaces" true (t1 <= t0)
+
 let test_scenario_count () =
   let m = paper_model () in
   (* τ4,1: hp Γ1 on P3 = {init, compute}, own scenarios = itself *)
@@ -447,5 +521,11 @@ let () =
         [
           Alcotest.test_case "exact <= reduced" `Quick test_exact_never_exceeds_reduced;
           Alcotest.test_case "scenario counts" `Quick test_scenario_count;
+        ] );
+      ( "pruning",
+        [
+          ablation_identity_prop;
+          Alcotest.test_case "keep_history off" `Quick test_keep_history;
+          Alcotest.test_case "scenario counters" `Quick test_scenario_counters;
         ] );
     ]

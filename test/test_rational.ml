@@ -84,6 +84,24 @@ let test_overflow_detected () =
   Alcotest.check_raises "mul overflow" Q.Overflow (fun () ->
       ignore (Q.mul big (Q.of_int 2)))
 
+(* Comparison must not overflow even when the cross products num1·den2
+   would: the continued-fraction descent compares without multiplying.
+   These exact pairs used to raise [Q.Overflow]. *)
+let test_compare_never_overflows () =
+  let big = Q.make max_int 3 and big2 = Q.make (max_int - 1) 2 in
+  Alcotest.(check int) "max_int/3 < (max_int-1)/2" (-1) (Q.compare big big2);
+  Alcotest.(check int) "antisymmetric" 1 (Q.compare big2 big);
+  Alcotest.(check int) "negated flips" 1 (Q.compare (Q.neg big) (Q.neg big2));
+  Alcotest.(check int) "signs decide" (-1) (Q.compare (Q.neg big) big2);
+  Alcotest.(check int) "equal huge" 0 (Q.compare big big);
+  (* tiny fractions with huge coprime denominators *)
+  let eps = Q.make 2 max_int and eps' = Q.make 3 (max_int - 1) in
+  Alcotest.(check int) "2/max_int < 3/(max_int-1)" (-1) (Q.compare eps eps');
+  Alcotest.(check int) "tiny vs zero" 1 (Q.compare eps Q.zero);
+  (* mixed magnitudes: integer part decides immediately *)
+  Alcotest.(check int) "huge vs one" 1 (Q.compare big Q.one);
+  Alcotest.(check int) "negative huge vs one" (-1) (Q.compare (Q.neg big) Q.one)
+
 let test_division_by_zero () =
   Alcotest.check_raises "div" Q.Division_by_zero (fun () ->
       ignore (Q.div Q.one Q.zero));
@@ -176,6 +194,8 @@ let () =
           Alcotest.test_case "fmod" `Quick test_fmod;
           Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
           Alcotest.test_case "overflow detected" `Quick test_overflow_detected;
+          Alcotest.test_case "compare never overflows" `Quick
+            test_compare_never_overflows;
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
         ] );
       ("laws", laws);
