@@ -8,7 +8,8 @@
 
    Run with: dune exec bench/main.exe            (everything)
              dune exec bench/main.exe -- list    (section names)
-             dune exec bench/main.exe -- <name>  (one section)    *)
+             dune exec bench/main.exe -- <name>  (one section)
+   --out FILE redirects the JSON summary (default BENCH_analysis.json). *)
 
 module Q = Rational
 module LB = Platform.Linear_bound
@@ -36,6 +37,8 @@ let header title =
 let quick = ref false
 (* --quick: identity/soundness checks only — skip the timing sweeps
    whose numbers are meaningless on loaded CI machines *)
+
+let out_path = ref "BENCH_analysis.json"
 
 let checks : (string * bool) list ref = ref []
 
@@ -218,8 +221,14 @@ let exact_vs_reduced () =
         m.Model.txns;
       !total
     in
-    let exact = Analysis.Holistic.analyze ~params:Analysis.Params.exact m in
-    let reduced = Analysis.Holistic.analyze m in
+    (* one session per model: the exact and reduced runs share the
+       compiled IR, only the params differ *)
+    let session = Analysis.Engine.create ~params:Analysis.Params.exact m in
+    let exact = Analysis.Engine.analyze session in
+    let reduced =
+      Analysis.Engine.analyze
+        (Analysis.Engine.with_overrides session ~params:Analysis.Params.default)
+    in
     let worst_ratio = ref Q.one in
     Array.iteri
       (fun a row ->
@@ -275,7 +284,7 @@ let analysis_vs_simulation () =
   for seed = 1 to 12 do
     let spec = { Workload.Gen.default_spec with Workload.Gen.server_platforms = true } in
     let sys = Workload.Gen.system ~seed spec in
-    let report = Analysis.Holistic.analyze (Model.of_system sys) in
+    let report = Analysis.Engine.(analyze (create_system sys)) in
     (* only converged reports carry guaranteed bounds *)
     if report.Report.converged then
       let sim =
@@ -321,14 +330,21 @@ let design_search () =
       resources
   in
   Format.printf "paper allocation: alpha = (0.4, 0.4, 0.2), sum = 1.0@.";
-  (match Design.Param_search.balance_rates ~precision:7 sys ~families:fixed with
+  (* one session for the whole design sweep: hundreds of probe analyses
+     below share the model compiled here *)
+  let engine = Analysis.Engine.create_system sys in
+  (match
+     Design.Param_search.balance_rates ~engine ~precision:7 sys ~families:fixed
+   with
   | None -> Format.printf "search found nothing?!@."
   | Some rates ->
       let total = Array.fold_left Q.add Q.zero rates in
       Format.printf "balanced search  : alpha = (%s), sum = %s@."
         (String.concat ", " (Array.to_list (Array.map dec rates)))
         (dec total));
-  (match Design.Param_search.minimize_rates ~precision:7 sys ~families:fixed with
+  (match
+     Design.Param_search.minimize_rates ~engine ~precision:7 sys ~families:fixed
+   with
   | None -> ()
   | Some rates ->
       let total = Array.fold_left Q.add Q.zero rates in
@@ -336,8 +352,8 @@ let design_search () =
         (String.concat ", " (Array.to_list (Array.map dec rates)))
         (dec total));
   Format.printf "breakdown utilization: %s@."
-    (dec (Design.Param_search.breakdown_utilization ~precision:7 sys));
-  match Design.Param_search.max_delta ~precision:7 sys ~resource:2 with
+    (dec (Design.Param_search.breakdown_utilization ~engine ~precision:7 sys));
+  match Design.Param_search.max_delta ~engine ~precision:7 sys ~resource:2 with
   | None -> ()
   | Some d -> Format.printf "max tolerable delta on Pi3: %s (provisioned 2)@." (dec d)
 
@@ -349,19 +365,6 @@ let classical_equivalence () =
   header "X4 — (1, 0, 0) degenerates to classical response-time analysis";
   let tasks =
     [ ("t1", "2", "8", 4); ("t2", "1", "10", 3); ("t3", "3", "20", 2); ("t4", "4", "40", 1) ]
-  in
-  let classical =
-    List.map
-      (fun (name, c, t, prio) ->
-        {
-          Analysis.Classical.name;
-          c = q c;
-          period = q t;
-          deadline = q t;
-          jitter = Q.zero;
-          prio;
-        })
-      tasks
   in
   let model =
     Model.make ~bounds:[ LB.full ]
@@ -375,18 +378,22 @@ let classical_equivalence () =
            })
          tasks)
   in
-  let holistic = Analysis.Holistic.analyze model in
-  Format.printf "%-6s %12s %12s %8s@." "task" "classical" "holistic" "match";
+  (* one session serves both sides: the holistic run and the classical
+     view derived from the same model (every transaction here is a
+     single task, so the view covers all of them) *)
+  let session = Analysis.Engine.create model in
+  let holistic = Analysis.Engine.analyze session in
+  Format.printf "%-8s %12s %12s %8s@." "task" "classical" "holistic" "match";
   let all = ref true in
   List.iteri
     (fun i (ct, cr) ->
       let hr = holistic.Report.results.(i).(0).Report.response in
       let m = Report.equal_bound cr hr in
       if not m then all := false;
-      Format.printf "%-6s %12s %12s %8s@." ct.Analysis.Classical.name (bound cr)
+      Format.printf "%-8s %12s %12s %8s@." ct.Analysis.Classical.name (bound cr)
         (bound hr)
         (if m then "yes" else "NO"))
-    (Analysis.Classical.response_times classical);
+    (Analysis.Engine.classical session ~resource:0);
   check "classical_equivalence/degenerate platform matches classical RTA" !all
 
 (* ------------------------------------------------------------------ *)
@@ -433,10 +440,16 @@ let scalability () =
         let r = f () in
         ((Sys.time () -. t0) *. 1000., r)
       in
-      let reduced_ms, report = time (fun () -> Analysis.Holistic.analyze m) in
+      (* both variants share one session's compiled IR *)
+      let session = Analysis.Engine.create m in
+      let reduced_ms, report = time (fun () -> Analysis.Engine.analyze session) in
       let exact_ms =
         if scenarios < 200_000 then
-          fst (time (fun () -> Analysis.Holistic.analyze ~params:Analysis.Params.exact m))
+          fst
+            (time (fun () ->
+                 Analysis.Engine.analyze
+                   (Analysis.Engine.with_overrides session
+                      ~params:Analysis.Params.exact)))
         else Float.nan
       in
       Format.printf "%8d %8d %12d %14.1f %14s %10d@." n_txns n_tasks scenarios
@@ -480,27 +493,33 @@ let fp_vs_edf () =
               (Printf.sprintf "t%d" i, c, period, deadline))
             shares
         in
-        let classical =
-          List.map
-            (fun (name, c, period, deadline) ->
-              {
-                Analysis.Classical.name;
-                c;
-                period;
-                deadline;
-                jitter = Q.zero;
-                prio = 1000 - Q.floor deadline;
-              })
-            tasks
+        (* both schedulers judge the same degenerate model (one task per
+           transaction) through one session's platform views *)
+        let model =
+          Model.make ~bounds:[ bound ]
+            (List.map
+               (fun (name, c, period, deadline) ->
+                 {
+                   Model.tname = name;
+                   period;
+                   deadline;
+                   tasks =
+                     [|
+                       {
+                         Model.name;
+                         c;
+                         cb = c;
+                         res = 0;
+                         prio = 1000 - Q.floor deadline;
+                       };
+                     |];
+                 })
+               tasks)
         in
-        let edf =
-          List.map
-            (fun (name, c, period, deadline) ->
-              { Analysis.Edf.name; c; period; deadline })
-            tasks
-        in
-        if Analysis.Classical.schedulable ~bound classical then incr fp_ok;
-        if Analysis.Edf.schedulable ~bound edf then incr edf_ok
+        let session = Analysis.Engine.create model in
+        if Analysis.Engine.classical_schedulable session ~resource:0 then
+          incr fp_ok;
+        if Analysis.Engine.edf_schedulable session ~resource:0 then incr edf_ok
       done;
       Format.printf "%7d%% %14d %14d@." percent !fp_ok !edf_ok)
     [ 50; 60; 70; 80; 90; 95 ];
@@ -515,8 +534,11 @@ let fp_vs_edf () =
 let sensitivity () =
   header "X6 — sensitivity of the paper example";
   let sys = Hsched.Paper_example.system () in
+  (* one session: every margin search and the slack report below share
+     the compiled model *)
+  let engine = Analysis.Engine.create_system sys in
   Format.printf "%a@." Design.Sensitivity.pp_margins
-    (Design.Sensitivity.all_task_margins ~precision:6 sys);
+    (Design.Sensitivity.all_task_margins ~engine ~precision:6 sys);
   Format.printf "end-to-end slack:@.";
   List.iter
     (fun (name, response, deadline) ->
@@ -526,7 +548,7 @@ let sensitivity () =
           Format.printf "  %-24s R = %s, D = %s, slack = %s@." name (dec r)
             (dec deadline)
             (dec Q.(deadline - r)))
-    (Design.Sensitivity.transaction_slack sys);
+    (Design.Sensitivity.transaction_slack ~engine sys);
   Format.printf
     "the integration platform's sporadic server (tau_4,1) is the critical@.\
      element: its WCET tolerates only ~34%% growth, while the sensor-side@.\
@@ -662,6 +684,9 @@ let parallel_scaling () =
   Format.printf "workload: seed 3, 8 txns on 2 platforms, %d exact scenarios@."
     scenarios;
   Format.printf "%6s %12s %9s %10s@." "jobs" "wall (ms)" "speedup" "identical";
+  (* one base session; every cell below derives from it, so the model is
+     compiled once for the whole matrix *)
+  let base = Analysis.Engine.create ~params:Analysis.Params.exact m in
   let baseline = ref Float.nan in
   let reference = ref None in
   let all_identical = ref true in
@@ -669,8 +694,14 @@ let parallel_scaling () =
     (fun jobs ->
       let ms, report =
         Parallel.Pool.with_pool ~jobs (fun pool ->
-            wall (fun () ->
-                Analysis.Holistic.analyze ~params:Analysis.Params.exact ~pool m))
+            (* with_model: share the IR but start from a cold memo, so
+               the wall clocks of the cells stay comparable *)
+            let cell =
+              Analysis.Engine.with_model
+                (Analysis.Engine.with_overrides base ~pool)
+                m
+            in
+            wall (fun () -> Analysis.Engine.analyze cell))
       in
       if Float.is_nan !baseline then baseline := ms;
       (* Report.t is pure data (exact rationals, ints, bools), so
@@ -698,7 +729,7 @@ let parallel_scaling () =
             Parallel.Pool.map_list pool
               (fun seed ->
                 let sys = Workload.Gen.system ~seed Workload.Gen.default_spec in
-                let report = Analysis.Holistic.analyze (Model.of_system sys) in
+                let report = Analysis.Engine.(analyze (create_system sys)) in
                 (seed, report.Report.schedulable))
               seeds))
   in
@@ -715,13 +746,15 @@ let parallel_scaling () =
   (* memoization ablation: same report with the cross-sweep interference
      memo on (the default) and off *)
   let memo_ms, with_memo =
-    wall (fun () -> Analysis.Holistic.analyze ~params:Analysis.Params.exact m)
+    (* with_model again: cold memo, warm IR *)
+    wall (fun () -> Analysis.Engine.analyze (Analysis.Engine.with_model base m))
   in
   let plain_ms, without_memo =
     wall (fun () ->
-        Analysis.Holistic.analyze
-          ~params:{ Analysis.Params.exact with Analysis.Params.memoize = false }
-          m)
+        Analysis.Engine.analyze
+          (Analysis.Engine.with_overrides base
+             ~params:
+               { Analysis.Params.exact with Analysis.Params.memoize = false }))
   in
   Format.printf "interference memo (sequential): on %.1f ms, off %.1f ms@."
     memo_ms plain_ms;
@@ -747,15 +780,22 @@ let prune_incremental () =
   in
   let sys = Workload.Gen.system ~seed:3 spec in
   let m = Model.of_system sys in
+  (* one base session for the whole matrix; each cell re-derives it with
+     its own params, pool and counters, and takes a fresh memo
+     (with_model) so the wall clocks stay comparable *)
+  let base = Analysis.Engine.create ~params:Analysis.Params.exact m in
   let cell ~prune ~incremental ~jobs =
     let params =
       { Analysis.Params.exact with Analysis.Params.prune; incremental }
     in
     let counters = Analysis.Rta.counters () in
     Parallel.Pool.with_pool ~jobs (fun pool ->
-        let ms, report =
-          wall (fun () -> Analysis.Holistic.analyze ~params ~pool ~counters m)
+        let session =
+          Analysis.Engine.with_model
+            (Analysis.Engine.with_overrides base ~params ~pool ~counters)
+            m
         in
+        let ms, report = wall (fun () -> Analysis.Engine.analyze session) in
         (ms, report, counters))
   in
   Format.printf "%-22s %10s %10s %10s %10s %8s@." "cell (jobs)" "wall (ms)"
@@ -825,6 +865,11 @@ let timings () =
       { Workload.Gen.default_spec with Workload.Gen.n_txns = 10; n_resources = 4 }
   in
   let big_m = Model.of_system big_sys in
+  (* sessions created outside the timed thunks: these benchmarks measure
+     the steady state of a reused session (compiled IR, warm memo) *)
+  let session_red = Analysis.Engine.create m in
+  let session_ex = Analysis.Engine.create ~params:Analysis.Params.exact m in
+  let session_big = Analysis.Engine.create big_m in
   let tests =
     [
       Test.make ~name:"figure3:supply-functions"
@@ -845,12 +890,11 @@ let timings () =
              | Ok a -> ignore (Transaction.Derive.derive_exn a)
              | Error _ -> assert false));
       Test.make ~name:"table3:holistic-reduced"
-        (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze m)));
+        (Staged.stage (fun () -> ignore (Analysis.Engine.analyze session_red)));
       Test.make ~name:"table3:holistic-exact"
-        (Staged.stage (fun () ->
-             ignore (Analysis.Holistic.analyze ~params:Analysis.Params.exact m)));
+        (Staged.stage (fun () -> ignore (Analysis.Engine.analyze session_ex)));
       Test.make ~name:"x1:holistic-10txn"
-        (Staged.stage (fun () -> ignore (Analysis.Holistic.analyze big_m)));
+        (Staged.stage (fun () -> ignore (Analysis.Engine.analyze session_big)));
       Test.make ~name:"x2:simulation-10k"
         (Staged.stage (fun () ->
              ignore
@@ -922,9 +966,9 @@ let run_section (name, f) =
   metric (Printf.sprintf "section/%s_ms" name) ms
 
 let finish () =
-  write_json "BENCH_analysis.json";
+  write_json !out_path;
   let failed = List.filter (fun (_, ok) -> not ok) !checks in
-  Format.printf "@.BENCH_analysis.json written: %d check(s), %d failed@."
+  Format.printf "@.%s written: %d check(s), %d failed@." !out_path
     (List.length !checks) (List.length failed);
   List.iter (fun (n, _) -> Format.printf "FAILED: %s@." n) failed;
   if failed <> [] then exit 1
@@ -938,6 +982,17 @@ let () =
     end
     else args
   in
+  let rec take_out acc = function
+    | "--out" :: path :: rest ->
+        out_path := path;
+        take_out acc rest
+    | [ "--out" ] ->
+        prerr_endline "bench: --out requires a FILE argument";
+        exit 1
+    | a :: rest -> take_out (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = take_out [] args in
   match args with
   | [] ->
       List.iter run_section sections;

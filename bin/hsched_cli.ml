@@ -79,9 +79,26 @@ let no_history_flag =
           "Do not record the per-iteration history matrices (ignored when \
            $(b,--history) asks to print them).")
 
+(* Domains are heavyweight OS threads: a job count beyond any plausible
+   machine is a typo, not a request, so reject it at parse time along
+   with negatives and non-integers (cmdliner parse errors exit 124). *)
+let max_jobs = 512
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %s" s))
+    | Some n when n < 0 ->
+        Error (`Msg (Printf.sprintf "must be >= 0 (0 = all cores), got %d" n))
+    | Some n when n > max_jobs ->
+        Error (`Msg (Printf.sprintf "must be <= %d, got %d" max_jobs n))
+    | Some n -> Ok n
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt jobs_conv 1
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
           "Run the analysis engine on $(docv) parallel domains ($(b,0) = all \
@@ -90,12 +107,30 @@ let jobs_arg =
 
 (* Every subcommand creates its pool around the whole run, so design
    sweeps reuse one set of domains across all their analyses. *)
-let with_jobs jobs f =
-  if jobs < 0 then begin
-    prerr_endline "hsched: --jobs must be >= 0";
-    exit 1
-  end;
-  Parallel.Pool.with_pool ~jobs f
+let with_jobs jobs f = Parallel.Pool.with_pool ~jobs f
+
+let engine_trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write the engine's structured events (model compilation, one line \
+           per fixed-point sweep, final verdict) to $(docv) as JSON lines.")
+
+let with_trace trace f =
+  match trace with
+  | None -> f None
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          f
+            (Some
+               (fun e ->
+                 output_string oc (Analysis.Engine.event_to_json e);
+                 output_char oc '\n')))
 
 (* --- validate --- *)
 
@@ -143,7 +178,8 @@ let csv_flag =
         ~doc:"Emit machine-readable CSV (one row per task) instead of the table.")
 
 let analyze_cmd =
-  let run file exact history csv jobs no_prune no_incremental no_history =
+  let run file exact history csv jobs trace no_prune no_incremental no_history
+      =
     let sys = or_die (load_system file) in
     let m = Analysis.Model.of_system sys in
     let params =
@@ -157,7 +193,9 @@ let analyze_cmd =
       }
     in
     let report =
-      with_jobs jobs @@ fun pool -> Analysis.Holistic.analyze ~params ~pool m
+      with_jobs jobs @@ fun pool ->
+      with_trace trace @@ fun sink ->
+      Analysis.Engine.analyze (Analysis.Engine.create ~params ~pool ?sink m)
     in
     let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
     if csv then begin
@@ -208,7 +246,8 @@ let analyze_cmd =
           Exits 0 when schedulable, 2 when not.")
     Term.(
       const run $ file_arg $ exact_flag $ history_arg $ csv_flag $ jobs_arg
-      $ no_prune_flag $ no_incremental_flag $ no_history_flag)
+      $ engine_trace_arg $ no_prune_flag $ no_incremental_flag
+      $ no_history_flag)
 
 (* --- simulate --- *)
 
@@ -307,12 +346,16 @@ let simulate_cmd =
 (* --- sensitivity --- *)
 
 let sensitivity_cmd =
-  let run file precision jobs =
+  let run file precision jobs trace =
     let sys = or_die (load_system file) in
     with_jobs jobs @@ fun pool ->
+    with_trace trace @@ fun sink ->
+    (* One session for the whole command: every margin search and the
+       slack report reuse the model compiled here. *)
+    let engine = Analysis.Engine.create_system ~pool ?sink sys in
     Format.printf "per-task WCET scaling margins (most critical first):@.%a@."
       Design.Sensitivity.pp_margins
-      (Design.Sensitivity.all_task_margins ~pool ~precision sys);
+      (Design.Sensitivity.all_task_margins ~engine ~precision sys);
     Format.printf "@.end-to-end slack per transaction:@.";
     List.iter
       (fun (name, response, deadline) ->
@@ -322,7 +365,7 @@ let sensitivity_cmd =
         | Analysis.Report.Finite r ->
             Format.printf "  %-28s R = %a, D = %a, slack = %a@." name
               Q.pp_decimal r Q.pp_decimal deadline Q.pp_decimal Q.(deadline - r))
-      (Design.Sensitivity.transaction_slack ~pool sys);
+      (Design.Sensitivity.transaction_slack ~engine sys);
     0
   in
   let precision_arg =
@@ -333,7 +376,7 @@ let sensitivity_cmd =
   Cmd.v
     (Cmd.info "sensitivity"
        ~doc:"Per-task growth margins and per-transaction slack.")
-    Term.(const run $ file_arg $ precision_arg $ jobs_arg)
+    Term.(const run $ file_arg $ precision_arg $ jobs_arg $ engine_trace_arg)
 
 (* --- design --- *)
 
@@ -354,9 +397,13 @@ let server_period_arg =
            delay and burstiness fixed.")
 
 let design_cmd =
-  let run file precision server_period jobs =
+  let run file precision server_period jobs trace =
     let sys = or_die (load_system file) in
     with_jobs jobs @@ fun pool ->
+    with_trace trace @@ fun sink ->
+    (* One session for the whole command: every probe of the rate search
+       and the breakdown sweep reuses the model compiled here. *)
+    let engine = Analysis.Engine.create_system ~pool ?sink sys in
     let resources = sys.Transaction.System.resources in
     let families =
       match server_period with
@@ -375,7 +422,9 @@ let design_cmd =
                 ~beta:b.Platform.Linear_bound.beta)
             resources
     in
-    (match Design.Param_search.balance_rates ~pool ~precision sys ~families with
+    (match
+       Design.Param_search.balance_rates ~engine ~precision sys ~families
+     with
     | None ->
         print_endline "not schedulable even at full rates";
         exit 2
@@ -390,7 +439,7 @@ let design_cmd =
         Format.printf "  Σα = %a@." Q.pp_decimal
           (Array.fold_left Q.add Q.zero rates));
     Format.printf "breakdown utilization: %a@." Q.pp_decimal
-      (Design.Param_search.breakdown_utilization ~pool ~precision sys);
+      (Design.Param_search.breakdown_utilization ~engine ~precision sys);
     0
   in
   Cmd.v
@@ -398,7 +447,9 @@ let design_cmd =
        ~doc:
          "Search minimal platform rates keeping the system schedulable (the \
           optimisation of the paper's Section 5).")
-    Term.(const run $ file_arg $ precision_arg $ server_period_arg $ jobs_arg)
+    Term.(
+      const run $ file_arg $ precision_arg $ server_period_arg $ jobs_arg
+      $ engine_trace_arg)
 
 (* --- format --- *)
 
@@ -421,7 +472,8 @@ let example_cmd =
   let run exact =
     let m = Hsched.Paper_example.model () in
     let report =
-      Analysis.Holistic.analyze ~params:(params_of_exact exact) m
+      Analysis.Engine.analyze
+        (Analysis.Engine.create ~params:(params_of_exact exact) m)
     in
     let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
     Format.printf "%a@.@.Γ1 iteration history (the paper's Table 3):@.%a@."

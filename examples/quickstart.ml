@@ -26,9 +26,10 @@ let () =
   Format.printf "@.== derived system (the paper's Figure 5) ==@.%a@."
     Transaction.System.pp system;
 
-  (* -- 3. analysis -- *)
+  (* -- 3. analysis: compile the model into an engine session once,
+     then analyze (the session could be reused for more runs) -- *)
   let model = Analysis.Model.of_system system in
-  let report = Analysis.Holistic.analyze model in
+  let report = Analysis.Engine.analyze (Analysis.Engine.create model) in
   let names a b = (Analysis.Model.task model a b).Analysis.Model.name in
   Format.printf "== worst-case response times ==@.%a@.@."
     (Report.pp ~names) report;

@@ -26,7 +26,7 @@ let () =
        budget exhaustion and replenishment *)
     let spec = { Workload.Gen.default_spec with Workload.Gen.server_platforms = true } in
     let sys = Workload.Gen.system ~seed spec in
-    let report = Analysis.Holistic.analyze (Analysis.Model.of_system sys) in
+    let report = Analysis.Engine.(analyze (create_system sys)) in
     (* only a converged report's values are upper bounds; early-exited
        analyses of unschedulable systems are partial iterates *)
     if not report.Report.converged then incr skipped_systems

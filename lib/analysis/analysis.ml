@@ -8,9 +8,11 @@ module Model = Model
 module Report = Report
 module Busy = Busy
 module Interference = Interference
+module Ir = Ir
 module Memo = Memo
 module Rta = Rta
 module Best_case = Best_case
+module Engine = Engine
 module Holistic = Holistic
 module Classical = Classical
 module Edf = Edf

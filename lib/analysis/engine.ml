@@ -1,0 +1,362 @@
+module Q = Rational
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Compiled of { txns : int; tasks : int; exact_scenarios : int }
+  | Analysis_started of { variant : Params.variant }
+  | Sweep of { iteration : int; recomputed : int; carried : int }
+  | Finished of { iterations : int; converged : bool; schedulable : bool }
+
+type sink = event -> unit
+
+let variant_name = function
+  | Params.Exact -> "exact"
+  | Params.Reduced -> "reduced"
+
+let event_to_json = function
+  | Compiled { txns; tasks; exact_scenarios } ->
+      Printf.sprintf
+        {|{"event":"compiled","txns":%d,"tasks":%d,"exact_scenarios":%d}|} txns
+        tasks exact_scenarios
+  | Analysis_started { variant } ->
+      Printf.sprintf {|{"event":"analysis_started","variant":"%s"}|}
+        (variant_name variant)
+  | Sweep { iteration; recomputed; carried } ->
+      Printf.sprintf
+        {|{"event":"sweep","iteration":%d,"recomputed":%d,"carried":%d}|}
+        iteration recomputed carried
+  | Finished { iterations; converged; schedulable } ->
+      Printf.sprintf
+        {|{"event":"finished","iterations":%d,"converged":%b,"schedulable":%b}|}
+        iterations converged schedulable
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  ir : Ir.t;
+  model : Model.t;
+  params : Params.t;
+  pool : Parallel.Pool.t;
+  counters : Rta.counters;
+  memo : Memo.t option;
+  sink : sink option;
+}
+
+let emit t e = match t.sink with None -> () | Some f -> f e
+
+let memo_for model params pool =
+  if params.Params.memoize then
+    Some (Memo.create model ~slots:(Parallel.Pool.jobs pool))
+  else None
+
+let create ?(params = Params.default) ?pool ?counters ?sink m =
+  let pool = Option.value pool ~default:Parallel.Pool.sequential in
+  let counters = match counters with Some c -> c | None -> Rta.counters () in
+  let ir = Ir.compile m in
+  let t =
+    { ir; model = m; params; pool; counters; memo = memo_for m params pool; sink }
+  in
+  emit t
+    (Compiled
+       {
+         txns = Ir.n_txns ir;
+         tasks = Ir.n_tasks ir;
+         exact_scenarios = Ir.exact_scenarios ir;
+       });
+  t
+
+let create_system ?params ?pool ?counters ?sink sys =
+  create ?params ?pool ?counters ?sink (Model.of_system sys)
+
+let model t = t.model
+
+let params t = t.params
+
+let pool t = t.pool
+
+let counters t = t.counters
+
+let memo_stats t = Option.map Memo.stats t.memo
+
+let with_overrides ?params ?keep_history ?pool ?counters ?sink t =
+  let params = Option.value params ~default:t.params in
+  let params =
+    match keep_history with
+    | None -> params
+    | Some keep_history -> { params with Params.keep_history }
+  in
+  let pool = Option.value pool ~default:t.pool in
+  let counters = Option.value counters ~default:t.counters in
+  let sink = match sink with Some _ as s -> s | None -> t.sink in
+  (* The memo partitions one cache per pool slot; reuse it only while
+     that partitioning is still the pool's.  Cached values depend on
+     the model alone (identical here), never on params, so carrying
+     them across an override is transparent. *)
+  let memo =
+    if not params.Params.memoize then None
+    else
+      match t.memo with
+      | Some memo when Memo.slots memo = Parallel.Pool.jobs pool -> Some memo
+      | Some _ | None -> memo_for t.model params pool
+  in
+  { t with params; pool; counters; sink; memo }
+
+let with_model t m =
+  let ir = if Ir.compatible t.ir m then t.ir else Ir.compile m in
+  (* Memoised interference values embed the model's demands and platform
+     rates; a rebound model always starts from a fresh memo. *)
+  { t with ir; model = m; memo = memo_for m t.params t.pool }
+
+(* ------------------------------------------------------------------ *)
+(* Sub-analyses over a session                                         *)
+(* ------------------------------------------------------------------ *)
+
+let best_case t ~jit =
+  match t.params.Params.best_case with
+  | Params.Simple -> Best_case.simple t.model
+  | Params.Refined -> Best_case.refined t.model ~jit
+
+let response_time t ~phi ~jit ~a ~b =
+  Rta.response_time_site ~pool:t.pool ?memo:t.memo ~counters:t.counters
+    (Ir.site t.ir ~a ~b) t.model t.params ~phi ~jit
+
+(* ------------------------------------------------------------------ *)
+(* The holistic outer fixed point (Section 3.2)                        *)
+(* ------------------------------------------------------------------ *)
+
+let copy_matrix m = Array.map Array.copy m
+
+let offsets_of m rbest =
+  Array.mapi
+    (fun a (tx : Model.txn) ->
+      Array.mapi
+        (fun b (_ : Model.task) -> if b = 0 then Q.zero else rbest.(a).(b - 1))
+        tx.Model.tasks)
+    m.Model.txns
+
+let rows_equal a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (Q.equal x b.(i)) then ok := false) a;
+  !ok
+
+let analyze t =
+  let m = t.model and params = t.params in
+  emit t (Analysis_started { variant = params.Params.variant });
+  let n = Model.n_txns m in
+  let zero_matrix () =
+    Array.init n (fun a -> Array.make (Model.n_tasks m a) Q.zero)
+  in
+  let jit = zero_matrix () in
+  for a = 0 to n - 1 do
+    jit.(a).(0) <- m.Model.release_jitter.(a)
+  done;
+  let rbest = ref (best_case t ~jit) in
+  let phi = ref (offsets_of m !rbest) in
+  (* Rows whose values changed in the latest jitter/offset update; all
+     dirty before the first sweep so every task is computed once. *)
+  let jit_dirty = Array.make n true in
+  let phi_dirty = Array.make n true in
+  let prev = ref None in
+  let history = ref [] in
+  let responses = ref (Array.map (Array.map (fun _ -> Report.Divergent)) jit) in
+  let diverged = ref false in
+  let converged = ref false in
+  let iterations = ref 0 in
+  while
+    (not !converged) && (not !diverged)
+    && !iterations < params.Params.max_outer_iterations
+  do
+    incr iterations;
+    (* Jacobi sweep.  With [incremental], a task none of whose
+       dependency rows — precompiled in the IR — changed since the
+       previous sweep carries its response forward: the response is a
+       pure function of those rows, so the carried value is
+       bit-identical to a recomputation (the qcheck identity properties
+       assert this). *)
+    let dirty (site : Ir.site) =
+      let d = site.Ir.deps in
+      let hit = ref false in
+      for i = 0 to n - 1 do
+        if d.(i) && (jit_dirty.(i) || phi_dirty.(i)) then hit := true
+      done;
+      !hit
+    in
+    let recomputed = ref 0 and carried = ref 0 in
+    let resp =
+      Array.init n (fun a ->
+          Array.init (Model.n_tasks m a) (fun b ->
+              let site = Ir.site t.ir ~a ~b in
+              match !prev with
+              | Some pr when params.Params.incremental && not (dirty site) ->
+                  incr carried;
+                  pr.(a).(b)
+              | _ ->
+                  incr recomputed;
+                  Rta.response_time_site ~pool:t.pool ?memo:t.memo
+                    ~counters:t.counters site m params ~phi:!phi ~jit))
+    in
+    emit t
+      (Sweep
+         { iteration = !iterations; recomputed = !recomputed; carried = !carried });
+    prev := Some resp;
+    responses := resp;
+    if params.Params.keep_history then
+      history :=
+        { Report.jitters = copy_matrix jit; responses = resp } :: !history;
+    (* With the Simple best case the offsets are constant and the
+       responses are monotone across iterations, so a transaction already
+       past its deadline settles the verdict: stop early unless asked for
+       the full fixed point.  (Refined recomputes offsets, which breaks
+       the monotonicity argument, so it always iterates fully.) *)
+    if params.Params.early_exit && params.Params.best_case = Params.Simple
+    then begin
+      let hopeless = ref false in
+      for a = 0 to n - 1 do
+        let last = Model.n_tasks m a - 1 in
+        if not (Report.bound_le resp.(a).(last) m.Model.txns.(a).Model.deadline)
+        then hopeless := true
+      done;
+      if !hopeless then diverged := true
+    end;
+    (* Next jitters, Jacobi-style from this iteration's responses. *)
+    let next = zero_matrix () in
+    (try
+       for a = 0 to n - 1 do
+         next.(a).(0) <- m.Model.release_jitter.(a);
+         for b = 1 to Model.n_tasks m a - 1 do
+           match resp.(a).(b - 1) with
+           | Report.Divergent -> raise Exit
+           | Report.Finite r ->
+               let rb = !rbest.(a).(b - 1) in
+               next.(a).(b) <- Q.max Q.zero Q.(r - rb)
+         done
+       done
+     with Exit -> diverged := true);
+    if not !diverged then begin
+      Array.fill jit_dirty 0 n false;
+      Array.fill phi_dirty 0 n false;
+      let same = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to Model.n_tasks m a - 1 do
+          if not (Q.equal next.(a).(b) jit.(a).(b)) then begin
+            same := false;
+            jit_dirty.(a) <- true
+          end
+        done
+      done;
+      if !same then converged := true
+      else begin
+        Array.iteri
+          (fun a row -> Array.blit row 0 jit.(a) 0 (Array.length row))
+          next;
+        (* The refined best case depends on the jitters; refresh it and
+           the offsets it seeds. *)
+        if params.Params.best_case = Params.Refined then begin
+          let old_phi = !phi in
+          rbest := best_case t ~jit;
+          phi := offsets_of m !rbest;
+          for i = 0 to n - 1 do
+            if not (rows_equal old_phi.(i) !phi.(i)) then phi_dirty.(i) <- true
+          done
+        end
+      end
+    end
+  done;
+  let results =
+    Array.init n (fun a ->
+        Array.init (Model.n_tasks m a) (fun b ->
+            {
+              Report.offset = !phi.(a).(b);
+              jitter = jit.(a).(b);
+              rbest = !rbest.(a).(b);
+              response = !responses.(a).(b);
+            }))
+  in
+  let schedulable =
+    !converged
+    && Array.to_list m.Model.txns
+       |> List.mapi (fun a tx -> (a, tx))
+       |> List.for_all (fun (a, (tx : Model.txn)) ->
+              Report.bound_le
+                !responses.(a).(Array.length tx.Model.tasks - 1)
+                tx.Model.deadline)
+  in
+  emit t
+    (Finished { iterations = !iterations; converged = !converged; schedulable });
+  {
+    Report.results;
+    history = List.rev !history;
+    outer_iterations = !iterations;
+    converged = !converged;
+    schedulable;
+  }
+
+let response_times t =
+  (analyze t).Report.results
+  |> Array.map (Array.map (fun r -> r.Report.response))
+
+(* ------------------------------------------------------------------ *)
+(* Classical baselines over a session                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The classical and EDF analyses model independent tasks on one
+   platform: the degenerate systems where every transaction is a single
+   task.  Multi-task transactions have precedence structure the
+   baselines cannot express, so they are excluded from the view. *)
+let single_tasks t ~resource =
+  let out = ref [] in
+  Array.iteri
+    (fun a (tx : Model.txn) ->
+      if Array.length tx.Model.tasks = 1 && tx.Model.tasks.(0).Model.res = resource
+      then out := (a, tx, tx.Model.tasks.(0)) :: !out)
+    t.model.Model.txns;
+  List.rev !out
+
+let classical_tasks t ~resource =
+  List.map
+    (fun (a, (tx : Model.txn), (tk : Model.task)) ->
+      {
+        Classical.name = tk.Model.name;
+        c = tk.Model.c;
+        period = tx.Model.period;
+        deadline = tx.Model.deadline;
+        jitter = t.model.Model.release_jitter.(a);
+        prio = tk.Model.prio;
+      })
+    (single_tasks t ~resource)
+
+let classical t ~resource =
+  Classical.response_times
+    ~bound:t.model.Model.bounds.(resource)
+    ~horizon_factor:t.params.Params.horizon_factor
+    (classical_tasks t ~resource)
+
+let classical_schedulable t ~resource =
+  Classical.schedulable
+    ~bound:t.model.Model.bounds.(resource)
+    ~horizon_factor:t.params.Params.horizon_factor
+    (classical_tasks t ~resource)
+
+let edf_tasks t ~resource =
+  List.map
+    (fun (_, (tx : Model.txn), (tk : Model.task)) ->
+      {
+        Edf.name = tk.Model.name;
+        c = tk.Model.c;
+        period = tx.Model.period;
+        deadline = tx.Model.deadline;
+      })
+    (single_tasks t ~resource)
+
+let edf_schedulable t ~resource =
+  Edf.schedulable ~bound:t.model.Model.bounds.(resource) (edf_tasks t ~resource)
+
+let edf_margin t ~resource =
+  Edf.margin ~bound:t.model.Model.bounds.(resource) (edf_tasks t ~resource)

@@ -1,0 +1,160 @@
+(** Analysis sessions: the model compiled once, analysed many times.
+
+    An engine session binds together everything one analysis run needs —
+    the {!Model.t}, the compiled {!Ir.t} (participant sets, mixed-radix
+    scenario layouts, dependency rows), the {!Params.t}, the worker
+    {!Parallel.Pool.t}, the interference {!Memo.t} and the scenario
+    {!Rta.counters} — as one immutable value.  Creating the session pays
+    the per-model compilation cost once; every subsequent {!analyze},
+    {!response_time} or design-space probe reuses the compiled state.
+
+    Sessions are cheap persistent values: {!with_overrides} and
+    {!with_model} derive new sessions sharing whatever remains valid
+    (the IR survives any model with the same placement and priorities;
+    the memo survives parameter changes but never a model change).
+
+    Everything an engine computes is bit-identical to the legacy
+    sessionless entry points ({!Holistic.analyze},
+    {!Rta.response_time}): the IR only reorganises static structure, and
+    exact rational arithmetic plus the pool's deterministic slot order
+    do the rest.  The test suite asserts this over random workloads. *)
+
+type t
+(** One analysis session.  Immutable apart from the memo and counters it
+    carries, both of which are transparent: the memo replays exact
+    values a recomputation would reproduce, and the counters are
+    diagnostics.  Analysing the same session twice yields identical
+    reports. *)
+
+(** {1 Events}
+
+    Structured progress notifications, emitted to the session's [sink]
+    as the analysis runs.  The CLI's [--trace FILE] serialises them with
+    {!event_to_json}, one object per line. *)
+
+type event =
+  | Compiled of { txns : int; tasks : int; exact_scenarios : int }
+      (** Emitted by {!create}: the model was compiled into an IR.
+          [exact_scenarios] is {!Ir.exact_scenarios} — the size of the
+          scenario space an unpruned exact analysis would face per
+          sweep. *)
+  | Analysis_started of { variant : Params.variant }
+  | Sweep of { iteration : int; recomputed : int; carried : int }
+      (** One outer Jacobi iteration finished; [recomputed] tasks had a
+          dirty dependency row, [carried] reused their previous response
+          (incremental mode). *)
+  | Finished of { iterations : int; converged : bool; schedulable : bool }
+
+type sink = event -> unit
+
+val event_to_json : event -> string
+(** One-line JSON rendering (no trailing newline), suitable for JSON
+    Lines trace files. *)
+
+(** {1 Session construction} *)
+
+val create :
+  ?params:Params.t ->
+  ?pool:Parallel.Pool.t ->
+  ?counters:Rta.counters ->
+  ?sink:sink ->
+  Model.t ->
+  t
+(** Compile [m] into a session.  [params] defaults to {!Params.default},
+    [pool] to {!Parallel.Pool.sequential}, [counters] to a fresh set.
+    Emits [Compiled] to [sink].  The session does not own the pool;
+    shut it down where it was created. *)
+
+val create_system :
+  ?params:Params.t ->
+  ?pool:Parallel.Pool.t ->
+  ?counters:Rta.counters ->
+  ?sink:sink ->
+  Transaction.System.t ->
+  t
+(** [create] over {!Model.of_system}. *)
+
+val with_overrides :
+  ?params:Params.t ->
+  ?keep_history:bool ->
+  ?pool:Parallel.Pool.t ->
+  ?counters:Rta.counters ->
+  ?sink:sink ->
+  t ->
+  t
+(** Derived session over the same model: absent arguments keep the
+    original's values, [keep_history] patches just that field of the
+    effective params (the common verdict-only probe:
+    [with_overrides e ~keep_history:false]).  The compiled IR is always
+    shared.  The memo is shared when it is still valid — same model by
+    construction, and slot count matching the (possibly new) pool's job
+    count — and re-created otherwise. *)
+
+val with_model : t -> Model.t -> t
+(** Re-bind the session to another model.  The compiled IR is reused
+    when [m] is {!Ir.compatible} — same task placement and priorities,
+    the design-space case where only demands or platform bounds moved —
+    and recompiled otherwise.  The memo is always re-created: memoised
+    interference values embed the old model's demands and rates. *)
+
+(** {1 Accessors} *)
+
+val model : t -> Model.t
+
+val params : t -> Params.t
+
+val pool : t -> Parallel.Pool.t
+
+val counters : t -> Rta.counters
+(** Cumulative scenario accounting across every analysis this session
+    (and sessions derived from it) ran. *)
+
+val memo_stats : t -> Memo.stats option
+(** [None] when the session runs without memoisation. *)
+
+(** {1 Holistic analysis} *)
+
+val analyze : t -> Report.t
+(** The holistic offset-based analysis (Section 3.2): outer Jacobi
+    fixed point on the jitters, inner busy-period recurrences per
+    scenario, under the session's params, pool and memo.  Emits
+    [Analysis_started], one [Sweep] per outer iteration and [Finished].
+    Bit-identical to [Holistic.analyze ~params ?pool m] for every job
+    count and parameter toggle. *)
+
+val response_times : t -> Report.bound array array
+(** [analyze] reduced to the response matrix. *)
+
+val response_time :
+  t ->
+  phi:Rational.t array array ->
+  jit:Rational.t array array ->
+  a:int ->
+  b:int ->
+  Report.bound
+(** Single response time under explicit offsets and jitters
+    ({!Rta.response_time_site} on the compiled site). *)
+
+val best_case : t -> jit:Rational.t array array -> Rational.t array array
+(** The session's best-case bound ({!Params.best_case} dispatches
+    between {!Best_case.simple} and {!Best_case.refined}). *)
+
+(** {1 Classical baselines}
+
+    The classical and EDF tests model independent single-task
+    transactions on one platform; these views select exactly those
+    transactions of the session's model whose only task runs on
+    [resource], with the platform bound and horizon of the session. *)
+
+val classical : t -> resource:int -> (Classical.task * Report.bound) list
+(** {!Classical.response_times} over the session's single-task
+    transactions on [resource]. *)
+
+val classical_schedulable : t -> resource:int -> bool
+
+val edf_schedulable : t -> resource:int -> bool
+(** {!Edf.schedulable} over the same view (priorities ignored). *)
+
+val edf_margin : t -> resource:int -> Rational.t option
+(** {!Edf.margin}: spare cycles at the tightest deadline, [None] when
+    infeasible by rate. *)

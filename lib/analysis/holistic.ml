@@ -1,181 +1,9 @@
-module Q = Rational
+(* Sessionless shims over [Engine]: one-shot sessions, so every call
+   recompiles the IR.  Kept source-compatible for existing callers and
+   as the reference the engine-identity tests compare against. *)
 
-let copy_matrix m = Array.map Array.copy m
-
-let rbest_of m params ~jit =
-  match params.Params.best_case with
-  | Params.Simple -> Best_case.simple m
-  | Params.Refined -> Best_case.refined m ~jit
-
-let offsets_of m rbest =
-  Array.mapi
-    (fun a (tx : Model.txn) ->
-      Array.mapi
-        (fun b (_ : Model.task) -> if b = 0 then Q.zero else rbest.(a).(b - 1))
-        tx.Model.tasks)
-    m.Model.txns
-
-let rows_equal a b =
-  Array.length a = Array.length b
-  &&
-  let ok = ref true in
-  Array.iteri (fun i x -> if not (Q.equal x b.(i)) then ok := false) a;
-  !ok
-
-let analyze ?(params = Params.default) ?pool ?counters m =
-  let pool = Option.value pool ~default:Parallel.Pool.sequential in
-  let memo =
-    if params.Params.memoize then
-      Some (Memo.create m ~slots:(Parallel.Pool.jobs pool))
-    else None
-  in
-  let n = Model.n_txns m in
-  let zero_matrix () =
-    Array.init n (fun a -> Array.make (Model.n_tasks m a) Q.zero)
-  in
-  let jit = zero_matrix () in
-  for a = 0 to n - 1 do
-    jit.(a).(0) <- m.Model.release_jitter.(a)
-  done;
-  let rbest = ref (rbest_of m params ~jit) in
-  let phi = ref (offsets_of m !rbest) in
-  (* Interference dependency graph: [deps.(a).(b).(i)] iff the response
-     of task (a, b) reads the offset/jitter rows of transaction [i] —
-     its own transaction plus every remote transaction with interfering
-     tasks.  The participant sets depend only on static priorities, so
-     the graph is fixed across sweeps. *)
-  let deps =
-    Array.init n (fun a ->
-        Array.init (Model.n_tasks m a) (fun b ->
-            Array.init n (fun i ->
-                i = a || Interference.hp m ~i ~a ~b <> [])))
-  in
-  (* Rows whose values changed in the latest jitter/offset update; all
-     dirty before the first sweep so every task is computed once. *)
-  let jit_dirty = Array.make n true in
-  let phi_dirty = Array.make n true in
-  let prev = ref None in
-  let history = ref [] in
-  let responses = ref (Array.map (Array.map (fun _ -> Report.Divergent)) jit) in
-  let diverged = ref false in
-  let converged = ref false in
-  let iterations = ref 0 in
-  while
-    (not !converged) && (not !diverged)
-    && !iterations < params.Params.max_outer_iterations
-  do
-    incr iterations;
-    (* Jacobi sweep.  With [incremental], a task none of whose
-       dependency rows changed since the previous sweep carries its
-       response forward: the response is a pure function of those rows,
-       so the carried value is bit-identical to a recomputation (the
-       qcheck identity properties assert this). *)
-    let dirty a b =
-      let d = deps.(a).(b) in
-      let hit = ref false in
-      for i = 0 to n - 1 do
-        if d.(i) && (jit_dirty.(i) || phi_dirty.(i)) then hit := true
-      done;
-      !hit
-    in
-    let resp =
-      Array.init n (fun a ->
-          Array.init (Model.n_tasks m a) (fun b ->
-              match !prev with
-              | Some pr when params.Params.incremental && not (dirty a b) ->
-                  pr.(a).(b)
-              | _ ->
-                  Rta.response_time ~pool ?memo ?counters m params ~phi:!phi
-                    ~jit ~a ~b))
-    in
-    prev := Some resp;
-    responses := resp;
-    if params.Params.keep_history then
-      history :=
-        { Report.jitters = copy_matrix jit; responses = resp } :: !history;
-    (* With the Simple best case the offsets are constant and the
-       responses are monotone across iterations, so a transaction already
-       past its deadline settles the verdict: stop early unless asked for
-       the full fixed point.  (Refined recomputes offsets, which breaks
-       the monotonicity argument, so it always iterates fully.) *)
-    if params.Params.early_exit && params.Params.best_case = Params.Simple
-    then begin
-      let hopeless = ref false in
-      for a = 0 to n - 1 do
-        let last = Model.n_tasks m a - 1 in
-        if not (Report.bound_le resp.(a).(last) m.Model.txns.(a).Model.deadline)
-        then hopeless := true
-      done;
-      if !hopeless then diverged := true
-    end;
-    (* Next jitters, Jacobi-style from this iteration's responses. *)
-    let next = zero_matrix () in
-    (try
-       for a = 0 to n - 1 do
-         next.(a).(0) <- m.Model.release_jitter.(a);
-         for b = 1 to Model.n_tasks m a - 1 do
-           match resp.(a).(b - 1) with
-           | Report.Divergent -> raise Exit
-           | Report.Finite r ->
-               let rb = !rbest.(a).(b - 1) in
-               next.(a).(b) <- Q.max Q.zero Q.(r - rb)
-         done
-       done
-     with Exit -> diverged := true);
-    if not !diverged then begin
-      Array.fill jit_dirty 0 n false;
-      Array.fill phi_dirty 0 n false;
-      let same = ref true in
-      for a = 0 to n - 1 do
-        for b = 0 to Model.n_tasks m a - 1 do
-          if not (Q.equal next.(a).(b) jit.(a).(b)) then begin
-            same := false;
-            jit_dirty.(a) <- true
-          end
-        done
-      done;
-      if !same then converged := true
-      else begin
-        Array.iteri (fun a row -> Array.blit row 0 jit.(a) 0 (Array.length row)) next;
-        (* The refined best case depends on the jitters; refresh it and
-           the offsets it seeds. *)
-        if params.Params.best_case = Params.Refined then begin
-          let old_phi = !phi in
-          rbest := rbest_of m params ~jit;
-          phi := offsets_of m !rbest;
-          for i = 0 to n - 1 do
-            if not (rows_equal old_phi.(i) !phi.(i)) then phi_dirty.(i) <- true
-          done
-        end
-      end
-    end
-  done;
-  let results =
-    Array.init n (fun a ->
-        Array.init (Model.n_tasks m a) (fun b ->
-            {
-              Report.offset = !phi.(a).(b);
-              jitter = jit.(a).(b);
-              rbest = !rbest.(a).(b);
-              response = !responses.(a).(b);
-            }))
-  in
-  let schedulable =
-    !converged
-    && Array.to_list m.Model.txns
-       |> List.mapi (fun a tx -> (a, tx))
-       |> List.for_all (fun (a, (tx : Model.txn)) ->
-              Report.bound_le
-                !responses.(a).(Array.length tx.Model.tasks - 1)
-                tx.Model.deadline)
-  in
-  {
-    Report.results;
-    history = List.rev !history;
-    outer_iterations = !iterations;
-    converged = !converged;
-    schedulable;
-  }
+let analyze ?params ?pool ?counters m =
+  Engine.analyze (Engine.create ?params ?pool ?counters m)
 
 let analyze_system ?params ?pool ?counters sys =
   analyze ?params ?pool ?counters (Model.of_system sys)

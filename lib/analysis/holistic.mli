@@ -1,34 +1,13 @@
-(** The dynamic-offset holistic analysis (Section 3.2): the outer
-    fixed-point iteration that ties the static-offset response-time
-    analysis ({!Rta}) to the precedence structure of the transactions.
+(** Sessionless entry points to the dynamic-offset holistic analysis
+    (Section 3.2) — thin shims over {!Engine}.
 
-    Offsets are seeded with best-case completions (φ{_i,j} =
-    Rbest{_i,j−1}) and jitters start at zero (plus any external release
-    jitter of the first task); each iteration recomputes every response
-    time and then every jitter as J{_i,j} = R{_i,j−1} − Rbest{_i,j−1}
-    (Eq. 18), Jacobi style, until the jitter vector repeats.  Response
-    times grow monotonically with jitters, so the iteration converges to
-    the least fixed point or diverges — divergence and iteration-cap
-    overruns are reported as non-schedulable.
-
-    The outer iteration itself is inherently sequential (each sweep
-    consumes the previous sweep's responses), but within a sweep the
-    interference terms are memoised across sweeps ({!Memo}; off via
-    {!Params.t.memoize}) and the exact scenario enumeration is spread
-    over a domain pool when one is supplied.  Neither changes the least
-    fixed point: memoised values are exact rationals a recomputation
-    would reproduce bit-for-bit, and the parallel reduction is a
-    maximum folded in a fixed slot order — see the memoisation section
-    of docs/THEORY.md for the full argument and docs/PERFORMANCE.md for
-    when parallelism pays.
-
-    With {!Params.t.incremental} (the default) a sweep does not
-    recompute every task: a task whose dependency rows — the jitter and
-    offset rows of its own transaction and of every remote transaction
-    with interfering tasks — are unchanged since the previous sweep
-    carries its response forward.  The response is a pure function of
-    those rows, so the iterates, the history, the convergence point and
-    the verdict are bit-identical to the non-incremental run. *)
+    Each call builds a one-shot {!Engine.t} session and analyses it, so
+    the model is recompiled every time.  Results are bit-identical to
+    the session API by construction; the engine-identity properties in
+    the test suite assert it over random workloads.  For anything that
+    analyses a model more than once — design-space searches, benchmark
+    cells, repeated CLI probes — create an {!Engine} session and reuse
+    it.  See {!Engine.analyze} for the algorithm documentation. *)
 
 val analyze :
   ?params:Params.t ->
@@ -36,15 +15,15 @@ val analyze :
   ?counters:Rta.counters ->
   Model.t ->
   Report.t
-(** Full analysis.  The returned report carries the per-iteration history
-    (the paper's Table 3; [[]] when [params.keep_history] is off) and
-    the final verdict: schedulable iff the iteration converged and the
-    last task of every transaction meets the transaction deadline.
-    [pool] (default {!Parallel.Pool.sequential}) parallelises the exact
-    scenario enumeration of each response-time computation; reports are
-    bit-identical for every job count.  [counters] accumulates scenario
-    accounting across every response-time computation of the run (see
-    {!Rta.counters}). *)
+(** [Engine.create |> Engine.analyze] — full analysis.  The returned
+    report carries the per-iteration history (the paper's Table 3; [[]]
+    when [params.keep_history] is off) and the final verdict:
+    schedulable iff the iteration converged and the last task of every
+    transaction meets the transaction deadline.  [pool] (default
+    {!Parallel.Pool.sequential}) parallelises the exact scenario
+    enumeration; reports are bit-identical for every job count.
+    @deprecated New code should hold an {!Engine.t} session so the
+    compiled IR (and memo, across runs) is reused. *)
 
 val analyze_system :
   ?params:Params.t ->
@@ -52,8 +31,10 @@ val analyze_system :
   ?counters:Rta.counters ->
   Transaction.System.t ->
   Report.t
-(** Convenience: {!Model.of_system} followed by {!analyze}. *)
+(** Convenience: {!Model.of_system} followed by {!analyze}.
+    @deprecated Use {!Engine.create_system} and {!Engine.analyze}. *)
 
 val response_times :
   ?params:Params.t -> ?pool:Parallel.Pool.t -> Model.t -> Report.bound array array
-(** Final worst-case response times only. *)
+(** Final worst-case response times only.
+    @deprecated Use {!Engine.response_times} on a session. *)

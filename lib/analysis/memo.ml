@@ -28,7 +28,10 @@ type cache = {
   mutable invalidations : int;
 }
 
-type t = { caches : cache array array array (* [a].[b].[slot] *) }
+type t = {
+  caches : cache array array array; (* [a].[b].[slot] *)
+  slots : int;
+}
 
 type stats = { hits : int; misses : int; invalidations : int }
 
@@ -42,7 +45,10 @@ let create m ~slots =
       Array.init (Model.n_txns m) (fun a ->
           Array.init (Model.n_tasks m a) (fun _ ->
               Array.init slots (fun _ -> fresh ())));
+    slots;
   }
+
+let slots t = t.slots
 
 let cache t ~a ~b ~slot = t.caches.(a).(b).(slot)
 

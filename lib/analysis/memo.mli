@@ -30,6 +30,11 @@ type cache
 val create : Model.t -> slots:int -> t
 (** Fresh memo for [slots] pool slots (≥ 1). *)
 
+val slots : t -> int
+(** The slot count the memo was created for.  A memo may only be used
+    with pools of exactly this many slots — {!Engine.with_overrides}
+    re-creates the memo when a pool override changes the job count. *)
+
 val cache : t -> a:int -> b:int -> slot:int -> cache
 (** The cache task [(a, b)] must use on pool slot [slot]. *)
 

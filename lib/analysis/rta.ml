@@ -3,33 +3,21 @@ module Q = Rational
 (* A scenario fixes, for each participating transaction, the interfering
    task whose maximally-delayed release starts the busy period (Theorem 1).
    The task's own transaction always participates; under [Reduced] it is
-   the only one, the rest being upper-bounded by W*. *)
+   the only one, the rest being upper-bounded by W*.  The participant
+   sets and the mixed-radix layout of the exact scenario space are
+   static; they live in the compiled {!Ir} and are computed here only
+   for the legacy sessionless entry point. *)
 
 let horizon_of m params ~a =
   let tx = m.Model.txns.(a) in
   Q.(of_int params.Params.horizon_factor * max tx.Model.period tx.Model.deadline)
 
-let remote_participants m ~a ~b =
-  let out = ref [] in
-  for i = Model.n_txns m - 1 downto 0 do
-    if i <> a then
-      match Interference.hp m ~i ~a ~b with
-      | [] -> ()
-      | hp -> out := (i, hp) :: !out
-  done;
-  !out
-
-let own_choices m ~a ~b = Interference.hp m ~i:a ~a ~b @ [ b ]
-
 let scenario_count m params ~a ~b =
-  let own = List.length (own_choices m ~a ~b) in
+  let site = Ir.site_of m ~a ~b in
+  let own = List.length site.Ir.own in
   match params.Params.variant with
   | Params.Reduced -> own
-  | Params.Exact ->
-      List.fold_left
-        (fun acc (_, hp) -> acc * List.length hp)
-        own
-        (remote_participants m ~a ~b)
+  | Params.Exact -> own * site.Ir.total
 
 (* Scenario accounting for benchmarks: one unit is one remote scenario
    vector ν of the mixed-radix product (all own-transaction choices are
@@ -111,10 +99,12 @@ let scenario_response m params ~phi ~jit ~a ~b ~c ~own_interference
       done;
       !best
 
-let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
+let response_time_site ?pool ?memo ?counters (site : Ir.site) m params ~phi ~jit
+    =
+  let a = site.Ir.a and b = site.Ir.b in
   let pool = Option.value pool ~default:Parallel.Pool.sequential in
-  let own_hp = Interference.hp m ~i:a ~a ~b in
-  let own = own_hp @ [ b ] in
+  let own_hp = site.Ir.own_hp in
+  let own = site.Ir.own in
   let cache_of slot = Option.map (fun t -> Memo.cache t ~a ~b ~slot) memo in
   let bump field n =
     match counters with
@@ -143,16 +133,21 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
              ~remote_interference))
       acc own_evals
   in
-  let remotes = remote_participants m ~a ~b in
+  let remotes = site.Ir.remotes in
   match params.Params.variant with
   | Params.Reduced ->
       let cache = cache_of 0 in
       let remote_ws =
-        List.map
-          (fun (i, hp_list) ->
-            let evals = List.map (fun k -> eval_of cache ~i ~k ~hp_list) hp_list in
-            fun t -> List.fold_left (fun acc f -> Q.max acc (f t)) Q.zero evals)
-          remotes
+        Array.to_list
+          (Array.map
+             (fun (r : Ir.remote) ->
+               let evals =
+                 List.map
+                   (fun k -> eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                   r.Ir.hp_list
+               in
+               fun t -> List.fold_left (fun acc f -> Q.max acc (f t)) Q.zero evals)
+             remotes)
       in
       let remote_interference t =
         List.fold_left (fun acc w -> Q.(acc + w t)) Q.zero remote_ws
@@ -167,17 +162,9 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
          its chunk in index order and the maxima are joined — with exact
          rationals the result is bit-identical to the sequential
          enumeration for any job count. *)
-      let remote_arr =
-        Array.of_list
-          (List.map (fun (i, hp) -> (i, Array.of_list hp, hp)) remotes)
-      in
-      let n_rem = Array.length remote_arr in
-      let stride = Array.make (n_rem + 1) 1 in
-      for ri = 0 to n_rem - 1 do
-        let _, ks, _ = remote_arr.(ri) in
-        stride.(ri + 1) <- stride.(ri) * Array.length ks
-      done;
-      let total = stride.(n_rem) in
+      let n_rem = Array.length remotes in
+      let stride = site.Ir.stride in
+      let total = site.Ir.total in
       bump (fun c -> c.total) total;
       let jobs = Parallel.Pool.jobs pool in
       if not params.Params.prune then begin
@@ -188,9 +175,11 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
           let cache = cache_of slot in
           let contrib =
             Array.map
-              (fun (i, ks, hp_list) ->
-                Array.map (fun k -> eval_of cache ~i ~k ~hp_list) ks)
-              remote_arr
+              (fun (r : Ir.remote) ->
+                Array.map
+                  (fun k -> eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                  r.Ir.choices)
+              remotes
           in
           let own_evals = own_evals cache in
           let best = ref (Report.Finite Q.zero) in
@@ -241,11 +230,11 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
           let fs =
             Array.to_list
               (Array.mapi
-                 (fun ri (i, ks, hp_list) ->
-                   let s = Array.length ks in
-                   let k = ks.(v / stride.(ri) mod s) in
-                   eval_of cache ~i ~k ~hp_list)
-                 remote_arr)
+                 (fun ri (r : Ir.remote) ->
+                   let s = Array.length r.Ir.choices in
+                   let k = r.Ir.choices.(v / stride.(ri) mod s) in
+                   eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                 remotes)
           in
           let remote_interference t =
             List.fold_left (fun acc f -> Q.(acc + f t)) Q.zero fs
@@ -263,7 +252,9 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
           let idx = ref 0 in
           let cache = cache_of 0 in
           Array.iteri
-            (fun ri (i, ks, hp_list) ->
+            (fun ri (r : Ir.remote) ->
+              let ks = r.Ir.choices and hp_list = r.Ir.hp_list in
+              let i = r.Ir.txn in
               let best_ci = ref 0
               and best_w = ref ((eval_of cache ~i ~k:ks.(0) ~hp_list) horizon) in
               for ci = 1 to Array.length ks - 1 do
@@ -274,7 +265,7 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
                 end
               done;
               idx := !idx + (!best_ci * stride.(ri)))
-            remote_arr;
+            remotes;
           !idx
         in
         bump (fun c -> c.visited) 1;
@@ -290,9 +281,11 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
             let cache = cache_of slot in
             let contrib =
               Array.map
-                (fun (i, ks, hp_list) ->
-                  Array.map (fun k -> eval_of cache ~i ~k ~hp_list) ks)
-                remote_arr
+                (fun (r : Ir.remote) ->
+                  Array.map
+                    (fun k -> eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                    r.Ir.choices)
+                remotes
             in
             let wstar =
               Array.map
@@ -339,7 +332,7 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
                 then bump (fun c -> c.pruned) inside
                 else begin
                   let ri = level - 1 in
-                  let _, ks, _ = remote_arr.(ri) in
+                  let ks = remotes.(ri).Ir.choices in
                   let sub = stride.(ri) in
                   for ci = 0 to Array.length ks - 1 do
                     let v = v_base + (ci * sub) in
@@ -369,3 +362,7 @@ let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
          end);
         Parallel.Pool.Cell.get incumbent
       end
+
+let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
+  response_time_site ?pool ?memo ?counters (Ir.site_of m ~a ~b) m params ~phi
+    ~jit

@@ -53,6 +53,33 @@ val pruned_scenarios : counters -> int
 val bound_evaluations : counters -> int
 (** Optimistic block bounds computed (the overhead side of pruning). *)
 
+val response_time_site :
+  ?pool:Parallel.Pool.t ->
+  ?memo:Memo.t ->
+  ?counters:counters ->
+  Ir.site ->
+  Model.t ->
+  Params.t ->
+  phi:Rational.t array array ->
+  jit:Rational.t array array ->
+  Report.bound
+(** Response time of the task the {!Ir.site} was compiled for, reading
+    the participant sets and the mixed-radix scenario layout from the
+    site instead of recomputing them — the entry point every
+    {!Engine} session uses.  The site must come from an IR
+    {!Ir.compatible} with [m].
+
+    [pool] splits the exact scenario enumeration (Eq. 12) into
+    contiguous index chunks across the pool's domains; chunks share the
+    branch-and-bound incumbent through a {!Parallel.Pool.Cell}, and the
+    final bound is read from the cell, so the result is bit-identical to
+    the sequential enumeration for every job count (the reduced
+    variant's handful of scenarios is never parallelised).
+    [memo] caches interference evaluations across calls — see {!Memo};
+    when both are given, slot [s] of the pool only touches cache slot
+    [s], so no synchronisation is needed.  [counters], when given, is
+    bumped with this call's scenario accounting. *)
+
 val response_time :
   ?pool:Parallel.Pool.t ->
   ?memo:Memo.t ->
@@ -64,16 +91,12 @@ val response_time :
   a:int ->
   b:int ->
   Report.bound
-(** [pool] splits the exact scenario enumeration (Eq. 12) into
-    contiguous index chunks across the pool's domains; chunks share the
-    branch-and-bound incumbent through a {!Parallel.Pool.Cell}, and the
-    final bound is read from the cell, so the result is bit-identical to
-    the sequential enumeration for every job count (the reduced
-    variant's handful of scenarios is never parallelised).
-    [memo] caches interference evaluations across calls — see {!Memo};
-    when both are given, slot [s] of the pool only touches cache slot
-    [s], so no synchronisation is needed.  [counters], when given, is
-    bumped with this call's scenario accounting. *)
+(** Sessionless convenience: {!Ir.site_of} followed by
+    {!response_time_site} — identical result, but the participant sets
+    are recompiled on every call.
+    @deprecated Use an {!Engine} session (or {!response_time_site} with
+    a compiled {!Ir.t}) so the static scenario layout is compiled
+    once. *)
 
 val scenario_count : Model.t -> Params.t -> a:int -> b:int -> int
 (** Number of scenarios the chosen variant examines for task [(a, b)]

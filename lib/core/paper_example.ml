@@ -92,7 +92,8 @@ let system () = Transaction.Derive.derive_exn (assembly ())
 
 let model () = Analysis.Model.of_system (system ())
 
-let report ?params () = Analysis.Holistic.analyze ?params (model ())
+let report ?params () =
+  Analysis.Engine.analyze (Analysis.Engine.create ?params (model ()))
 
 (* Derivation order: Integrator first, so Γ1 = Integrator.Thread2 as in
    the paper; its externally-driven read() gives the sporadic transaction

@@ -1,5 +1,6 @@
 module Q = Rational
 module LB = Platform.Linear_bound
+module Engine = Analysis.Engine
 
 type family = { describe : string; bound_of_rate : Q.t -> LB.t }
 
@@ -28,11 +29,25 @@ let probe_params params =
   let p = Option.value params ~default:Analysis.Params.default in
   { p with Analysis.Params.keep_history = false }
 
-let schedulable_with ?params ?pool sys ~bounds =
-  let m = Analysis.Model.of_system sys in
-  let m = { m with Analysis.Model.bounds } in
-  (Analysis.Holistic.analyze ~params:(probe_params params) ?pool m)
-    .Analysis.Report.schedulable
+(* One engine session per search: the compiled IR depends only on task
+   placement and priorities, which no probe below ever moves (probes
+   rebind demands or platform bounds), so every probe analysis shares
+   it through [Engine.with_model].  A caller-supplied [engine] is
+   reused directly — its model must be the system's — with the history
+   forced off for the probes. *)
+let probe_engine ?engine ?params ?pool sys =
+  match engine with
+  | Some e -> Engine.with_overrides ?params ?pool e ~keep_history:false
+  | None ->
+      Engine.create ~params:(probe_params params) ?pool
+        (Analysis.Model.of_system sys)
+
+let probe_schedulable e ~bounds =
+  let m = { (Engine.model e) with Analysis.Model.bounds } in
+  (Engine.analyze (Engine.with_model e m)).Analysis.Report.schedulable
+
+let schedulable_with ?engine ?params ?pool sys ~bounds =
+  probe_schedulable (probe_engine ?engine ?params ?pool sys) ~bounds
 
 let current_bounds (sys : Transaction.System.t) =
   Array.map
@@ -89,24 +104,26 @@ let search_min_rate ?(pool = Parallel.Pool.sequential) ~precision ok =
     Some (Q.make (snd !bracket) den)
   end
 
-let min_rate ?params ?pool ?(precision = 10) sys ~resource ~family =
+let min_rate ?engine ?params ?pool ?(precision = 10) sys ~resource ~family =
+  let probe = probe_engine ?engine ?params ?pool sys in
   let base = current_bounds sys in
   let ok alpha =
     let bounds = Array.copy base in
     bounds.(resource) <- family.bound_of_rate alpha;
-    schedulable_with ?params ?pool sys ~bounds
+    probe_schedulable probe ~bounds
   in
-  search_min_rate ?pool ~precision ok
+  search_min_rate ~pool:(Engine.pool probe) ~precision ok
 
-let minimize_rates ?params ?pool ?(precision = 10) sys ~families =
+let minimize_rates ?engine ?params ?pool ?(precision = 10) sys ~families =
   let n = Array.length families in
   if n <> Array.length sys.Transaction.System.resources then
     invalid_arg "Design.minimize_rates: one family per platform required";
+  let probe = probe_engine ?engine ?params ?pool sys in
   let rates = Array.make n Q.one in
   let bounds_of rates =
     Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
   in
-  if not (schedulable_with ?params ?pool sys ~bounds:(bounds_of rates)) then None
+  if not (probe_schedulable probe ~bounds:(bounds_of rates)) then None
   else begin
     let changed = ref true in
     while !changed do
@@ -115,9 +132,9 @@ let minimize_rates ?params ?pool ?(precision = 10) sys ~families =
         let ok alpha =
           let attempt = Array.copy rates in
           attempt.(i) <- alpha;
-          schedulable_with ?params ?pool sys ~bounds:(bounds_of attempt)
+          probe_schedulable probe ~bounds:(bounds_of attempt)
         in
-        match search_min_rate ?pool ~precision ok with
+        match search_min_rate ~pool:(Engine.pool probe) ~precision ok with
         | Some alpha when Q.(alpha < rates.(i)) ->
             rates.(i) <- alpha;
             changed := true
@@ -127,16 +144,17 @@ let minimize_rates ?params ?pool ?(precision = 10) sys ~families =
     Some rates
   end
 
-let balance_rates ?params ?pool ?(precision = 6) sys ~families =
+let balance_rates ?engine ?params ?pool ?(precision = 6) sys ~families =
   let n = Array.length families in
   if n <> Array.length sys.Transaction.System.resources then
     invalid_arg "Design.balance_rates: one family per platform required";
+  let probe = probe_engine ?engine ?params ?pool sys in
   let den = 1 lsl precision in
   let rates = Array.make n Q.one in
   let bounds_of rates =
     Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
   in
-  if not (schedulable_with ?params ?pool sys ~bounds:(bounds_of rates)) then None
+  if not (probe_schedulable probe ~bounds:(bounds_of rates)) then None
   else begin
     let step = Q.make 1 den in
     let progress = ref true in
@@ -147,8 +165,7 @@ let balance_rates ?params ?pool ?(precision = 6) sys ~families =
         if Q.(candidate > zero) then begin
           let attempt = Array.copy rates in
           attempt.(i) <- candidate;
-          if schedulable_with ?params ?pool sys ~bounds:(bounds_of attempt)
-          then begin
+          if probe_schedulable probe ~bounds:(bounds_of attempt) then begin
             rates.(i) <- candidate;
             progress := true
           end
@@ -196,18 +213,19 @@ let scale_demands (m : Analysis.Model.t) factor =
         m.Analysis.Model.txns;
   }
 
-let breakdown_utilization ?params ?pool ?(precision = 10) sys =
-  let m = Analysis.Model.of_system sys in
+let breakdown_utilization ?engine ?params ?pool ?(precision = 10) sys =
+  let probe = probe_engine ?engine ?params ?pool sys in
+  let m = Engine.model probe in
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Analysis.Holistic.analyze ~params:(probe_params params) ?pool
-         (scale_demands m factor))
+      (Engine.analyze (Engine.with_model probe (scale_demands m factor)))
         .Analysis.Report.schedulable
   in
+  let pool = Engine.pool probe in
   if not (ok Q.one) then
     (* Even the given demands fail; search downwards instead. *)
-    search_max ?pool ~precision ~limit:Q.one ok
+    search_max ~pool ~precision ~limit:Q.one ok
   else begin
     (* Grow the ceiling until infeasible, then search inside. *)
     let rec ceiling limit =
@@ -216,10 +234,11 @@ let breakdown_utilization ?params ?pool ?(precision = 10) sys =
       else limit
     in
     let limit = ceiling (Q.of_int 2) in
-    if ok limit then limit else search_max ?pool ~precision ~limit ok
+    if ok limit then limit else search_max ~pool ~precision ~limit ok
   end
 
-let max_delta ?params ?pool ?(precision = 10) ?limit sys ~resource =
+let max_delta ?engine ?params ?pool ?(precision = 10) ?limit sys ~resource =
+  let probe = probe_engine ?engine ?params ?pool sys in
   let base = current_bounds sys in
   let default_limit =
     Array.fold_left
@@ -231,7 +250,7 @@ let max_delta ?params ?pool ?(precision = 10) ?limit sys ~resource =
     let bounds = Array.copy base in
     let b = bounds.(resource) in
     bounds.(resource) <- LB.make ~alpha:b.LB.alpha ~delta ~beta:b.LB.beta;
-    schedulable_with ?params ?pool sys ~bounds
+    probe_schedulable probe ~bounds
   in
   if not (ok Q.zero) then None
-  else Some (search_max ?pool ~precision ~limit ok)
+  else Some (search_max ~pool:(Engine.pool probe) ~precision ~limit ok)

@@ -11,14 +11,23 @@
     search on a dyadic grid, and a whole system is optimised by
     coordinate descent across its platforms.
 
-    Every search accepts a {!Parallel.Pool}: with more than one slot the
-    bisection becomes a parallel multisection (one analysis per slot and
-    per round, evenly spaced over the open bracket), and the pool is
-    also handed to the underlying analyses, which use it for the exact
-    scenario enumeration whenever the sweep itself has not saturated it
-    (the pool self-serialises nested regions).  A monotone predicate has
-    a unique flip point, so results are independent of the job count —
-    see docs/PERFORMANCE.md. *)
+    Every search runs its probe analyses through one
+    {!Analysis.Engine} session: the probes only rebind demands or
+    platform bounds, never task placement or priorities, so the
+    compiled IR is shared across the entire search
+    ({!Analysis.Engine.with_model}).  Pass [engine] to reuse a session
+    you already hold — it must be a session over the given system's
+    model; its parameters and pool are adopted (history is forced off
+    for the probes, which only read the verdict).  Without [engine], a
+    fresh probe session is built from [params] and [pool].
+
+    With a multi-slot pool the bisection becomes a parallel
+    multisection (one analysis per slot and per round, evenly spaced
+    over the open bracket), and the pool is also used by the underlying
+    analyses for the exact scenario enumeration whenever the sweep
+    itself has not saturated it (the pool self-serialises nested
+    regions).  A monotone predicate has a unique flip point, so results
+    are independent of the job count — see docs/PERFORMANCE.md. *)
 
 type family = {
   describe : string;
@@ -33,6 +42,7 @@ val fixed_latency_family : delta:Rational.t -> beta:Rational.t -> family
     setting of the paper's Table 2). *)
 
 val schedulable_with :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   Transaction.System.t ->
@@ -41,6 +51,7 @@ val schedulable_with :
 (** Schedulability of the system with its platform bounds replaced. *)
 
 val min_rate :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   ?precision:int ->
@@ -53,6 +64,7 @@ val min_rate :
     [family], other platforms unchanged.  [None] if even rate 1 fails. *)
 
 val minimize_rates :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   ?precision:int ->
@@ -65,6 +77,7 @@ val minimize_rates :
     result is a local optimum of Σα (the joint problem is not convex). *)
 
 val balance_rates :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   ?precision:int ->
@@ -78,6 +91,7 @@ val balance_rates :
     [precision] is 6. *)
 
 val breakdown_utilization :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   ?precision:int ->
@@ -89,6 +103,7 @@ val breakdown_utilization :
     schedulable as given; capped at 64. *)
 
 val max_delta :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   ?precision:int ->

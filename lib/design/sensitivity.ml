@@ -1,6 +1,7 @@
 module Q = Rational
 module Model = Analysis.Model
 module Report = Analysis.Report
+module Engine = Analysis.Engine
 
 type task_margin = { txn : int; task : int; name : string; factor : Q.t }
 
@@ -49,43 +50,58 @@ let search_scaling ~precision ok =
     Q.(limit * make !lo den)
   end
 
-let task_scaling ?params ?pool ?(precision = 7) sys ~txn ~task =
-  let m = Model.of_system sys in
-  (* Probes only read the verdict; skip the per-sweep history copies. *)
-  let params =
-    let p = Option.value params ~default:Analysis.Params.default in
-    { p with Analysis.Params.keep_history = false }
-  in
+(* Probes only read the verdict; skip the per-sweep history copies.
+   Scaling probes rebind demands only, so the caller's (or a fresh)
+   session keeps its compiled IR across the whole search. *)
+let probe_engine ?engine ?params ?pool sys =
+  match engine with
+  | Some e -> Engine.with_overrides ?params ?pool e ~keep_history:false
+  | None ->
+      let params =
+        let p = Option.value params ~default:Analysis.Params.default in
+        { p with Analysis.Params.keep_history = false }
+      in
+      Engine.create ~params ?pool (Model.of_system sys)
+
+let task_scaling ?engine ?params ?pool ?(precision = 7) sys ~txn ~task =
+  let probe = probe_engine ?engine ?params ?pool sys in
+  let m = Engine.model probe in
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Analysis.Holistic.analyze ~params ?pool (scale_one m ~txn ~task factor))
+      (Engine.analyze (Engine.with_model probe (scale_one m ~txn ~task factor)))
         .Report.schedulable
   in
   search_scaling ~precision ok
 
-let all_task_margins ?params ?pool ?precision sys =
-  let m = Model.of_system sys in
+let all_task_margins ?engine ?params ?pool ?precision sys =
+  let probe = probe_engine ?engine ?params ?pool sys in
+  let m = Engine.model probe in
   let sites = ref [] in
   Array.iteri
     (fun txn (tx : Model.txn) ->
       Array.iteri
-        (fun task (tk : Model.task) -> sites := (txn, task, tk.Model.name) :: !sites)
+        (fun task (tk : Model.task) ->
+          sites := (txn, task, tk.Model.name) :: !sites)
         tx.Model.tasks)
     m.Model.txns;
   (* One independent search per task — the candidate sweep the pool
      parallelises; the inner analyses reuse the same pool and
      self-serialise while the sweep holds it. *)
-  let pool' = Option.value pool ~default:Parallel.Pool.sequential in
-  Parallel.Pool.map_list pool'
+  Parallel.Pool.map_list (Engine.pool probe)
     (fun (txn, task, name) ->
-      { txn; task; name; factor = task_scaling ?params ?pool ?precision sys ~txn ~task })
+      { txn; task; name; factor = task_scaling ~engine:probe ?precision sys ~txn ~task })
     !sites
   |> List.sort (fun a b -> Q.compare a.factor b.factor)
 
-let transaction_slack ?params ?pool sys =
-  let m = Model.of_system sys in
-  let report = Analysis.Holistic.analyze ?params ?pool m in
+let transaction_slack ?engine ?params ?pool sys =
+  let e =
+    match engine with
+    | Some e -> Engine.with_overrides ?params ?pool e
+    | None -> Engine.create_system ?params ?pool sys
+  in
+  let m = Engine.model e in
+  let report = Engine.analyze e in
   Array.to_list
     (Array.mapi
        (fun a (tx : Model.txn) ->

@@ -1,5 +1,12 @@
 (** Sensitivity analysis: how much slack each part of a schedulable
-    system has, and which parts break first under growth. *)
+    system has, and which parts break first under growth.
+
+    Probe analyses run through one {!Analysis.Engine} session per
+    search (scaling probes rebind demands only, so the compiled IR is
+    shared throughout).  Pass [engine] to reuse a session you already
+    hold — it must be a session over the given system's model; its
+    parameters and pool are adopted.  Without [engine], a fresh session
+    is built from [params] and [pool]. *)
 
 type task_margin = {
   txn : int;
@@ -11,6 +18,7 @@ type task_margin = {
 }
 
 val task_scaling :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   ?precision:int ->
@@ -24,22 +32,26 @@ val task_scaling :
     at 64. *)
 
 val all_task_margins :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   ?precision:int ->
   Transaction.System.t ->
   task_margin list
 (** {!task_scaling} for every task, sorted most-critical (smallest
-    factor) first.  The per-task searches are independent; [pool]
-    spreads them over its domains (the margin list is identical for
+    factor) first.  The per-task searches are independent; the session's
+    pool spreads them over its domains (the margin list is identical for
     every job count). *)
 
 val transaction_slack :
+  ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
   Transaction.System.t ->
   (string * Analysis.Report.bound * Rational.t) list
 (** Per transaction: name, end-to-end response bound, and deadline;
-    slack is [deadline - response] when finite. *)
+    slack is [deadline - response] when finite.  Unlike the probe-based
+    searches, this keeps the session's full parameters (including
+    history). *)
 
 val pp_margins : Format.formatter -> task_margin list -> unit

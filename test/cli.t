@@ -38,11 +38,29 @@ are given):
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --no-history | tail -1
   schedulable: true (outer iterations: 4, converged: true)
 
-A negative job count is rejected:
+Bad job counts are rejected at parse time (negative, absurd, garbage):
 
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --jobs=-1
-  hsched: --jobs must be >= 0
-  [1]
+  hsched: option '--jobs': must be >= 0 (0 = all cores), got -1
+  Usage: hsched analyze [OPTION]… FILE
+  Try 'hsched analyze --help' or 'hsched --help' for more information.
+  [124]
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --jobs 100000 2>&1 | head -1
+  hsched: option '--jobs': must be <= 512, got 100000
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --jobs many 2>&1 | head -1
+  hsched: option '--jobs': expected an integer, got many
+
+--trace dumps the engine's structured events as JSON lines:
+
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --trace events.jsonl > /dev/null
+  $ cat events.jsonl
+  {"event":"compiled","txns":4,"tasks":7,"exact_scenarios":9}
+  {"event":"analysis_started","variant":"reduced"}
+  {"event":"sweep","iteration":1,"recomputed":7,"carried":0}
+  {"event":"sweep","iteration":2,"recomputed":5,"carried":2}
+  {"event":"sweep","iteration":3,"recomputed":5,"carried":2}
+  {"event":"sweep","iteration":4,"recomputed":5,"carried":2}
+  {"event":"finished","iterations":4,"converged":true,"schedulable":true}
 
 Unknown transaction names are reported:
 

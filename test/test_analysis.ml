@@ -13,6 +13,7 @@ module Rta = Analysis.Rta
 module Best_case = Analysis.Best_case
 module Holistic = Analysis.Holistic
 module Classical = Analysis.Classical
+module Engine = Analysis.Engine
 
 let q = Q.of_decimal_string
 
@@ -462,6 +463,148 @@ let test_scenario_counters () =
   Alcotest.(check bool) "visited within total" true (v1 <= t1);
   Alcotest.(check bool) "incremental examines no more spaces" true (t1 <= t0)
 
+(* --- engine sessions --- *)
+
+(* Engine sessions must be observationally identical to the sessionless
+   shim: the compiled IR only reorganises static structure, the memo
+   replays exact values, and reusing one session (second run reads a
+   warm memo) must replay the identical report. *)
+let engine_identity_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"engine session = sessionless shim, exact and reduced, jobs 1 and 4"
+       ~count:10
+       (QCheck.int_range 1 1000)
+       (fun seed ->
+         let spec =
+           {
+             Workload.Gen.default_spec with
+             Workload.Gen.n_txns = 3;
+             max_tasks_per_txn = 3;
+           }
+         in
+         let sys = Workload.Gen.system ~seed spec in
+         let m = Model.of_system sys in
+         QCheck.assume (scenario_total m < 20_000);
+         let agrees params =
+           let reference = Holistic.analyze ~params m in
+           List.for_all
+             (fun jobs ->
+               Parallel.Pool.with_pool ~jobs (fun pool ->
+                   let e = Engine.create ~params ~pool m in
+                   Engine.analyze e = reference && Engine.analyze e = reference))
+             [ 1; 4 ]
+         in
+         agrees P.exact && agrees P.default))
+
+let test_session_reuse () =
+  let m = paper_model () in
+  let e = Engine.create ~params:P.exact m in
+  let r1 = Engine.analyze e in
+  let r2 = Engine.analyze e in
+  Alcotest.(check bool) "second run replays the identical report" true (r1 = r2)
+
+let test_engine_overrides () =
+  let m = paper_model () in
+  let e = Engine.create ~params:P.exact m in
+  let full = Engine.analyze e in
+  let probe = Engine.analyze (Engine.with_overrides e ~keep_history:false) in
+  Alcotest.(check bool) "history dropped" true (probe.Report.history = []);
+  Alcotest.(check bool)
+    "rest of the report identical" true
+    ({ full with Report.history = [] } = probe);
+  (* a pool override re-partitions the memo and changes nothing else *)
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check bool)
+        "jobs 4 identical" true
+        (Engine.analyze (Engine.with_overrides e ~pool) = full))
+
+let test_engine_with_model () =
+  let m = paper_model () in
+  let e = Engine.create ~params:P.exact m in
+  ignore (Engine.analyze e);
+  (* halve every demand: placement and priorities unchanged, so the
+     session keeps its IR — the report must still match a fresh
+     analysis of the scaled model *)
+  let scaled =
+    {
+      m with
+      Model.txns =
+        Array.map
+          (fun (tx : Model.txn) ->
+            {
+              tx with
+              Model.tasks =
+                Array.map
+                  (fun (tk : Model.task) ->
+                    {
+                      tk with
+                      Model.c = Q.(tk.Model.c / of_int 2);
+                      cb = Q.(tk.Model.cb / of_int 2);
+                    })
+                  tx.Model.tasks;
+            })
+          m.Model.txns;
+    }
+  in
+  Alcotest.(check bool)
+    "rebound model = fresh session" true
+    (Engine.analyze (Engine.with_model e scaled)
+    = Holistic.analyze ~params:P.exact scaled)
+
+let test_engine_events () =
+  let m = paper_model () in
+  let events = ref [] in
+  let e = Engine.create ~sink:(fun ev -> events := ev :: !events) m in
+  let report = Engine.analyze e in
+  let evs = List.rev !events in
+  (match evs with
+  | Engine.Compiled { txns; tasks; _ } :: Engine.Analysis_started _ :: rest ->
+      Alcotest.(check int) "txns" 4 txns;
+      Alcotest.(check int) "tasks" 7 tasks;
+      let sweeps =
+        List.filter (function Engine.Sweep _ -> true | _ -> false) rest
+      in
+      Alcotest.(check int)
+        "one sweep per outer iteration" report.Report.outer_iterations
+        (List.length sweeps);
+      (match List.rev rest with
+      | Engine.Finished { iterations; converged; schedulable } :: _ ->
+          Alcotest.(check bool) "converged" true converged;
+          Alcotest.(check bool)
+            "schedulable" report.Report.schedulable schedulable;
+          Alcotest.(check int)
+            "iterations" report.Report.outer_iterations iterations
+      | _ -> Alcotest.fail "missing Finished event")
+  | _ -> Alcotest.fail "expected Compiled then Analysis_started");
+  List.iter
+    (fun ev ->
+      let s = Engine.event_to_json ev in
+      Alcotest.(check bool)
+        "one JSON object per line" true
+        (String.length s > 2
+        && s.[0] = '{'
+        && s.[String.length s - 1] = '}'
+        && not (String.contains s '\n')))
+    evs
+
+let test_engine_classical_view () =
+  let e = Engine.create (degenerate_model ()) in
+  let holistic = Engine.analyze e in
+  let view = Engine.classical e ~resource:0 in
+  Alcotest.(check int) "view covers every transaction" 3 (List.length view);
+  List.iteri
+    (fun i (ct, cr) ->
+      check_bound ct.Classical.name cr
+        holistic.Report.results.(i).(0).Report.response)
+    view;
+  Alcotest.(check bool)
+    "classical verdict" true
+    (Engine.classical_schedulable e ~resource:0);
+  Alcotest.(check bool)
+    "edf admits the same degenerate set" true
+    (Engine.edf_schedulable e ~resource:0)
+
 let test_scenario_count () =
   let m = paper_model () in
   (* τ4,1: hp Γ1 on P3 = {init, compute}, own scenarios = itself *)
@@ -527,5 +670,14 @@ let () =
           ablation_identity_prop;
           Alcotest.test_case "keep_history off" `Quick test_keep_history;
           Alcotest.test_case "scenario counters" `Quick test_scenario_counters;
+        ] );
+      ( "engine",
+        [
+          engine_identity_prop;
+          Alcotest.test_case "session reuse" `Quick test_session_reuse;
+          Alcotest.test_case "overrides" `Quick test_engine_overrides;
+          Alcotest.test_case "model rebinding" `Quick test_engine_with_model;
+          Alcotest.test_case "events" `Quick test_engine_events;
+          Alcotest.test_case "classical view" `Quick test_engine_classical_view;
         ] );
     ]
