@@ -849,6 +849,159 @@ let prune_incremental () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* X11: admission-control service — throughput, warm vs cold IR        *)
+(* ------------------------------------------------------------------ *)
+
+let service_base =
+  String.concat "\n"
+    [
+      "platform P1 { alpha = 0.4; delta = 1; beta = 1; host = \"n\"; }";
+      "platform P2 { alpha = 0.4; delta = 1; beta = 1; host = \"n\"; }";
+      "platform P3 { alpha = 0.2; delta = 2; beta = 1; host = \"n\"; }";
+    ]
+
+(* Every probe has the same shape — one periodic task on P3 at priority
+   1 — so successive rebinds keep the compiled IR warm; only the demand
+   varies (distinct demands mean distinct snapshot hashes, so the probes
+   exercise the engine, not the result cache). *)
+let probe_spec i =
+  Printf.sprintf
+    "component Probe { implementation: scheduler fixed_priority; thread T \
+     periodic(period = 40, deadline = 40) priority 1 { task work(wcet = \
+     %d.%d, bcet = 0.1); } } instance ProbeI : Probe on P3;"
+    (1 + (i mod 3))
+    (i mod 10)
+
+(* Admitted units must coexist: distinct names, periods and priorities,
+   spread over the three platforms. *)
+let unit_spec i =
+  Printf.sprintf
+    "component U%d { implementation: scheduler fixed_priority; thread T \
+     periodic(period = %d, deadline = %d) priority %d { task work(wcet = \
+     0.2, bcet = 0.1); } } instance I%d : U%d on P%d;"
+    i (30 + i) (30 + i) (i + 1) i i ((i mod 3) + 1)
+
+let service_throughput () =
+  header "X11 — admission-control service: throughput and warm vs cold IR";
+  let params =
+    { Analysis.Params.default with Analysis.Params.keep_history = false }
+  in
+  let items =
+    match Spec.Parser.parse service_base with
+    | Ok items -> items
+    | Error e -> failwith e
+  in
+  let mk_server workers =
+    match Service.Server.create ~workers ~params items with
+    | Ok s -> s
+    | Error es -> failwith (String.concat "; " es)
+  in
+  let n_probes = if !quick then 12 else 32 in
+  let what_if i =
+    Service.Protocol.What_if { uid = "probe"; spec = probe_spec i }
+  in
+  (* one batch of read-only probes, executed on 1/2/4 workers: responses
+     must be bit-identical whatever the worker count *)
+  Format.printf "%8s %12s %14s %10s@." "workers" "wall (ms)" "probes/sec"
+    "identical";
+  let reference = ref None in
+  let all_same = ref true in
+  List.iter
+    (fun workers ->
+      let srv = mk_server workers in
+      let envs =
+        List.init n_probes (fun i ->
+            {
+              Service.Protocol.seq = i + 1;
+              arrival = Unix.gettimeofday ();
+              deadline_ms = None;
+              req = what_if i;
+            })
+      in
+      let ms, resps =
+        wall (fun () -> Service.Server.process_batch srv envs)
+      in
+      Service.Server.shutdown srv;
+      let rendered = List.map Service.Json.to_string resps in
+      let identical =
+        match !reference with
+        | None ->
+            reference := Some rendered;
+            true
+        | Some r -> r = rendered
+      in
+      if not identical then all_same := false;
+      metric (Printf.sprintf "x11/probe_batch_w%d_ms" workers) ms;
+      Format.printf "%8d %12.1f %14.0f %10s@." workers ms
+        (float_of_int n_probes /. ms *. 1000.)
+        (if identical then "yes" else "NO"))
+    (if !quick then [ 1; 4 ] else [ 1; 2; 4 ]);
+  check "x11/probe responses identical across worker counts" !all_same;
+  (* admission throughput: transactional commits are barriers, so they
+     serialize on worker 0 whatever the pool size *)
+  let n_units = if !quick then 8 else 16 in
+  let srv = mk_server 1 in
+  let admit_ms, admitted_ok =
+    wall (fun () ->
+        let ok = ref 0 in
+        for i = 0 to n_units - 1 do
+          match
+            Service.Server.handle srv
+              (Service.Protocol.Admit
+                 { uid = Printf.sprintf "u%d" i; spec = unit_spec i })
+          with
+          | Service.Json.Obj fields
+            when List.assoc_opt "status" fields
+                 = Some (Service.Json.String "admitted") ->
+              incr ok
+          | _ -> ()
+        done;
+        !ok)
+  in
+  Format.printf
+    "admissions: %d/%d committed in %.1f ms (%.0f admissions/sec)@."
+    admitted_ok n_units admit_ms
+    (float_of_int n_units /. admit_ms *. 1000.);
+  metric "x11/admissions_per_sec" (float_of_int n_units /. admit_ms *. 1000.);
+  check "x11/every admission committed" (admitted_ok = n_units);
+  Service.Server.shutdown srv;
+  (* warm vs cold: the same what_if candidates analyzed through one
+     long-lived session (the rebind keeps the IR — only demands move)
+     and by a fresh engine per candidate *)
+  let srv = mk_server 1 in
+  ignore (Service.Server.handle srv (what_if 0));
+  let warm_ms, () =
+    wall (fun () ->
+        for i = 1 to n_probes do
+          ignore (Service.Server.handle srv (what_if i))
+        done)
+  in
+  let m = Service.Server.metrics srv in
+  check "x11/rebinds kept the IR warm" (m.Service.Metrics.ir_warm >= n_probes);
+  let store = Service.Server.store srv in
+  let cold_ms, () =
+    wall (fun () ->
+        for i = 1 to n_probes do
+          match Service.Store.admit store ~uid:"probe" ~spec:(probe_spec i) with
+          | Error _ -> assert false
+          | Ok cand ->
+              let model = Model.of_system cand.Service.Store.sys in
+              ignore
+                (Analysis.Engine.analyze (Analysis.Engine.create ~params model))
+        done)
+  in
+  Service.Server.shutdown srv;
+  Format.printf
+    "%d same-shape what_if probes: warm session %.1f ms, cold re-analysis %.1f \
+     ms (%.2fx)@."
+    n_probes warm_ms cold_ms (cold_ms /. warm_ms);
+  metric "x11/warm_whatif_ms" warm_ms;
+  metric "x11/cold_reanalysis_ms" cold_ms;
+  if not !quick then
+    check "x11/warm session strictly below cold re-analysis"
+      (warm_ms < cold_ms)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timings: one Test.make per paper artefact                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -958,11 +1111,21 @@ let sections =
     ("parallel_scaling", parallel_scaling);
     ("best_case_ablation", best_case_ablation);
     ("prune_incremental", prune_incremental);
+    ("service_throughput", service_throughput);
     ("timings", timings);
   ]
 
+(* A crashing section records a failed check instead of aborting the
+   run: [finish] must still execute so the JSON summary reaches --out
+   whatever happened (CI asserts on the file, not the exit trace). *)
 let run_section (name, f) =
-  let ms, () = wall f in
+  let ms, () =
+    wall (fun () ->
+        try f ()
+        with exn ->
+          Format.printf "section %s raised: %s@." name (Printexc.to_string exn);
+          check (Printf.sprintf "%s/completed without exception" name) false)
+  in
   metric (Printf.sprintf "section/%s_ms" name) ms
 
 let finish () =

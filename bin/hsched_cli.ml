@@ -8,6 +8,7 @@
      hsched simulate    sys.hsc      discrete-event simulation (+ Gantt)
      hsched design      sys.hsc      platform parameter synthesis
      hsched sensitivity sys.hsc      per-task margins, per-txn slack
+     hsched serve       sys.hsc      online admission-control service
      hsched format      sys.hsc      canonical re-formatting
      hsched example                  run the paper's worked example    *)
 
@@ -118,19 +119,36 @@ let engine_trace_arg =
           "Write the engine's structured events (model compilation, one line \
            per fixed-point sweep, final verdict) to $(docv) as JSON lines.")
 
+(* [f] receives a line writer.  The channel is closed through an
+   idempotent closure registered both as the [Fun.protect] finalizer
+   and with [at_exit]: [Stdlib.exit] does not unwind the stack, so a
+   command that exits from inside the traced scope (unschedulable
+   verdicts exit 2) would otherwise drop whatever the channel still
+   buffers and truncate the trace file. *)
 let with_trace trace f =
   match trace with
   | None -> f None
   | Some path ->
       let oc = open_out path in
-      Fun.protect
-        ~finally:(fun () -> close_out oc)
-        (fun () ->
+      let closed = ref false in
+      let close () =
+        if not !closed then begin
+          closed := true;
+          close_out_noerr oc
+        end
+      in
+      at_exit close;
+      Fun.protect ~finally:close (fun () ->
           f
             (Some
-               (fun e ->
-                 output_string oc (Analysis.Engine.event_to_json e);
+               (fun line ->
+                 output_string oc line;
                  output_char oc '\n')))
+
+let engine_sink writer =
+  Option.map
+    (fun w e -> w (Analysis.Engine.event_to_json e))
+    writer
 
 (* --- validate --- *)
 
@@ -194,7 +212,8 @@ let analyze_cmd =
     in
     let report =
       with_jobs jobs @@ fun pool ->
-      with_trace trace @@ fun sink ->
+      with_trace trace @@ fun writer ->
+      let sink = engine_sink writer in
       Analysis.Engine.analyze (Analysis.Engine.create ~params ~pool ?sink m)
     in
     let names a b = (Analysis.Model.task m a b).Analysis.Model.name in
@@ -349,7 +368,8 @@ let sensitivity_cmd =
   let run file precision jobs trace =
     let sys = or_die (load_system file) in
     with_jobs jobs @@ fun pool ->
-    with_trace trace @@ fun sink ->
+    with_trace trace @@ fun writer ->
+    let sink = engine_sink writer in
     (* One session for the whole command: every margin search and the
        slack report reuse the model compiled here. *)
     let engine = Analysis.Engine.create_system ~pool ?sink sys in
@@ -400,7 +420,8 @@ let design_cmd =
   let run file precision server_period jobs trace =
     let sys = or_die (load_system file) in
     with_jobs jobs @@ fun pool ->
-    with_trace trace @@ fun sink ->
+    with_trace trace @@ fun writer ->
+    let sink = engine_sink writer in
     (* One session for the whole command: every probe of the rate search
        and the breakdown sweep reuses the model compiled here. *)
     let engine = Analysis.Engine.create_system ~pool ?sink sys in
@@ -422,12 +443,14 @@ let design_cmd =
                 ~beta:b.Platform.Linear_bound.beta)
             resources
     in
-    (match
-       Design.Param_search.balance_rates ~engine ~precision sys ~families
-     with
+    (* Return the code instead of calling [exit] here: [exit] would not
+       unwind [with_trace]'s finalizer (see its comment). *)
+    match
+      Design.Param_search.balance_rates ~engine ~precision sys ~families
+    with
     | None ->
         print_endline "not schedulable even at full rates";
-        exit 2
+        2
     | Some rates ->
         Format.printf "minimal balanced rates:@.";
         Array.iteri
@@ -437,10 +460,10 @@ let design_cmd =
               families.(i).Design.Param_search.describe)
           rates;
         Format.printf "  Σα = %a@." Q.pp_decimal
-          (Array.fold_left Q.add Q.zero rates));
-    Format.printf "breakdown utilization: %a@." Q.pp_decimal
-      (Design.Param_search.breakdown_utilization ~engine ~precision sys);
-    0
+          (Array.fold_left Q.add Q.zero rates);
+        Format.printf "breakdown utilization: %a@." Q.pp_decimal
+          (Design.Param_search.breakdown_utilization ~engine ~precision sys);
+        0
   in
   Cmd.v
     (Cmd.info "design"
@@ -450,6 +473,91 @@ let design_cmd =
     Term.(
       const run $ file_arg $ precision_arg $ server_period_arg $ jobs_arg
       $ engine_trace_arg)
+
+(* --- serve --- *)
+
+let workers_arg =
+  Arg.(
+    value & opt jobs_conv 1
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker domains, each driving one long-lived engine session \
+           ($(b,0) = all cores).  Read-only requests of a batch run on the \
+           workers in parallel; verdicts are identical for every count.")
+
+let max_batch_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-batch" ] ~docv:"N"
+        ~doc:
+          "Overload threshold: when a drained batch exceeds $(docv) \
+           requests, $(b,what_if) probes are shed first, then queries, \
+           then admissions — never $(b,stats).")
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Serve on a Unix-domain socket at $(docv) (one client at a time) \
+           instead of stdin/stdout.")
+
+let accept_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "accept-limit" ] ~docv:"N"
+        ~doc:"With $(b,--socket): exit after serving $(docv) connections.")
+
+let serve_cmd =
+  let run file workers exact max_batch trace socket accept_limit =
+    let src =
+      try Ok (In_channel.with_open_bin file In_channel.input_all)
+      with Sys_error e -> Error e
+    in
+    let src = or_die src in
+    match Spec.Parser.parse src with
+    | Error e ->
+        prerr_endline e;
+        1
+    | Ok items -> (
+        with_trace trace @@ fun writer ->
+        let trace =
+          Option.map (fun w e -> w (Service.Events.to_json e)) writer
+        in
+        let params =
+          {
+            (params_of_exact exact) with
+            Analysis.Params.keep_history = false;
+          }
+        in
+        match
+          Service.Server.create ~workers ~params ~max_batch ?trace items
+        with
+        | Error es ->
+            List.iter prerr_endline es;
+            1
+        | Ok srv ->
+            Fun.protect
+              ~finally:(fun () -> Service.Server.shutdown srv)
+              (fun () ->
+                match socket with
+                | None -> Service.Server.run srv stdin stdout
+                | Some path ->
+                    Service.Server.run_unix_socket ?accept_limit srv ~path);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the online admission-control service over the base system \
+          $(b,FILE): JSON-lines requests ($(b,admit), $(b,revoke), \
+          $(b,query), $(b,what_if), $(b,stats)) on stdin or a Unix socket, \
+          one response per line.  Protocol reference in docs/SERVICE.md.")
+    Term.(
+      const run $ file_arg $ workers_arg $ exact_flag $ max_batch_arg
+      $ engine_trace_arg $ socket_arg $ accept_limit_arg)
 
 (* --- format --- *)
 
@@ -499,6 +607,7 @@ let main =
       simulate_cmd;
       design_cmd;
       sensitivity_cmd;
+      serve_cmd;
       format_cmd;
       example_cmd;
     ]

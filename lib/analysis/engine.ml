@@ -75,6 +75,8 @@ let create_system ?params ?pool ?counters ?sink sys =
 
 let model t = t.model
 
+let ir t = t.ir
+
 let params t = t.params
 
 let pool t = t.pool

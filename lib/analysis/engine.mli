@@ -101,6 +101,12 @@ val with_model : t -> Model.t -> t
 
 val model : t -> Model.t
 
+val ir : t -> Ir.t
+(** The session's compiled IR.  [Ir.compatible (ir t) m] predicts
+    whether {!with_model}[ t m] will keep it warm — long-lived callers
+    (the admission-control service) use this to report how often a
+    rebind recompiled. *)
+
 val params : t -> Params.t
 
 val pool : t -> Parallel.Pool.t

@@ -1,0 +1,24 @@
+type event =
+  | Engine_event of Analysis.Engine.event
+  | Request of {
+      seq : int;
+      op : string;
+      status : string;
+      latency_ms : float;
+      cache_hit : bool;
+      session : string option;
+    }
+  | Batch of { size : int; parallel : int; shed : int }
+
+let to_json = function
+  | Engine_event e -> Analysis.Engine.event_to_json e
+  | Request { seq; op; status; latency_ms; cache_hit; session } ->
+      Printf.sprintf
+        {|{"event":"request","seq":%d,"op":"%s","status":"%s","latency_ms":%.3f,"cache_hit":%b,"session":%s}|}
+        seq (Json.escape op) (Json.escape status) latency_ms cache_hit
+        (match session with
+        | None -> "null"
+        | Some s -> Printf.sprintf "%S" s)
+  | Batch { size; parallel; shed } ->
+      Printf.sprintf {|{"event":"batch","size":%d,"parallel":%d,"shed":%d}|}
+        size parallel shed

@@ -1,0 +1,28 @@
+(** The service's structured trace stream.
+
+    [hsched serve --trace FILE] writes one JSON object per line, exactly
+    like the analysis engine's [--trace]: the engine events of every
+    session the workers drive pass through verbatim ({!Engine_event}),
+    interleaved with per-request and per-batch service events.  Requests
+    are finalized in arrival order on the main domain, so the request
+    events of a scripted session appear in a deterministic order; engine
+    events from concurrently analyzing workers may interleave. *)
+
+type event =
+  | Engine_event of Analysis.Engine.event
+  | Request of {
+      seq : int;
+      op : string;
+      status : string;
+      latency_ms : float;
+      cache_hit : bool;
+      session : string option;
+          (** ["cold"], ["rebound"] or ["warm-ir"]; [None] when no
+              analysis ran (cache hit, shed, invalid) *)
+    }
+  | Batch of { size : int; parallel : int; shed : int }
+      (** One server round: [size] requests drained, [parallel] of them
+          executed on worker domains, [shed] dropped. *)
+
+val to_json : event -> string
+(** One line, no trailing newline. *)

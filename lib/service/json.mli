@@ -1,0 +1,43 @@
+(** Minimal JSON values for the admission-control wire protocol.
+
+    The repository deliberately has no third-party JSON dependency; this
+    module implements exactly the subset the JSON-lines protocol needs —
+    objects, arrays, strings, numbers, booleans and null — with a
+    recursive-descent parser and a canonical printer.  Numbers are kept
+    as [Int] when they parse exactly as an OCaml [int] and as [Float]
+    otherwise; exact rational quantities of the analysis travel as
+    strings (e.g. ["31"], ["4/5"]), never as floats, so bounds survive
+    the round trip bit-identically. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON document.  Errors carry a character offset. *)
+
+val to_string : t -> string
+(** Compact one-line rendering (no newlines — JSON-lines safe).  Object
+    fields keep their given order. *)
+
+(** {1 Accessors}
+
+    All return [None] (or the given default) instead of raising. *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on missing field or non-object. *)
+
+val string_field : string -> t -> string option
+
+val int_field : string -> t -> int option
+
+val float_field : string -> t -> float option
+(** Accepts both [Int] and [Float] payloads. *)
+
+val escape : string -> string
+(** The body of a JSON string literal (no surrounding quotes). *)

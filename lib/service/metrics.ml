@@ -1,0 +1,103 @@
+type t = {
+  mutable admits : int;
+  mutable revokes : int;
+  mutable queries : int;
+  mutable what_ifs : int;
+  mutable stats_reqs : int;
+  mutable errors : int;
+  mutable committed : int;
+  mutable rejected : int;
+  mutable shed_deadline : int;
+  mutable shed_overload : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable sessions_created : int;
+  mutable sessions_rebound : int;
+  mutable ir_warm : int;
+  mutable batches : int;
+  mutable latency_total_ms : float;
+  mutable latency_max_ms : float;
+}
+
+let create () =
+  {
+    admits = 0;
+    revokes = 0;
+    queries = 0;
+    what_ifs = 0;
+    stats_reqs = 0;
+    errors = 0;
+    committed = 0;
+    rejected = 0;
+    shed_deadline = 0;
+    shed_overload = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    sessions_created = 0;
+    sessions_rebound = 0;
+    ir_warm = 0;
+    batches = 0;
+    latency_total_ms = 0.;
+    latency_max_ms = 0.;
+  }
+
+let count_request t = function
+  | Protocol.Admit _ -> t.admits <- t.admits + 1
+  | Protocol.Revoke _ -> t.revokes <- t.revokes + 1
+  | Protocol.Query -> t.queries <- t.queries + 1
+  | Protocol.What_if _ -> t.what_ifs <- t.what_ifs + 1
+  | Protocol.Stats -> t.stats_reqs <- t.stats_reqs + 1
+
+let record_latency t ms =
+  t.latency_total_ms <- t.latency_total_ms +. ms;
+  if ms > t.latency_max_ms then t.latency_max_ms <- ms
+
+let to_json t ~seq ~admitted ~hash ~workers ~entries =
+  Json.Obj
+    [
+      ("seq", Json.Int seq);
+      ("op", Json.String "stats");
+      ("status", Json.String "ok");
+      ("admitted", Json.Int admitted);
+      ("hash", Json.String hash);
+      ("workers", Json.Int workers);
+      ( "requests",
+        Json.Obj
+          [
+            ("admit", Json.Int t.admits);
+            ("revoke", Json.Int t.revokes);
+            ("query", Json.Int t.queries);
+            ("what_if", Json.Int t.what_ifs);
+            ("stats", Json.Int t.stats_reqs);
+            ("errors", Json.Int t.errors);
+          ] );
+      ("committed", Json.Int t.committed);
+      ("rejected", Json.Int t.rejected);
+      ( "shed",
+        Json.Obj
+          [
+            ("deadline", Json.Int t.shed_deadline);
+            ("overload", Json.Int t.shed_overload);
+          ] );
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int t.cache_hits);
+            ("misses", Json.Int t.cache_misses);
+            ("entries", Json.Int entries);
+          ] );
+      ( "sessions",
+        Json.Obj
+          [
+            ("created", Json.Int t.sessions_created);
+            ("rebound", Json.Int t.sessions_rebound);
+            ("ir_warm", Json.Int t.ir_warm);
+          ] );
+      ("batches", Json.Int t.batches);
+      ( "latency_ms",
+        Json.Obj
+          [
+            ("total", Json.Float t.latency_total_ms);
+            ("max", Json.Float t.latency_max_ms);
+          ] );
+    ]

@@ -1,0 +1,40 @@
+(** Service counters.
+
+    All counters are updated from the server's main domain only — worker
+    domains report what happened and the batch finalizer (which runs
+    requests' bookkeeping in arrival order) does the writes — so plain
+    mutable fields suffice and a scripted session always reproduces the
+    same counts. *)
+
+type t = {
+  mutable admits : int;
+  mutable revokes : int;
+  mutable queries : int;
+  mutable what_ifs : int;
+  mutable stats_reqs : int;
+  mutable errors : int;  (** unparseable request lines *)
+  mutable committed : int;  (** admissions + revocations committed *)
+  mutable rejected : int;
+  mutable shed_deadline : int;
+  mutable shed_overload : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable sessions_created : int;  (** engine sessions built from scratch *)
+  mutable sessions_rebound : int;  (** [Engine.with_model] reuses *)
+  mutable ir_warm : int;
+      (** rebinds whose compiled IR survived (only demands moved) *)
+  mutable batches : int;
+  mutable latency_total_ms : float;
+  mutable latency_max_ms : float;
+}
+
+val create : unit -> t
+
+val count_request : t -> Protocol.request -> unit
+
+val record_latency : t -> float -> unit
+
+val to_json :
+  t -> seq:int -> admitted:int -> hash:string -> workers:int -> entries:int ->
+  Json.t
+(** The [stats] response body; [entries] is the result-cache size. *)

@@ -1,0 +1,118 @@
+(** The admission-control wire protocol: JSON-lines requests and
+    responses, plus the analysis summary they transport.
+
+    One request per line on the way in, one response object per line on
+    the way out, tagged with the request's sequence number.  The full
+    field-by-field reference lives in docs/SERVICE.md; this module is
+    the single place the shapes are produced and consumed, so the
+    document and the code cannot drift apart silently. *)
+
+(** {1 Requests} *)
+
+type request =
+  | Admit of { uid : string; spec : string }
+      (** Admit the [.hsc] fragment [spec] under id [uid]: derive,
+          analyze, commit iff schedulable. *)
+  | Revoke of { uid : string }
+      (** Remove the unit; rejected when other admitted units bind into
+          it. *)
+  | Query  (** Analysis of the currently admitted system. *)
+  | What_if of { uid : string; spec : string }
+      (** Trial admission: analyzed exactly like {!Admit} but never
+          committed.  First to be shed under overload. *)
+  | Stats  (** Service metrics; never sheds. *)
+
+type envelope = {
+  seq : int;  (** assigned in arrival order; echoed in the response *)
+  arrival : float;  (** {!Unix.gettimeofday} at read time *)
+  deadline_ms : float option;
+      (** optional per-request deadline, relative to [arrival]; an
+          expired request is shed instead of processed *)
+  req : request;
+}
+
+val op_name : request -> string
+
+val parse : string -> (request * float option, string) result
+(** Parse one request line into the request and its optional
+    [deadline_ms]. *)
+
+(** {1 Analysis summaries}
+
+    The cacheable outcome of analyzing one store snapshot: the verdict,
+    the per-task response bounds (exact rationals, rendered with
+    {!Rational.to_string} — bit-identical to [hsched analyze --csv] of
+    the same system), and the end-to-end violations when not
+    schedulable. *)
+
+type task_bound = {
+  txn : string;
+  task : string;
+  response : Analysis.Report.bound;
+  deadline : Rational.t;
+}
+
+type violation = {
+  v_txn : string;  (** transaction whose end-to-end deadline is missed *)
+  v_task : string;  (** its last task *)
+  v_response : Analysis.Report.bound;
+  v_deadline : Rational.t;
+  v_margin : Rational.t option;
+      (** overshoot [R − D]; [None] when the response diverged *)
+  v_origin : string option;  (** instance originating the transaction *)
+}
+
+type summary = {
+  s_hash : string;  (** hash of the snapshot this summarizes *)
+  s_schedulable : bool;
+  s_converged : bool;
+  s_iterations : int;
+  s_bounds : task_bound list;  (** every task, report order *)
+  s_violations : violation list;
+}
+
+val summarize : store:Store.t -> model:Analysis.Model.t -> Analysis.Report.t -> summary
+(** [model] must be the model the report was computed from (it supplies
+    the task names). *)
+
+(** {1 Responses}
+
+    Builders for every response shape.  [candidate_instances] marks
+    which violations originate from the unit under admission
+    ([from_candidate] in the JSON). *)
+
+val admitted :
+  seq:int -> uid:string -> txns:int -> cached:bool -> summary -> Json.t
+
+val revoked :
+  seq:int -> uid:string -> txns:int -> cached:bool -> summary -> Json.t
+
+val rejected :
+  seq:int ->
+  op:string ->
+  uid:string ->
+  reason:string ->
+  ?errors:string list ->
+  ?violations:violation list ->
+  ?candidate_instances:string list ->
+  hash:string ->
+  unit ->
+  Json.t
+
+val query_ok : seq:int -> cached:bool -> summary -> Json.t
+
+val what_if_ok :
+  seq:int ->
+  uid:string ->
+  cached:bool ->
+  candidate_instances:string list ->
+  summary ->
+  Json.t
+
+val shed : seq:int -> op:string -> reason:string -> Json.t
+
+val error : seq:int -> op:string -> msg:string -> Json.t
+
+val bound_to_string : Analysis.Report.bound -> string
+(** ["inf"] for divergent bounds, {!Rational.to_string} otherwise —
+    the exact strings [hsched analyze --csv] prints. *)

@@ -1,0 +1,474 @@
+module P = Protocol
+
+type session_kind = Cold | Rebound | Warm
+
+(* One engine session per pool slot.  A slot's session is only ever
+   touched by the domain the pool statically assigns that slot to, so
+   the field needs no lock. *)
+type slot = { mutable session : Analysis.Engine.t option }
+
+(* Outcome of evaluating one read-only request on a worker, or of the
+   inline analysis a barrier request runs on slot 0. *)
+type eval =
+  | Not_run
+  | Invalid of string list
+  | Evaluated of {
+      candidate : Store.t option;  (* what_if candidate snapshot *)
+      summary : P.summary;
+      cache_hit : bool;
+      kind : session_kind option;  (* None on a cache hit *)
+    }
+
+type t = {
+  params : Analysis.Params.t;
+  pool : Parallel.Pool.t;
+  slots : slot array;
+  mutable store : Store.t;
+  cache : (string, P.summary) Hashtbl.t;
+  cache_mu : Mutex.t;
+  metrics : Metrics.t;
+  trace : (Events.event -> unit) option;
+  trace_mu : Mutex.t;
+  max_batch : int;
+  now : unit -> float;
+  mutable next_seq : int;
+}
+
+let default_params =
+  { Analysis.Params.default with Analysis.Params.keep_history = false }
+
+let create ?(workers = 1) ?(params = default_params) ?(max_batch = 64) ?trace
+    ?(now = Unix.gettimeofday) base =
+  match Store.boot base with
+  | Error es -> Error es
+  | Ok store ->
+      let pool = Parallel.Pool.create ~jobs:workers in
+      let jobs = Parallel.Pool.jobs pool in
+      Ok
+        {
+          params;
+          pool;
+          slots = Array.init jobs (fun _ -> { session = None });
+          store;
+          cache = Hashtbl.create 64;
+          cache_mu = Mutex.create ();
+          metrics = Metrics.create ();
+          trace;
+          trace_mu = Mutex.create ();
+          max_batch;
+          now;
+          next_seq = 0;
+        }
+
+let store t = t.store
+let workers t = Array.length t.slots
+let metrics t = t.metrics
+let cache_entries t = Hashtbl.length t.cache
+let shutdown t = Parallel.Pool.shutdown t.pool
+
+let emit t e =
+  match t.trace with
+  | None -> ()
+  | Some f ->
+      Mutex.lock t.trace_mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.trace_mu)
+        (fun () -> f e)
+
+let engine_sink t =
+  match t.trace with
+  | None -> None
+  | Some _ -> Some (fun e -> emit t (Events.Engine_event e))
+
+(* The cache is read concurrently by worker domains during a parallel
+   group and written only by the main domain between groups, but the
+   mutex costs nothing and keeps the invariant local. *)
+let cache_find t hash =
+  Mutex.lock t.cache_mu;
+  let r = Hashtbl.find_opt t.cache hash in
+  Mutex.unlock t.cache_mu;
+  r
+
+let cache_add t (s : P.summary) =
+  Mutex.lock t.cache_mu;
+  if not (Hashtbl.mem t.cache s.P.s_hash) then Hashtbl.add t.cache s.P.s_hash s;
+  Mutex.unlock t.cache_mu
+
+(* Analyze a snapshot on [slot]'s session: result cache first, then the
+   slot's engine session, created cold or rebound via [with_model] (the
+   IR stays warm when only demands moved — [Ir.compatible]). *)
+let analyze_snapshot t slot (snap : Store.t) =
+  match cache_find t snap.Store.hash with
+  | Some s -> (s, true, None)
+  | None ->
+      let model = Analysis.Model.of_system snap.Store.sys in
+      let session, kind =
+        match slot.session with
+        | None ->
+            ( Analysis.Engine.create ~params:t.params ?sink:(engine_sink t)
+                model,
+              Cold )
+        | Some s ->
+            let warm = Analysis.Ir.compatible (Analysis.Engine.ir s) model in
+            ( Analysis.Engine.with_model s model,
+              if warm then Warm else Rebound )
+      in
+      slot.session <- Some session;
+      let report = Analysis.Engine.analyze session in
+      (P.summarize ~store:snap ~model report, false, Some kind)
+
+(* Evaluate one read-only request against the frozen [snap]; runs on a
+   worker domain. *)
+let evaluate t slot snap req =
+  match req with
+  | P.Query ->
+      let summary, cache_hit, kind = analyze_snapshot t slot snap in
+      Evaluated { candidate = None; summary; cache_hit; kind }
+  | P.What_if { uid; spec } -> (
+      match Store.admit snap ~uid ~spec with
+      | Error es -> Invalid es
+      | Ok cand ->
+          let summary, cache_hit, kind = analyze_snapshot t slot cand in
+          Evaluated { candidate = Some cand; summary; cache_hit; kind })
+  | P.Admit _ | P.Revoke _ | P.Stats -> assert false
+
+let session_label = function
+  | Cold -> "cold"
+  | Rebound -> "rebound"
+  | Warm -> "warm-ir"
+
+let record_kind t = function
+  | None -> ()
+  | Some Cold ->
+      t.metrics.Metrics.sessions_created <-
+        t.metrics.Metrics.sessions_created + 1
+  | Some Rebound ->
+      t.metrics.Metrics.sessions_rebound <-
+        t.metrics.Metrics.sessions_rebound + 1
+  | Some Warm ->
+      t.metrics.Metrics.sessions_rebound <-
+        t.metrics.Metrics.sessions_rebound + 1;
+      t.metrics.Metrics.ir_warm <- t.metrics.Metrics.ir_warm + 1
+
+let record_cache t hit =
+  if hit then t.metrics.Metrics.cache_hits <- t.metrics.Metrics.cache_hits + 1
+  else t.metrics.Metrics.cache_misses <- t.metrics.Metrics.cache_misses + 1
+
+let process_batch t envs =
+  let arr = Array.of_list envs in
+  let n = Array.length arr in
+  (* Counted up front so a [stats] request in this very batch sees it. *)
+  t.metrics.Metrics.batches <- t.metrics.Metrics.batches + 1;
+  let responses = Array.make n Json.Null in
+  let shed_reason = Array.make n None in
+  (* Overload policy: beyond [max_batch], shed the newest what_if probes
+     first, then queries, then admissions/revocations; stats never. *)
+  let over = ref (n - t.max_batch) in
+  let shed_class is_class =
+    for i = n - 1 downto 0 do
+      if !over > 0 && shed_reason.(i) = None && is_class arr.(i).P.req then (
+        shed_reason.(i) <- Some "overload";
+        decr over)
+    done
+  in
+  if !over > 0 then (
+    shed_class (function P.What_if _ -> true | _ -> false);
+    shed_class (function P.Query -> true | _ -> false);
+    shed_class (function P.Admit _ | P.Revoke _ -> true | _ -> false));
+  let results = Array.make n Not_run in
+  let parallel_count = ref 0 in
+  (* Requests are finalized (responses, cache inserts, metrics, trace)
+     on this domain in arrival order — that is what makes a scripted
+     session deterministic regardless of the worker count. *)
+  let finish i ~status ~cache_hit ~session response =
+    let env = arr.(i) in
+    responses.(i) <- response;
+    let ms = (t.now () -. env.P.arrival) *. 1000. in
+    Metrics.record_latency t.metrics ms;
+    emit t
+      (Events.Request
+         {
+           seq = env.P.seq;
+           op = P.op_name env.P.req;
+           status;
+           latency_ms = ms;
+           cache_hit;
+           session;
+         })
+  in
+  let finalize i =
+    let env = arr.(i) in
+    let seq = env.P.seq in
+    Metrics.count_request t.metrics env.P.req;
+    match shed_reason.(i) with
+    | Some reason ->
+        (if reason = "deadline" then
+           t.metrics.Metrics.shed_deadline <-
+             t.metrics.Metrics.shed_deadline + 1
+         else
+           t.metrics.Metrics.shed_overload <-
+             t.metrics.Metrics.shed_overload + 1);
+        finish i ~status:"shed" ~cache_hit:false ~session:None
+          (P.shed ~seq ~op:(P.op_name env.P.req) ~reason)
+    | None -> (
+        match results.(i) with
+        | Not_run -> assert false
+        | Invalid errors ->
+            t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
+            let uid =
+              match env.P.req with P.What_if { uid; _ } -> uid | _ -> "?"
+            in
+            finish i ~status:"rejected" ~cache_hit:false ~session:None
+              (P.rejected ~seq ~op:(P.op_name env.P.req) ~uid ~reason:"invalid"
+                 ~errors ~hash:t.store.Store.hash ())
+        | Evaluated { candidate; summary; cache_hit; kind } -> (
+            record_kind t kind;
+            record_cache t cache_hit;
+            cache_add t summary;
+            let session = Option.map session_label kind in
+            match env.P.req with
+            | P.Query ->
+                finish i ~status:"ok" ~cache_hit ~session
+                  (P.query_ok ~seq ~cached:cache_hit summary)
+            | P.What_if { uid; _ } ->
+                let candidate_instances =
+                  match candidate with
+                  | Some c -> Store.unit_instances c uid
+                  | None -> []
+                in
+                finish i ~status:"ok" ~cache_hit ~session
+                  (P.what_if_ok ~seq ~uid ~cached:cache_hit
+                     ~candidate_instances summary)
+            | P.Admit _ | P.Revoke _ | P.Stats -> assert false))
+  in
+  (* Pending read-only group: [to_run] are the indices to execute on the
+     workers, [pending] additionally carries the shed ones so they are
+     finalized in order with their neighbours. *)
+  let pending = ref [] and to_run = ref [] in
+  let flush () =
+    (match List.rev !to_run with
+    | [] -> ()
+    | [ i ] ->
+        (* A singleton is not worth a pool dispatch. *)
+        results.(i) <- evaluate t t.slots.(0) t.store arr.(i).P.req
+    | idxs ->
+        let idxs = Array.of_list idxs in
+        let m = Array.length idxs in
+        parallel_count := !parallel_count + m;
+        let jobs = Array.length t.slots in
+        let snap = t.store in
+        Parallel.Pool.run t.pool (fun s ->
+            let lo = s * m / jobs and hi = (s + 1) * m / jobs in
+            for k = lo to hi - 1 do
+              let i = idxs.(k) in
+              results.(i) <- evaluate t t.slots.(s) snap arr.(i).P.req
+            done));
+    List.iter finalize (List.rev !pending);
+    pending := [];
+    to_run := []
+  in
+  let commit_barrier i uid ~op cand =
+    let seq = arr.(i).P.seq in
+    let summary, cache_hit, kind = analyze_snapshot t t.slots.(0) cand in
+    record_kind t kind;
+    record_cache t cache_hit;
+    cache_add t summary;
+    let session = Option.map session_label kind in
+    let commit status response =
+      t.store <- cand;
+      t.metrics.Metrics.committed <- t.metrics.Metrics.committed + 1;
+      finish i ~status ~cache_hit ~session response
+    in
+    match op with
+    | `Admit ->
+        if summary.P.s_schedulable then
+          commit "admitted"
+            (P.admitted ~seq ~uid ~txns:(Store.n_transactions cand)
+               ~cached:cache_hit summary)
+        else (
+          (* Rollback: the candidate is dropped, [t.store] was never
+             touched. *)
+          t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
+          finish i ~status:"rejected" ~cache_hit ~session
+            (P.rejected ~seq ~op:"admit" ~uid ~reason:"unschedulable"
+               ~violations:summary.P.s_violations
+               ~candidate_instances:(Store.unit_instances cand uid)
+               ~hash:t.store.Store.hash ()))
+    | `Revoke ->
+        (* Revocation commits whenever the remaining assembly is valid:
+           shrinking the admitted set must not be refusable on analysis
+           grounds, but the response still reports the verdict. *)
+        commit "revoked"
+          (P.revoked ~seq ~uid ~txns:(Store.n_transactions cand)
+             ~cached:cache_hit summary)
+  in
+  let barrier i =
+    let env = arr.(i) in
+    let seq = env.P.seq in
+    Metrics.count_request t.metrics env.P.req;
+    let invalid ~op ~uid errors =
+      t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
+      finish i ~status:"rejected" ~cache_hit:false ~session:None
+        (P.rejected ~seq ~op ~uid ~reason:"invalid" ~errors
+           ~hash:t.store.Store.hash ())
+    in
+    match env.P.req with
+    | P.Stats ->
+        finish i ~status:"ok" ~cache_hit:false ~session:None
+          (Metrics.to_json t.metrics ~seq
+             ~admitted:(List.length t.store.Store.units)
+             ~hash:t.store.Store.hash
+             ~workers:(Array.length t.slots)
+             ~entries:(Hashtbl.length t.cache))
+    | P.Admit { uid; spec } -> (
+        match Store.admit t.store ~uid ~spec with
+        | Error errors -> invalid ~op:"admit" ~uid errors
+        | Ok cand -> commit_barrier i uid ~op:`Admit cand)
+    | P.Revoke { uid } -> (
+        match Store.revoke t.store ~uid with
+        | Error errors -> invalid ~op:"revoke" ~uid errors
+        | Ok cand -> commit_barrier i uid ~op:`Revoke cand)
+    | P.Query | P.What_if _ -> assert false
+  in
+  for i = 0 to n - 1 do
+    let env = arr.(i) in
+    if shed_reason.(i) <> None then pending := i :: !pending
+    else
+      let expired =
+        match env.P.deadline_ms with
+        | None -> false
+        | Some d -> (t.now () -. env.P.arrival) *. 1000. >= d
+      in
+      if expired then (
+        shed_reason.(i) <- Some "deadline";
+        pending := i :: !pending)
+      else
+        match env.P.req with
+        | P.Query | P.What_if _ ->
+            pending := i :: !pending;
+            to_run := i :: !to_run
+        | P.Admit _ | P.Revoke _ | P.Stats ->
+            flush ();
+            barrier i
+  done;
+  flush ();
+  let shed =
+    Array.fold_left
+      (fun acc r -> if r = None then acc else acc + 1)
+      0 shed_reason
+  in
+  emit t (Events.Batch { size = n; parallel = !parallel_count; shed });
+  Array.to_list responses
+
+let handle t ?deadline_ms req =
+  t.next_seq <- t.next_seq + 1;
+  let env = { P.seq = t.next_seq; arrival = t.now (); deadline_ms; req } in
+  match process_batch t [ env ] with [ r ] -> r | _ -> assert false
+
+let run t ic oc =
+  let mu = Mutex.create () in
+  let cv = Condition.create () in
+  let q = Queue.create () in
+  let eof = ref false in
+  (* A dedicated reader domain keeps draining stdin while the main
+     domain processes a batch — under load the queue accumulates and the
+     next round genuinely batches. *)
+  let reader =
+    Domain.spawn (fun () ->
+        (try
+           while true do
+             let line = input_line ic in
+             let arrival = t.now () in
+             Mutex.lock mu;
+             Queue.add (line, arrival) q;
+             Condition.signal cv;
+             Mutex.unlock mu
+           done
+         with End_of_file -> ());
+        Mutex.lock mu;
+        eof := true;
+        Condition.signal cv;
+        Mutex.unlock mu)
+  in
+  let respond j =
+    output_string oc (Json.to_string j);
+    output_char oc '\n'
+  in
+  let rec round () =
+    Mutex.lock mu;
+    while Queue.is_empty q && not !eof do
+      Condition.wait cv mu
+    done;
+    let lines = ref [] in
+    while not (Queue.is_empty q) do
+      lines := Queue.pop q :: !lines
+    done;
+    let finished = !eof in
+    Mutex.unlock mu;
+    let lines = List.rev !lines in
+    let items =
+      List.filter_map
+        (fun (line, arrival) ->
+          if String.trim line = "" then None
+          else (
+            t.next_seq <- t.next_seq + 1;
+            let seq = t.next_seq in
+            match P.parse line with
+            | Ok (req, deadline_ms) ->
+                Some (`Env { P.seq; arrival; deadline_ms; req })
+            | Error msg ->
+                (* Counted here, not at response time, so a [stats] in
+                   the same batch already sees the error. *)
+                t.metrics.Metrics.errors <- t.metrics.Metrics.errors + 1;
+                Some (`Err (seq, msg))))
+        lines
+    in
+    let envs = List.filter_map (function `Env e -> Some e | _ -> None) items in
+    let resps = process_batch t envs in
+    let rec interleave items resps =
+      match items with
+      | [] -> ()
+      | `Err (seq, msg) :: rest ->
+          respond (P.error ~seq ~op:"invalid" ~msg);
+          interleave rest resps
+      | `Env _ :: rest -> (
+          match resps with
+          | r :: rs ->
+              respond r;
+              interleave rest rs
+          | [] -> assert false)
+    in
+    interleave items resps;
+    flush oc;
+    if not finished then round ()
+  in
+  round ();
+  Domain.join reader
+
+let run_unix_socket ?accept_limit t ~path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  let served = ref 0 in
+  let more () =
+    match accept_limit with None -> true | Some k -> !served < k
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      while more () do
+        let fd, _ = Unix.accept sock in
+        incr served;
+        (* The in and out channels must not share the descriptor:
+           closing both would close it twice. *)
+        let ic = Unix.in_channel_of_descr (Unix.dup fd) in
+        let oc = Unix.out_channel_of_descr fd in
+        Fun.protect
+          ~finally:(fun () ->
+            close_out_noerr oc;
+            close_in_noerr ic)
+          (fun () -> run t ic oc)
+      done)

@@ -1,0 +1,76 @@
+(** The long-lived admission-control server.
+
+    One server owns the current admitted {!Store.t} snapshot, a result
+    cache keyed by snapshot hash, a pool of worker domains each driving
+    one rebindable {!Analysis.Engine} session, and the service metrics.
+    Requests arrive as JSON lines ({!Protocol}); the {!run} loop drains
+    whatever has arrived into a batch, sheds expired or overload-victim
+    requests, executes maximal runs of read-only requests ([query],
+    [what_if]) in parallel on the workers, and serializes the mutating
+    requests ([admit], [revoke]) and [stats] as barriers between them.
+
+    Admission is transactional: the candidate snapshot is built and
+    analyzed {e beside} the current one, and the store reference is
+    re-pointed only on a schedulable verdict — a rejection leaves the
+    committed snapshot untouched (it was never modified), with a
+    structured report of which transactions miss and by what margin.
+
+    Every response is deterministic for a scripted session (fixed
+    requests, fixed worker count): request finalization runs in arrival
+    order on the main domain, worker assignment is the pool's static
+    chunking, and the analysis itself is bit-identical across sessions
+    and job counts.  Only latency values and the interleaving of engine
+    trace events vary. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?params:Analysis.Params.t ->
+  ?max_batch:int ->
+  ?trace:(Events.event -> unit) ->
+  ?now:(unit -> float) ->
+  Spec.Ast.t ->
+  (t, string list) result
+(** [workers] (default 1; 0 = all cores) sizes the domain pool and the
+    per-worker session set.  [params] defaults to the reduced analysis
+    without history.  [max_batch] (default 64) is the overload
+    threshold: a drained batch beyond it sheds [what_if] probes first,
+    then [query], then admissions — never [stats].  [trace] receives
+    the service event stream ({!Events}); the caller serializes nothing,
+    the server already wraps the sink in a mutex.  [now] is the clock
+    (injectable for tests).  Fails with the base description's
+    diagnostics. *)
+
+val store : t -> Store.t
+(** The current committed snapshot. *)
+
+val workers : t -> int
+
+val metrics : t -> Metrics.t
+
+val cache_entries : t -> int
+
+val process_batch : t -> Protocol.envelope list -> Json.t list
+(** The batching core, exposed for tests and benchmarks: responses in
+    envelope order.  Must be called from the domain that created the
+    server. *)
+
+val handle : t -> ?deadline_ms:float -> Protocol.request -> Json.t
+(** One-request convenience over {!process_batch} (assigns the next
+    sequence number). *)
+
+val run : t -> in_channel -> out_channel -> unit
+(** The JSON-lines loop: read requests from [ic] (a dedicated reader
+    domain keeps draining while a batch is being processed — that is
+    what makes batches larger than one under load), write responses to
+    [oc] in arrival order, return on end of input.  Unparseable lines
+    are answered with [status:"error"] in place. *)
+
+val run_unix_socket : ?accept_limit:int -> t -> path:string -> unit
+(** Serve connections on a Unix-domain socket, one client at a time,
+    against the same long-lived store.  [accept_limit] bounds the
+    number of connections served (default: loop forever). *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The server must not be used afterwards. *)

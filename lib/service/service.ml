@@ -1,0 +1,15 @@
+(** The online admission-control service: a long-lived server that
+    admits and revokes component fragments over reusable analysis
+    engine sessions.  {!Store} holds the admitted system as immutable
+    content-hashed snapshots, {!Protocol} defines the JSON-lines wire
+    format (docs/SERVICE.md is the field-by-field reference),
+    {!Server} batches requests onto worker domains, {!Metrics} and
+    {!Events} are the observability surface, and {!Json} is the
+    dependency-free JSON reader/writer underneath it all. *)
+
+module Json = Json
+module Store = Store
+module Protocol = Protocol
+module Metrics = Metrics
+module Events = Events
+module Server = Server

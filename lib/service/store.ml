@@ -1,0 +1,58 @@
+type unit_ = { uid : string; spec : string; items : Spec.Ast.item list }
+
+type t = {
+  base : Spec.Ast.item list;
+  units : unit_ list;
+  asm : Component.Assembly.t;
+  sys : Transaction.System.t;
+  origins : (string * string) list;
+  hash : string;
+}
+
+let all_items base units =
+  base @ List.concat_map (fun u -> u.items) units
+
+(* Elaborate, validate and derive the concatenated items.  The hash is
+   the digest of the canonical printed assembly: admissions that differ
+   only in whitespace or fragmentation of their source text collapse to
+   the same snapshot identity, which is what the result cache keys on. *)
+let build base units =
+  let items = all_items base units in
+  match Spec.Elaborate.assembly items with
+  | Error e -> Error [ e ]
+  | Ok asm -> (
+      match Transaction.Derive.derive_with_origins asm with
+      | Error es -> Error es
+      | Ok (sys, origins) ->
+          let hash = Digest.to_hex (Digest.string (Spec.to_string asm)) in
+          Ok { base; units; asm; sys; origins; hash })
+
+let boot base = build base []
+
+let mem t uid = List.exists (fun u -> String.equal u.uid uid) t.units
+
+let admit t ~uid ~spec =
+  if mem t uid then
+    Error [ Printf.sprintf "unit %S is already admitted (revoke it first)" uid ]
+  else
+    match Spec.Parser.parse spec with
+    | Error e -> Error [ e ]
+    | Ok items -> build t.base (t.units @ [ { uid; spec; items } ])
+
+let revoke t ~uid =
+  if not (mem t uid) then Error [ Printf.sprintf "no admitted unit %S" uid ]
+  else
+    build t.base (List.filter (fun u -> not (String.equal u.uid uid)) t.units)
+
+let unit_instances t uid =
+  match List.find_opt (fun u -> String.equal u.uid uid) t.units with
+  | None -> []
+  | Some u ->
+      List.filter_map
+        (function
+          | Spec.Ast.I_instance i -> Some i.Spec.Ast.i_name | _ -> None)
+        u.items
+
+let n_transactions t = Transaction.System.n_transactions t.sys
+
+let origin t name = List.assoc_opt name t.origins

@@ -1,0 +1,58 @@
+(** The admitted system, as an immutable content-hashed snapshot.
+
+    A snapshot holds the base [.hsc] items the server booted with
+    (typically the platform declarations) plus the fragments admitted so
+    far, each under a client-chosen unit id, {e together with} everything
+    derived from them: the elaborated {!Component.Assembly.t}, the
+    validated {!Transaction.System.t}, the transaction→instance origin
+    map and the content hash of the canonical printed assembly.
+
+    Snapshots are pure values: {!admit} and {!revoke} build {e
+    candidate} snapshots without touching the original, so the server's
+    transactional protocol is commit-by-assignment and rollback-by-
+    doing-nothing — a rejected admission provably leaves the store
+    bit-identical (asserted by the test suite). *)
+
+type unit_ = {
+  uid : string;  (** client-chosen admission id *)
+  spec : string;  (** the fragment's source text, as received *)
+  items : Spec.Ast.item list;  (** its parsed items *)
+}
+
+type t = private {
+  base : Spec.Ast.item list;
+  units : unit_ list;  (** admission order *)
+  asm : Component.Assembly.t;
+  sys : Transaction.System.t;
+  origins : (string * string) list;
+      (** transaction name → originating instance *)
+  hash : string;  (** hex digest of the canonical printed assembly *)
+}
+
+val boot : Spec.Ast.item list -> (t, string list) result
+(** Snapshot of the base items alone (no admitted units).  Fails with
+    the elaboration/validation/derivation diagnostics. *)
+
+val admit : t -> uid:string -> spec:string -> (t, string list) result
+(** Candidate snapshot with the fragment appended under [uid].  Fails
+    on a duplicate id, a parse error, or any elaboration, validation or
+    derivation diagnostic — the original snapshot is unaffected either
+    way.  The caller decides whether to commit the candidate. *)
+
+val revoke : t -> uid:string -> (t, string list) result
+(** Candidate snapshot with the unit removed.  Fails on an unknown id
+    or when the removal invalidates the remaining assembly (another
+    admitted unit binds into the revoked one). *)
+
+val mem : t -> string -> bool
+(** Is a unit admitted under this id? *)
+
+val unit_instances : t -> string -> string list
+(** Instance names declared by the unit's fragment ([[]] when the id is
+    unknown).  Used to attribute rejection-report violations to the
+    candidate. *)
+
+val n_transactions : t -> int
+
+val origin : t -> string -> string option
+(** Originating instance of the named transaction. *)

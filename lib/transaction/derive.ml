@@ -97,10 +97,13 @@ let internally_called asm ~callee ~provided =
       String.equal b.A.callee callee && String.equal b.A.provided provided)
     asm.A.bindings
 
-let derive asm =
+let derive_with_origins asm =
   match A.validate asm with
   | Error errs -> Error errs
   | Ok () ->
+      (* Transactions are accumulated with the instance whose thread
+         originates them; the alist lets admission-control services
+         attribute analysis verdicts back to architecture units. *)
       let txns = ref [] in
       List.iter
         (fun (i : A.instance) ->
@@ -111,8 +114,9 @@ let derive asm =
               match th.Thread.activation with
               | Thread.Periodic { period; deadline; jitter } ->
                   txns :=
-                    transaction_of_thread asm ~instance:i.A.iname ~thread:th
-                      ~period ~deadline ~release_jitter:jitter
+                    ( transaction_of_thread asm ~instance:i.A.iname ~thread:th
+                        ~period ~deadline ~release_jitter:jitter,
+                      i.A.iname )
                     :: !txns
               | Thread.Realizes _ -> ())
             cls.Comp.threads;
@@ -133,13 +137,20 @@ let derive asm =
                           p.Method_sig.mit
                     in
                     txns :=
-                      transaction_of_thread asm ~instance:i.A.iname ~thread:th
-                        ~period:p.Method_sig.mit ~deadline
-                        ~release_jitter:Q.zero
+                      ( transaction_of_thread asm ~instance:i.A.iname ~thread:th
+                          ~period:p.Method_sig.mit ~deadline
+                          ~release_jitter:Q.zero,
+                        i.A.iname )
                       :: !txns)
             cls.Comp.provided)
         asm.A.instances;
-      Ok (System.make ~resources:asm.A.resources (List.rev !txns))
+      let txns = List.rev !txns in
+      let origins =
+        List.map (fun (t, inst) -> ((t : Txn.t).Txn.name, inst)) txns
+      in
+      Ok (System.make ~resources:asm.A.resources (List.map fst txns), origins)
+
+let derive asm = Result.map fst (derive_with_origins asm)
 
 let derive_exn asm =
   match derive asm with

@@ -19,5 +19,13 @@ val derive : Component.Assembly.t -> (System.t, string list) result
     valid assembly the derivation always succeeds (the RPC call graph is
     acyclic by validation). *)
 
+val derive_with_origins :
+  Component.Assembly.t -> (System.t * (string * string) list, string list) result
+(** {!derive}, additionally returning the provenance alist mapping each
+    transaction name to the instance whose thread originates it (one
+    entry per transaction, in transaction order).  The admission-control
+    service uses it to attribute schedulability violations to the
+    architecture unit that introduced the offending transaction. *)
+
 val derive_exn : Component.Assembly.t -> System.t
 (** @raise Invalid_argument with the concatenated diagnostics. *)

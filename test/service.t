@@ -1,0 +1,109 @@
+The admission-control service, end to end: a scripted JSON-lines session
+through `hsched serve`.
+
+A base description with two platforms and no components yet:
+
+  $ cat > base.hsc <<'EOF'
+  > platform Pa { alpha = 0.5; delta = 1; beta = 1; host = "n"; }
+  > platform Pb { alpha = 0.25; delta = 2; beta = 1; host = "n"; }
+  > EOF
+
+A mixed session: query the empty system, trial-admit and then admit two
+units, watch an overloading third get rejected with a structured report,
+revoke, and read the metrics.  An unparseable line is answered in place,
+and a request whose deadline already expired is shed, not analyzed.
+Latencies and the batch count depend on wall-clock timing, so the stats
+line is filtered; everything else is exact.
+
+  $ cat > session.jsonl <<'EOF'
+  > {"op":"query"}
+  > {"op":"admit","id":"video","spec":"component Video { implementation: scheduler fixed_priority; thread T periodic(period = 20, deadline = 20) priority 2 { task decode(wcet = 4, bcet = 2); } } instance V : Video on Pa;"}
+  > {"op":"what_if","id":"audio","spec":"component Audio { implementation: scheduler fixed_priority; thread T periodic(period = 8, deadline = 8) priority 1 { task mix(wcet = 1, bcet = 1); } } instance A : Audio on Pb;"}
+  > {"op":"admit","id":"audio","spec":"component Audio { implementation: scheduler fixed_priority; thread T periodic(period = 8, deadline = 8) priority 1 { task mix(wcet = 1, bcet = 1); } } instance A : Audio on Pb;"}
+  > {"op":"query"}
+  > {"op":"admit","id":"bulk","spec":"component Bulk { implementation: scheduler fixed_priority; thread T periodic(period = 10, deadline = 10) priority 3 { task crunch(wcet = 9, bcet = 9); } } instance B : Bulk on Pb;"}
+  > {"op":"revoke","id":"video"}
+  > {"op":"query"}
+  > {"op":"nonsense"}
+  > {"op":"what_if","id":"p","deadline_ms":0,"spec":"instance A2 : Audio on Pa;"}
+  > {"op":"stats"}
+  > EOF
+
+  $ ../bin/hsched_cli.exe serve base.hsc --workers 2 < session.jsonl \
+  >   | sed -e 's/"latency_ms":{[^}]*}/"latency_ms":"-"/' \
+  >         -e 's/"batches":[0-9]*/"batches":"-"/'
+  {"seq":1,"op":"query","status":"ok","hash":"277d53d7ce156c14f2e5cc5e1335df59","schedulable":true,"converged":true,"iterations":1,"cached":false,"bounds":[]}
+  {"seq":2,"op":"admit","id":"video","status":"admitted","hash":"dc0bbe6a59f475e9efde2037ccb06ce4","transactions":1,"schedulable":true,"iterations":1,"cached":false}
+  {"seq":3,"op":"what_if","id":"audio","status":"ok","hash":"1264d48185a3984d9112328d6e18f3b7","schedulable":true,"iterations":1,"cached":false}
+  {"seq":4,"op":"admit","id":"audio","status":"admitted","hash":"1264d48185a3984d9112328d6e18f3b7","transactions":2,"schedulable":true,"iterations":1,"cached":true}
+  {"seq":5,"op":"query","status":"ok","hash":"1264d48185a3984d9112328d6e18f3b7","schedulable":true,"converged":true,"iterations":1,"cached":true,"bounds":[{"transaction":"V.T","task":"V.T.decode","response":"9","deadline":"20","meets":true},{"transaction":"A.T","task":"A.T.mix","response":"6","deadline":"8","meets":true}]}
+  {"seq":6,"op":"admit","id":"bulk","status":"rejected","reason":"unschedulable","hash":"1264d48185a3984d9112328d6e18f3b7","violations":[{"transaction":"A.T","task":"A.T.mix","response":"inf","deadline":"8","margin":null,"origin":"A","from_candidate":false},{"transaction":"B.T","task":"B.T.crunch","response":"inf","deadline":"10","margin":null,"origin":"B","from_candidate":true}]}
+  {"seq":7,"op":"revoke","id":"video","status":"revoked","hash":"6d12b8e9e010ec2cdc135c6be39eb734","transactions":1,"schedulable":true,"iterations":1,"cached":false}
+  {"seq":8,"op":"query","status":"ok","hash":"6d12b8e9e010ec2cdc135c6be39eb734","schedulable":true,"converged":true,"iterations":1,"cached":true,"bounds":[{"transaction":"A.T","task":"A.T.mix","response":"6","deadline":"8","meets":true}]}
+  {"seq":9,"op":"invalid","status":"error","error":"unknown op \"nonsense\""}
+  {"seq":10,"op":"what_if","status":"shed","reason":"deadline"}
+  {"seq":11,"op":"stats","status":"ok","admitted":1,"hash":"6d12b8e9e010ec2cdc135c6be39eb734","workers":2,"requests":{"admit":3,"revoke":1,"query":3,"what_if":2,"stats":1,"errors":1},"committed":3,"rejected":1,"shed":{"deadline":1,"overload":0},"cache":{"hits":3,"misses":5,"entries":5},"sessions":{"created":1,"rebound":4,"ir_warm":0},"batches":"-","latency_ms":"-"}
+
+The hash after revoking `video` with `audio` still in place is NOT the
+hash before `video` was admitted — content hashing is over the admitted
+set, not a version counter.  Re-admitting the revoked unit restores the
+two-unit hash exactly:
+
+  $ printf '%s\n' '{"op":"admit","id":"video","spec":"component Video { implementation: scheduler fixed_priority; thread T periodic(period = 20, deadline = 20) priority 2 { task decode(wcet = 4, bcet = 2); } } instance V : Video on Pa;"}' \
+  >   '{"op":"admit","id":"audio","spec":"component Audio { implementation: scheduler fixed_priority; thread T periodic(period = 8, deadline = 8) priority 1 { task mix(wcet = 1, bcet = 1); } } instance A : Audio on Pb;"}' \
+  >   | ../bin/hsched_cli.exe serve base.hsc | sed 's/.*"hash":"\([0-9a-f]*\)".*/\1/'
+  dc0bbe6a59f475e9efde2037ccb06ce4
+  1264d48185a3984d9112328d6e18f3b7
+
+The query bounds above are the exact rationals `hsched analyze --csv`
+prints for the same admitted system (the service analyzes through warm
+engine sessions, but bounds are bit-identical to a one-shot run):
+
+  $ cat base.hsc > admitted.hsc
+  $ printf '%s\n' 'component Audio { implementation: scheduler fixed_priority; thread T periodic(period = 8, deadline = 8) priority 1 { task mix(wcet = 1, bcet = 1); } }' 'instance A : Audio on Pb;' >> admitted.hsc
+  $ ../bin/hsched_cli.exe analyze admitted.hsc --csv | cut -d, -f1,2,10,11
+  transaction,task,response,deadline
+  A.T,A.T.mix,6,8
+
+`--trace` captures the engine events of every worker session plus the
+per-request and per-batch service events:
+
+  $ printf '{"op":"query"}\n' | ../bin/hsched_cli.exe serve base.hsc --trace serve_trace.jsonl > /dev/null
+  $ sed -e 's/"latency_ms":[0-9.]*/"latency_ms":"-"/' serve_trace.jsonl
+  {"event":"compiled","txns":0,"tasks":0,"exact_scenarios":0}
+  {"event":"analysis_started","variant":"reduced"}
+  {"event":"sweep","iteration":1,"recomputed":0,"carried":0}
+  {"event":"finished","iterations":1,"converged":true,"schedulable":true}
+  {"event":"request","seq":1,"op":"query","status":"ok","latency_ms":"-","cache_hit":false,"session":"cold"}
+  {"event":"batch","size":1,"parallel":0,"shed":0}
+
+Regression: a `--trace` file must be complete even when the command
+leaves through an error exit.  `design` exits 2 here (not schedulable
+even at full rates), and the trace still ends with the final verdict:
+
+  $ cat > overload.hsc <<'EOF'
+  > platform P1 { alpha = 1; delta = 0; beta = 0; host = "n"; }
+  > component Heavy {
+  >   implementation:
+  >     scheduler fixed_priority;
+  >     thread T periodic(period = 10, deadline = 10) priority 1 {
+  >       task work(wcet = 100, bcet = 50);
+  >     }
+  > }
+  > instance H : Heavy on P1;
+  > EOF
+  $ ../bin/hsched_cli.exe design overload.hsc --trace design_trace.jsonl
+  not schedulable even at full rates
+  [2]
+  $ cat design_trace.jsonl
+  {"event":"compiled","txns":1,"tasks":1,"exact_scenarios":1}
+  {"event":"analysis_started","variant":"reduced"}
+  {"event":"sweep","iteration":1,"recomputed":1,"carried":0}
+  {"event":"finished","iterations":1,"converged":false,"schedulable":false}
+
+So does `analyze` on the same system (exit 2, trace intact):
+
+  $ ../bin/hsched_cli.exe analyze overload.hsc --trace analyze_trace.jsonl > /dev/null
+  [2]
+  $ tail -1 analyze_trace.jsonl
+  {"event":"finished","iterations":1,"converged":false,"schedulable":false}

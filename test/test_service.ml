@@ -1,0 +1,309 @@
+(* The admission-control service:
+
+   1. Transactionality: admit -> revoke -> admit is idempotent (same
+      snapshot hash), and a rejected admission leaves the store
+      physically untouched.
+   2. Deadline shedding: an already-expired request is shed, not
+      processed.
+   3. Scripted sessions: every [query] of a >= 50-request mixed session
+      returns bounds bit-identical to a fresh one-shot analysis of the
+      system admitted at that point — for every worker count.
+   4. Overload: beyond max_batch, what_if probes are shed first.
+   5. qcheck: interleaved what_if probes (valid or not) never mutate
+      the store. *)
+
+module Q = Rational
+module Store = Service.Store
+module P = Service.Protocol
+module Server = Service.Server
+module Json = Service.Json
+
+let base_src =
+  String.concat "\n"
+    [
+      "platform P1 { alpha = 0.4; delta = 1; beta = 1; host = \"n\"; }";
+      "platform P2 { alpha = 0.4; delta = 1; beta = 1; host = \"n\"; }";
+      "platform P3 { alpha = 0.2; delta = 2; beta = 1; host = \"n\"; }";
+    ]
+
+let base_items =
+  match Spec.Parser.parse base_src with
+  | Ok items -> items
+  | Error e -> Alcotest.failf "base parse: %s" e
+
+(* One periodic task on platform [1 + i mod 3]; period/priority vary so
+   admitted units coexist, [wcet] picks the demand. *)
+let unit_spec ?(wcet = "0.2") i =
+  Printf.sprintf
+    "component U%d { implementation: scheduler fixed_priority; thread T \
+     periodic(period = %d, deadline = %d) priority %d { task work(wcet = %s, \
+     bcet = 0.1); } } instance I%d : U%d on P%d;"
+    i (30 + i) (30 + i) (i + 1) wcet i i ((i mod 3) + 1)
+
+let params =
+  { Analysis.Params.default with Analysis.Params.keep_history = false }
+
+let mk_server ?(workers = 1) ?max_batch ?now () =
+  match Server.create ~workers ~params ?max_batch ?now base_items with
+  | Ok s -> s
+  | Error es -> Alcotest.failf "server boot: %s" (String.concat "; " es)
+
+let with_server ?workers ?max_batch ?now f =
+  let srv = mk_server ?workers ?max_batch ?now () in
+  Fun.protect ~finally:(fun () -> Server.shutdown srv) (fun () -> f srv)
+
+let str_field name j =
+  match Json.string_field name j with
+  | Some s -> s
+  | None -> Alcotest.failf "missing %S in %s" name (Json.to_string j)
+
+let status = str_field "status"
+
+(* --- transactionality --- *)
+
+let test_admit_revoke_admit () =
+  with_server @@ fun srv ->
+  let admit i =
+    Server.handle srv (P.Admit { uid = Printf.sprintf "u%d" i; spec = unit_spec i })
+  in
+  Alcotest.(check string) "first admit" "admitted" (status (admit 1));
+  let h1 = (Server.store srv).Store.hash in
+  Alcotest.(check string) "revoke" "revoked"
+    (status (Server.handle srv (P.Revoke { uid = "u1" })));
+  Alcotest.(check string) "re-admit" "admitted" (status (admit 1));
+  Alcotest.(check string) "idempotent hash" h1 (Server.store srv).Store.hash;
+  (* duplicate id is rejected without touching the store *)
+  let before = Server.store srv in
+  Alcotest.(check string) "duplicate rejected" "rejected" (status (admit 1));
+  Alcotest.(check bool) "store untouched" true (Server.store srv == before)
+
+let test_rollback_on_reject () =
+  with_server @@ fun srv ->
+  Alcotest.(check string) "seed unit" "admitted"
+    (status (Server.handle srv (P.Admit { uid = "ok"; spec = unit_spec 1 })));
+  let before = Server.store srv in
+  (* P3 offers alpha = 0.2: a 100-cycle demand every 30 can never fit *)
+  let resp =
+    Server.handle srv
+      (P.Admit { uid = "huge"; spec = unit_spec ~wcet:"100" 2 })
+  in
+  Alcotest.(check string) "verdict" "rejected" (status resp);
+  Alcotest.(check string) "reason" "unschedulable" (str_field "reason" resp);
+  (* rollback is by construction: the committed snapshot is the very
+     value from before the attempt, not a reconstruction *)
+  Alcotest.(check bool) "store physically identical" true
+    (Server.store srv == before);
+  Alcotest.(check bool) "candidate not left admitted" false
+    (Store.mem (Server.store srv) "huge");
+  (* the rejection report names the candidate's transaction *)
+  match Json.member "violations" resp with
+  | Some (Json.List (_ :: _ as vs)) ->
+      let from_candidate =
+        List.exists
+          (fun v -> Json.member "from_candidate" v = Some (Json.Bool true))
+          vs
+      in
+      Alcotest.(check bool) "violation attributed to candidate" true
+        from_candidate
+  | _ -> Alcotest.fail "rejection carries no violations"
+
+(* --- deadline shedding --- *)
+
+let test_deadline_shedding () =
+  with_server @@ fun srv ->
+  let before = Server.store srv in
+  (* deadline_ms = 0 expires at arrival, deterministically *)
+  let resp = Server.handle srv ~deadline_ms:0. (P.Admit { uid = "u"; spec = unit_spec 1 }) in
+  Alcotest.(check string) "shed" "shed" (status resp);
+  Alcotest.(check string) "reason" "deadline" (str_field "reason" resp);
+  Alcotest.(check bool) "store untouched" true (Server.store srv == before);
+  Alcotest.(check int) "metrics counted it" 1
+    (Server.metrics srv).Service.Metrics.shed_deadline;
+  (* without a deadline the same request commits *)
+  Alcotest.(check string) "then admitted" "admitted"
+    (status (Server.handle srv (P.Admit { uid = "u"; spec = unit_spec 1 })))
+
+(* --- overload shedding --- *)
+
+let test_overload_sheds_probes_first () =
+  with_server ~max_batch:2 @@ fun srv ->
+  let env seq req = { P.seq; arrival = Unix.gettimeofday (); deadline_ms = None; req } in
+  let batch =
+    [
+      env 1 (P.Admit { uid = "a"; spec = unit_spec 1 });
+      env 2 (P.What_if { uid = "p"; spec = unit_spec 2 });
+      env 3 P.Query;
+      env 4 (P.What_if { uid = "q"; spec = unit_spec 3 });
+      env 5 P.Stats;
+    ]
+  in
+  match List.map status (Server.process_batch srv batch) with
+  | [ a; p1; q; p2; s ] ->
+      (* 5 requests over a budget of 2: both probes and the query go,
+         newest probes first; the admit and the stats survive *)
+      Alcotest.(check string) "admit survives" "admitted" a;
+      Alcotest.(check string) "probe shed" "shed" p1;
+      Alcotest.(check string) "query shed" "shed" q;
+      Alcotest.(check string) "probe shed" "shed" p2;
+      Alcotest.(check string) "stats survives" "ok" s
+  | _ -> Alcotest.fail "wrong response count"
+
+(* --- scripted mixed session: queries match one-shot analysis --- *)
+
+let fresh_bounds store =
+  let model = Analysis.Model.of_system store.Store.sys in
+  let report = Analysis.Engine.analyze (Analysis.Engine.create ~params model) in
+  let summary = P.summarize ~store ~model report in
+  List.map
+    (fun (b : P.task_bound) ->
+      (b.P.txn, b.P.task, P.bound_to_string b.P.response))
+    summary.P.s_bounds
+
+let query_bounds resp =
+  match Json.member "bounds" resp with
+  | Some (Json.List bs) ->
+      List.map
+        (fun b ->
+          ( str_field "transaction" b,
+            str_field "task" b,
+            str_field "response" b ))
+        bs
+  | _ -> Alcotest.failf "no bounds in %s" (Json.to_string resp)
+
+let mixed_session workers =
+  with_server ~workers @@ fun srv ->
+  let bounds_checked = ref 0 and sent = ref 0 in
+  let send req =
+    incr sent;
+    Server.handle srv req
+  in
+  for i = 1 to 16 do
+    let uid = Printf.sprintf "u%d" i in
+    ignore (send (P.What_if { uid; spec = unit_spec i }));
+    ignore (send (P.Admit { uid; spec = unit_spec i }));
+    let q = send P.Query in
+    Alcotest.(check (list (triple string string string)))
+      (Printf.sprintf "query after admit %d" i)
+      (fresh_bounds (Server.store srv))
+      (query_bounds q);
+    incr bounds_checked;
+    if i mod 3 = 0 then begin
+      ignore (send (P.Revoke { uid }));
+      let q = send P.Query in
+      Alcotest.(check (list (triple string string string)))
+        (Printf.sprintf "query after revoke %d" i)
+        (fresh_bounds (Server.store srv))
+        (query_bounds q);
+      incr bounds_checked
+    end
+  done;
+  ignore (send P.Stats);
+  Alcotest.(check bool)
+    (Printf.sprintf "session long enough (%d sent)" !sent)
+    true (!sent >= 50);
+  Alcotest.(check bool) "several queries compared" true (!bounds_checked >= 16)
+
+let test_mixed_session_seq () = mixed_session 1
+
+let test_mixed_session_par () = mixed_session 4
+
+(* --- qcheck: what_if probes never mutate the store --- *)
+
+let probe_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        (* valid same-shape probe, varying demand *)
+        map (fun i -> unit_spec ~wcet:(Printf.sprintf "0.%d" (1 + (i mod 8))) (i mod 5)) (int_bound 1000);
+        (* unparseable fragment *)
+        return "component {";
+        (* parses but does not elaborate: unknown platform *)
+        return
+          "component V { implementation: scheduler fixed_priority; thread T \
+           periodic(period = 10, deadline = 10) priority 1 { task w(wcet = 1, \
+           bcet = 1); } } instance VI : V on NoSuchPlatform;";
+      ])
+
+let probes_arbitrary =
+  QCheck.make
+    QCheck.Gen.(list_size (int_range 1 20) probe_gen)
+    ~print:(fun specs -> String.concat "\n---\n" specs)
+
+let prop_what_if_pure specs =
+  with_server ~workers:4 @@ fun srv ->
+  (* a real admitted system underneath, so probes analyze something *)
+  ignore (Server.handle srv (P.Admit { uid = "seed"; spec = unit_spec 1 }));
+  let before = Server.store srv in
+  let envs =
+    List.mapi
+      (fun i spec ->
+        {
+          P.seq = i + 2;
+          arrival = Unix.gettimeofday ();
+          deadline_ms = None;
+          req = P.What_if { uid = Printf.sprintf "p%d" (i mod 3); spec };
+        })
+      specs
+  in
+  let resps = Server.process_batch srv envs in
+  List.length resps = List.length specs
+  && Server.store srv == before
+  && (Server.store srv).Store.hash = before.Store.hash
+
+let test_what_if_pure =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"interleaved what_if probes never mutate the store"
+       ~count:60 probes_arbitrary prop_what_if_pure)
+
+(* --- store unit API --- *)
+
+let test_store_candidates () =
+  let store =
+    match Store.boot base_items with
+    | Ok s -> s
+    | Error es -> Alcotest.failf "boot: %s" (String.concat "; " es)
+  in
+  let cand =
+    match Store.admit store ~uid:"u" ~spec:(unit_spec 1) with
+    | Ok c -> c
+    | Error es -> Alcotest.failf "admit: %s" (String.concat "; " es)
+  in
+  Alcotest.(check bool) "candidate admits" true (Store.mem cand "u");
+  Alcotest.(check bool) "original unaffected" false (Store.mem store "u");
+  Alcotest.(check bool) "hashes differ" true (store.Store.hash <> cand.Store.hash);
+  Alcotest.(check (list string)) "candidate instances" [ "I1" ]
+    (Store.unit_instances cand "u");
+  (* the hash is content-based: re-admitting the same fragment under the
+     same id from scratch reproduces it *)
+  (match Store.admit store ~uid:"u" ~spec:(unit_spec 1) with
+  | Ok c2 -> Alcotest.(check string) "content hash" cand.Store.hash c2.Store.hash
+  | Error _ -> Alcotest.fail "re-admit failed");
+  match Store.revoke cand ~uid:"u" with
+  | Ok back -> Alcotest.(check string) "revoke returns" store.Store.hash back.Store.hash
+  | Error es -> Alcotest.failf "revoke: %s" (String.concat "; " es)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "transactional",
+        [
+          Alcotest.test_case "admit-revoke-admit idempotent" `Quick
+            test_admit_revoke_admit;
+          Alcotest.test_case "rollback on reject" `Quick test_rollback_on_reject;
+          Alcotest.test_case "store candidates" `Quick test_store_candidates;
+        ] );
+      ( "shedding",
+        [
+          Alcotest.test_case "expired deadline" `Quick test_deadline_shedding;
+          Alcotest.test_case "overload prefers probes" `Quick
+            test_overload_sheds_probes_first;
+        ] );
+      ( "scripted sessions",
+        [
+          Alcotest.test_case "mixed session matches one-shot (1 worker)" `Quick
+            test_mixed_session_seq;
+          Alcotest.test_case "mixed session matches one-shot (4 workers)"
+            `Quick test_mixed_session_par;
+        ] );
+      ("purity", [ test_what_if_pure ]);
+    ]
