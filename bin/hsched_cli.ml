@@ -63,6 +63,17 @@ let no_prune_flag =
            enumeration and enumerate exhaustively.  Reports are identical \
            either way; this only trades speed for a reference measurement.")
 
+let no_int_kernel_flag =
+  Arg.(
+    value & flag
+    & info [ "no-int-kernel" ]
+        ~doc:
+          "Run the analysis on exact rationals instead of the scaled-integer \
+           timeline kernel.  Reports are identical either way (the kernel \
+           falls back to rationals by itself when the model does not fit \
+           native integers); this only trades speed for a reference \
+           measurement.")
+
 let no_incremental_flag =
   Arg.(
     value & flag
@@ -196,8 +207,8 @@ let csv_flag =
         ~doc:"Emit machine-readable CSV (one row per task) instead of the table.")
 
 let analyze_cmd =
-  let run file exact history csv jobs trace no_prune no_incremental no_history
-      =
+  let run file exact history csv jobs trace no_prune no_incremental
+      no_int_kernel no_history =
     let sys = or_die (load_system file) in
     let m = Analysis.Model.of_system sys in
     let params =
@@ -206,6 +217,7 @@ let analyze_cmd =
         p with
         Analysis.Params.prune = not no_prune;
         incremental = not no_incremental;
+        int_kernel = not no_int_kernel;
         (* --history needs the matrices; printing wins over --no-history *)
         keep_history = (not no_history) || history <> None;
       }
@@ -266,7 +278,7 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ exact_flag $ history_arg $ csv_flag $ jobs_arg
       $ engine_trace_arg $ no_prune_flag $ no_incremental_flag
-      $ no_history_flag)
+      $ no_int_kernel_flag $ no_history_flag)
 
 (* --- simulate --- *)
 

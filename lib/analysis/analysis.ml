@@ -9,6 +9,7 @@ module Report = Report
 module Busy = Busy
 module Interference = Interference
 module Ir = Ir
+module Timebase = Timebase
 module Memo = Memo
 module Rta = Rta
 module Best_case = Best_case

@@ -20,3 +20,15 @@ val refined :
     period [T_k] and jitter at most [J_k], each demanding at least its
     best-case cycles.  Never smaller than {!simple}; used by the
     best-case ablation experiment. *)
+
+val simple_int : Timebase.t -> int array array
+(** {!simple} on the scaled integer timeline: returns the scaled
+    numerators of exactly the values {!simple} computes (the division by
+    α distributes over the chain sum, so every term is tabulated in the
+    timebase).  Raises [Rational.Overflow] instead of wrapping. *)
+
+val refined_int :
+  Model.t -> Timebase.t -> sjit:int array array -> int array array
+(** {!refined} on the scaled integer timeline, same guarantees as
+    {!simple_int}.  [m] supplies the interference participant sets
+    only. *)

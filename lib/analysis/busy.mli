@@ -14,3 +14,10 @@ val fixpoint :
     ([None]).
     @raise Invalid_argument if an iterate decreases, which would mean the
     recurrence is not monotone (an internal error). *)
+
+val fixpoint_int : horizon:int -> (int -> int) -> int -> int option
+(** {!fixpoint} on a scaled integer timeline ({!Timebase}): iterates the
+    scaled recurrence until equality or past the scaled horizon.  On the
+    scaled images of a rational recurrence it visits exactly the scaled
+    rational iterates, so convergence, the fixed point and divergence
+    all coincide with {!fixpoint}. *)

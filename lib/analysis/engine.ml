@@ -6,6 +6,8 @@ module Q = Rational
 
 type event =
   | Compiled of { txns : int; tasks : int; exact_scenarios : int }
+  | Kernel_compiled of { scale : int }
+  | Kernel_fallback of { reason : string }
   | Analysis_started of { variant : Params.variant }
   | Sweep of { iteration : int; recomputed : int; carried : int }
   | Finished of { iterations : int; converged : bool; schedulable : bool }
@@ -21,6 +23,10 @@ let event_to_json = function
       Printf.sprintf
         {|{"event":"compiled","txns":%d,"tasks":%d,"exact_scenarios":%d}|} txns
         tasks exact_scenarios
+  | Kernel_compiled { scale } ->
+      Printf.sprintf {|{"event":"kernel_compiled","scale":%d}|} scale
+  | Kernel_fallback { reason } ->
+      Printf.sprintf {|{"event":"kernel_fallback","reason":"%s"}|} reason
   | Analysis_started { variant } ->
       Printf.sprintf {|{"event":"analysis_started","variant":"%s"}|}
         (variant_name variant)
@@ -45,6 +51,14 @@ type t = {
   counters : Rta.counters;
   memo : Memo.t option;
   sink : sink option;
+  timebase : Timebase.t option;
+      (* the integer timeline, when [params.int_kernel] and the model
+         admits one — the value-dependent half of compilation, rebuilt
+         whenever the model or the horizon factor changes *)
+  kernel_poisoned : bool ref;
+      (* set after a mid-analysis overflow: this model will overflow
+         again, so later analyze calls skip straight to the rational
+         path instead of paying a doomed kernel attempt *)
 }
 
 let emit t e = match t.sink with None -> () | Some f -> f e
@@ -54,12 +68,33 @@ let memo_for model params pool =
     Some (Memo.create model ~slots:(Parallel.Pool.jobs pool))
   else None
 
+let timebase_for model params =
+  if params.Params.int_kernel then
+    Ir.timebase model ~horizon_factor:params.Params.horizon_factor
+  else None
+
+let emit_kernel_verdict t =
+  if t.params.Params.int_kernel then
+    match t.timebase with
+    | Some tb -> emit t (Kernel_compiled { scale = Timebase.scale tb })
+    | None -> emit t (Kernel_fallback { reason = "unrepresentable" })
+
 let create ?(params = Params.default) ?pool ?counters ?sink m =
   let pool = Option.value pool ~default:Parallel.Pool.sequential in
   let counters = match counters with Some c -> c | None -> Rta.counters () in
   let ir = Ir.compile m in
   let t =
-    { ir; model = m; params; pool; counters; memo = memo_for m params pool; sink }
+    {
+      ir;
+      model = m;
+      params;
+      pool;
+      counters;
+      memo = memo_for m params pool;
+      sink;
+      timebase = timebase_for m params;
+      kernel_poisoned = ref false;
+    }
   in
   emit t
     (Compiled
@@ -68,6 +103,7 @@ let create ?(params = Params.default) ?pool ?counters ?sink m =
          tasks = Ir.n_tasks ir;
          exact_scenarios = Ir.exact_scenarios ir;
        });
+  emit_kernel_verdict t;
   t
 
 let create_system ?params ?pool ?counters ?sink sys =
@@ -106,13 +142,35 @@ let with_overrides ?params ?keep_history ?pool ?counters ?sink t =
       | Some memo when Memo.slots memo = Parallel.Pool.jobs pool -> Some memo
       | Some _ | None -> memo_for t.model params pool
   in
-  { t with params; pool; counters; sink; memo }
+  (* The timebase depends on the model and on the scaled horizon only;
+     keep it — and the poison verdict, which is a property of the same
+     pair — unless the kernel switch or the horizon factor changed. *)
+  let timebase, kernel_poisoned =
+    if
+      params.Params.int_kernel = t.params.Params.int_kernel
+      && params.Params.horizon_factor = t.params.Params.horizon_factor
+    then (t.timebase, t.kernel_poisoned)
+    else (timebase_for t.model params, ref false)
+  in
+  { t with params; pool; counters; sink; memo; timebase; kernel_poisoned }
 
 let with_model t m =
   let ir = if Ir.compatible t.ir m then t.ir else Ir.compile m in
   (* Memoised interference values embed the model's demands and platform
-     rates; a rebound model always starts from a fresh memo. *)
-  { t with ir; model = m; memo = memo_for m t.params t.pool }
+     rates; a rebound model always starts from a fresh memo.  Likewise
+     the timebase embeds every numeric constant, so it is recompiled —
+     cheap next to the IR — and the overflow verdict reset. *)
+  {
+    t with
+    ir;
+    model = m;
+    memo = memo_for m t.params t.pool;
+    timebase = timebase_for m t.params;
+    kernel_poisoned = ref false;
+  }
+
+let kernel_scale t =
+  if !(t.kernel_poisoned) then None else Option.map Timebase.scale t.timebase
 
 (* ------------------------------------------------------------------ *)
 (* Sub-analyses over a session                                         *)
@@ -148,7 +206,7 @@ let rows_equal a b =
   Array.iteri (fun i x -> if not (Q.equal x b.(i)) then ok := false) a;
   !ok
 
-let analyze t =
+let analyze_rational t =
   let m = t.model and params = t.params in
   emit t (Analysis_started { variant = params.Params.variant });
   let n = Model.n_txns m in
@@ -299,6 +357,186 @@ let analyze t =
     converged = !converged;
     schedulable;
   }
+
+(* The same outer fixed point on the scaled integer timeline.  Every
+   step is the exact image of the rational step under v ↦ v·scale (see
+   Timebase), so sweep counts, convergence, early exits and the final
+   report are bit-identical; rationals appear only at the report and
+   history boundaries.  Value arithmetic goes through [Q.Checked], so an
+   overflow anywhere — including inside a worker domain, which the pool
+   re-raises in the caller — surfaces as [Q.Overflow] for [analyze] to
+   catch. *)
+let analyze_int t tb =
+  let m = t.model and params = t.params in
+  emit t (Analysis_started { variant = params.Params.variant });
+  let n = Model.n_txns m in
+  let zero_matrix () =
+    Array.init n (fun a -> Array.make (Model.n_tasks m a) 0)
+  in
+  let best_case_int ~sjit =
+    match params.Params.best_case with
+    | Params.Simple -> Best_case.simple_int tb
+    | Params.Refined -> Best_case.refined_int m tb ~sjit
+  in
+  let offsets_of_int rbest =
+    Array.mapi
+      (fun a (tx : Model.txn) ->
+        Array.mapi
+          (fun b (_ : Model.task) -> if b = 0 then 0 else rbest.(a).(b - 1))
+          tx.Model.tasks)
+      m.Model.txns
+  in
+  let jit = zero_matrix () in
+  for a = 0 to n - 1 do
+    jit.(a).(0) <- tb.Timebase.srelease_jitter.(a)
+  done;
+  let rbest = ref (best_case_int ~sjit:jit) in
+  let phi = ref (offsets_of_int !rbest) in
+  let jit_dirty = Array.make n true in
+  let phi_dirty = Array.make n true in
+  let prev = ref None in
+  let history = ref [] in
+  let responses =
+    ref (Array.map (Array.map (fun _ -> Rta.IDivergent)) jit)
+  in
+  let diverged = ref false in
+  let converged = ref false in
+  let iterations = ref 0 in
+  while
+    (not !converged) && (not !diverged)
+    && !iterations < params.Params.max_outer_iterations
+  do
+    incr iterations;
+    let dirty (site : Ir.site) =
+      let d = site.Ir.deps in
+      let hit = ref false in
+      for i = 0 to n - 1 do
+        if d.(i) && (jit_dirty.(i) || phi_dirty.(i)) then hit := true
+      done;
+      !hit
+    in
+    let recomputed = ref 0 and carried = ref 0 in
+    let resp =
+      Array.init n (fun a ->
+          Array.init (Model.n_tasks m a) (fun b ->
+              let site = Ir.site t.ir ~a ~b in
+              match !prev with
+              | Some pr when params.Params.incremental && not (dirty site) ->
+                  incr carried;
+                  pr.(a).(b)
+              | _ ->
+                  incr recomputed;
+                  Rta.response_time_site_int tb ~pool:t.pool ?memo:t.memo
+                    ~counters:t.counters site params ~sphi:!phi ~sjit:jit))
+    in
+    emit t
+      (Sweep
+         { iteration = !iterations; recomputed = !recomputed; carried = !carried });
+    prev := Some resp;
+    responses := resp;
+    if params.Params.keep_history then
+      history :=
+        {
+          Report.jitters = Array.map (Array.map (Timebase.to_q tb)) jit;
+          responses = Array.map (Array.map (Rta.iresponse_to_bound tb)) resp;
+        }
+        :: !history;
+    if params.Params.early_exit && params.Params.best_case = Params.Simple
+    then begin
+      let hopeless = ref false in
+      for a = 0 to n - 1 do
+        let last = Model.n_tasks m a - 1 in
+        (match resp.(a).(last) with
+        | Rta.IDivergent -> hopeless := true
+        | Rta.IFinite v -> if v > tb.Timebase.sdeadline.(a) then hopeless := true)
+      done;
+      if !hopeless then diverged := true
+    end;
+    let next = zero_matrix () in
+    (try
+       for a = 0 to n - 1 do
+         next.(a).(0) <- tb.Timebase.srelease_jitter.(a);
+         for b = 1 to Model.n_tasks m a - 1 do
+           match resp.(a).(b - 1) with
+           | Rta.IDivergent -> raise Exit
+           | Rta.IFinite r ->
+               let rb = !rbest.(a).(b - 1) in
+               next.(a).(b) <- Stdlib.max 0 (Q.Checked.( - ) r rb)
+         done
+       done
+     with Exit -> diverged := true);
+    if not !diverged then begin
+      Array.fill jit_dirty 0 n false;
+      Array.fill phi_dirty 0 n false;
+      let same = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to Model.n_tasks m a - 1 do
+          if next.(a).(b) <> jit.(a).(b) then begin
+            same := false;
+            jit_dirty.(a) <- true
+          end
+        done
+      done;
+      if !same then converged := true
+      else begin
+        Array.iteri
+          (fun a row -> Array.blit row 0 jit.(a) 0 (Array.length row))
+          next;
+        if params.Params.best_case = Params.Refined then begin
+          let old_phi = !phi in
+          rbest := best_case_int ~sjit:jit;
+          phi := offsets_of_int !rbest;
+          for i = 0 to n - 1 do
+            if old_phi.(i) <> !phi.(i) then phi_dirty.(i) <- true
+          done
+        end
+      end
+    end
+  done;
+  let results =
+    Array.init n (fun a ->
+        Array.init (Model.n_tasks m a) (fun b ->
+            {
+              Report.offset = Timebase.to_q tb !phi.(a).(b);
+              jitter = Timebase.to_q tb jit.(a).(b);
+              rbest = Timebase.to_q tb !rbest.(a).(b);
+              response = Rta.iresponse_to_bound tb !responses.(a).(b);
+            }))
+  in
+  let schedulable =
+    !converged
+    && Array.to_list m.Model.txns
+       |> List.mapi (fun a (_ : Model.txn) -> a)
+       |> List.for_all (fun a ->
+              match !responses.(a).(Model.n_tasks m a - 1) with
+              | Rta.IDivergent -> false
+              | Rta.IFinite v -> v <= tb.Timebase.sdeadline.(a))
+  in
+  emit t
+    (Finished { iterations = !iterations; converged = !converged; schedulable });
+  {
+    Report.results;
+    history = List.rev !history;
+    outer_iterations = !iterations;
+    converged = !converged;
+    schedulable;
+  }
+
+let analyze t =
+  match t.timebase with
+  | Some tb when not !(t.kernel_poisoned) -> (
+      Rta.record_kernel_run t.counters;
+      try analyze_int t tb
+      with Q.Overflow ->
+        (* Scaled arithmetic left the native range mid-analysis; the
+           rational path cannot (its local denominators stay small), so
+           rerun there from scratch and stop trying the kernel on this
+           session — it would overflow on every call. *)
+        Rta.record_kernel_fallback t.counters;
+        t.kernel_poisoned := true;
+        emit t (Kernel_fallback { reason = "overflow" });
+        analyze_rational t)
+  | _ -> analyze_rational t
 
 let response_times t =
   (analyze t).Report.results

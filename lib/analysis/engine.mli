@@ -38,6 +38,17 @@ type event =
           [exact_scenarios] is {!Ir.exact_scenarios} — the size of the
           scenario space an unpruned exact analysis would face per
           sweep. *)
+  | Kernel_compiled of { scale : int }
+      (** Emitted by {!create} right after [Compiled] when the integer
+          timeline kernel is enabled and the model fits it: analyses
+          will run on scaled native ints with denominator [scale]. *)
+  | Kernel_fallback of { reason : string }
+      (** The integer kernel is enabled but will not (or no longer) be
+          used: ["unrepresentable"] at {!create} when the denominator
+          LCM or a scaled constant leaves the headroom-checked native
+          range, ["overflow"] mid-{!analyze} when checked int arithmetic
+          overflowed — the analysis transparently reruns on the rational
+          path and the session stops attempting the kernel. *)
   | Analysis_started of { variant : Params.variant }
   | Sweep of { iteration : int; recomputed : int; carried : int }
       (** One outer Jacobi iteration finished; [recomputed] tasks had a
@@ -62,7 +73,10 @@ val create :
   t
 (** Compile [m] into a session.  [params] defaults to {!Params.default},
     [pool] to {!Parallel.Pool.sequential}, [counters] to a fresh set.
-    Emits [Compiled] to [sink].  The session does not own the pool;
+    Emits [Compiled] to [sink], followed — when
+    [params.{!Params.int_kernel}] — by [Kernel_compiled] or
+    [Kernel_fallback] according to whether the model admits an integer
+    timebase ({!Ir.timebase}).  The session does not own the pool;
     shut it down where it was created. *)
 
 val create_system :
@@ -118,6 +132,12 @@ val counters : t -> Rta.counters
 val memo_stats : t -> Memo.stats option
 (** [None] when the session runs without memoisation. *)
 
+val kernel_scale : t -> int option
+(** The denominator of the integer timeline this session's analyses run
+    on, or [None] when they run on rationals — because the kernel is
+    disabled, the model has no representable timebase, or a previous
+    analysis overflowed and poisoned the kernel for this session. *)
+
 (** {1 Holistic analysis} *)
 
 val analyze : t -> Report.t
@@ -126,7 +146,15 @@ val analyze : t -> Report.t
     scenario, under the session's params, pool and memo.  Emits
     [Analysis_started], one [Sweep] per outer iteration and [Finished].
     Bit-identical to [Holistic.analyze ~params ?pool m] for every job
-    count and parameter toggle. *)
+    count and parameter toggle.
+
+    When the session carries an integer timebase (see {!kernel_scale}),
+    the whole fixed point runs on scaled native ints and converts back
+    to rationals at the report boundary — same sweeps, same events, same
+    report, bit for bit.  A checked-arithmetic overflow mid-run aborts
+    the kernel, emits [Kernel_fallback], bumps
+    {!Rta.kernel_fallbacks} and transparently reruns on the rational
+    path; later analyses on this session skip the kernel. *)
 
 val response_times : t -> Report.bound array array
 (** [analyze] reduced to the response matrix. *)

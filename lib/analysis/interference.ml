@@ -68,6 +68,63 @@ let eval kernel ~t =
 let contribution ?hp_list m ~phi ~jit ~i ~k ~a ~b ~t =
   eval (compile ?hp_list m ~phi ~jit ~i ~k ~a ~b) ~t
 
+(* ------------------------------------------------------------------ *)
+(* Integer timeline twins (see Timebase)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The same equations on scaled numerators.  Quotients appear only under
+   floor/ceil, whose results are plain job counts; everything else is
+   overflow-checked int arithmetic, so either a value is bit-exact or
+   Rational.Overflow aborts the kernel and the engine falls back. *)
+
+let imod x y =
+  let r = x mod y in
+  if r < 0 then r + y else r
+
+let iceil_div x y = if x > 0 then 1 + ((x - 1) / y) else -(-x / y)
+
+let phase_int (tb : Timebase.t) ~sphi ~sjit ~i ~k ~j =
+  let ti = tb.Timebase.speriod.(i) in
+  let pk = imod sphi.(i).(k) ti and pj = imod sphi.(i).(j) ti in
+  Q.Checked.(ti - imod (pk + sjit.(i).(k) - pj) ti)
+
+let jobs_int ~jitter ~phase ~period ~t =
+  let delayed = (jitter + phase) / period in
+  let inside = Stdlib.max 0 (iceil_div (t - phase) period) in
+  Stdlib.max 0 (delayed + inside)
+
+(* A compiled int demand curve is a flat array of (jitter, phase,
+   period, scaled_c) quadruples — one cache line per couple of terms,
+   no boxing anywhere on the busy-period hot path. *)
+type ikernel = int array
+
+let compile_int (tb : Timebase.t) ~hp_list ~sphi ~sjit ~i ~k =
+  let terms = Array.of_list hp_list in
+  let n = Array.length terms in
+  let out = Array.make (4 * n) 0 in
+  Array.iteri
+    (fun idx j ->
+      let o = 4 * idx in
+      out.(o) <- sjit.(i).(j);
+      out.(o + 1) <- phase_int tb ~sphi ~sjit ~i ~k ~j;
+      out.(o + 2) <- tb.Timebase.speriod.(i);
+      out.(o + 3) <- tb.Timebase.sc.(i).(j))
+    terms;
+  out
+
+let eval_int (kernel : ikernel) ~t =
+  let acc = ref 0 in
+  let n = Array.length kernel / 4 in
+  for idx = 0 to n - 1 do
+    let o = 4 * idx in
+    let jobs =
+      jobs_int ~jitter:kernel.(o) ~phase:kernel.(o + 1) ~period:kernel.(o + 2)
+        ~t
+    in
+    acc := Q.Checked.(!acc + (jobs * kernel.(o + 3)))
+  done;
+  !acc
+
 let w_star ?hp_list m ~phi ~jit ~i ~a ~b ~t =
   let hp_list = match hp_list with Some l -> l | None -> hp m ~i ~a ~b in
   List.fold_left

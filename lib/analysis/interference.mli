@@ -78,6 +78,55 @@ val contribution :
     short-circuits the {!hp} computation when the caller already holds
     it (the fixed-point loops evaluate W at many points). *)
 
+(** {1 Integer timeline twins}
+
+    The same terms on the scaled numerators of a {!Timebase.t}.  Each
+    twin computes exactly the scaled image of its rational counterpart
+    (quotients only ever appear under floors and ceilings, which are
+    scale-invariant job counts), or raises [Rational.Overflow] when an
+    intermediate leaves native-int range — the engine's cue to fall back
+    to the rational path. *)
+
+val iceil_div : int -> int -> int
+(** [iceil_div x y] for [y > 0] is ⌈x/y⌉ — the int-division form of
+    [Rational.ceil (x/y)] the twins use for job counts. *)
+
+val phase_int :
+  Timebase.t ->
+  sphi:int array array ->
+  sjit:int array array ->
+  i:int ->
+  k:int ->
+  j:int ->
+  int
+(** Scaled {!phase}. *)
+
+val jobs_int : jitter:int -> phase:int -> period:int -> t:int -> int
+(** {!jobs} on scaled arguments — identical result (job counts are
+    dimensionless). *)
+
+type ikernel
+(** A compiled int demand curve: flat array of (jitter, phase, period,
+    scaled cost) quadruples, no boxed values on the busy-period hot
+    path. *)
+
+val compile_int :
+  Timebase.t ->
+  hp_list:int list ->
+  sphi:int array array ->
+  sjit:int array array ->
+  i:int ->
+  k:int ->
+  ikernel
+(** Scaled {!compile}.  [hp_list] is mandatory: the callers always hold
+    the compiled {!Ir} participant sets, and the scaled costs of the
+    timebase are already platform-transformed, so no task under analysis
+    is needed. *)
+
+val eval_int : ikernel -> t:int -> int
+(** Scaled {!eval}: [eval_int (compile_int …) ~t:(v·L)] is exactly
+    [(eval (compile …) ~t:v) · L]. *)
+
 val w_star :
   ?hp_list:int list ->
   Model.t ->

@@ -91,3 +91,9 @@ let exact_scenarios t =
     0 t.sites
 
 let compatible t m = t.shape = shape_of m
+
+(* The timebase is deliberately NOT part of [t]: the IR reads placement
+   and priorities only, which is what lets [compatible] models share it,
+   while the timebase embeds every numeric constant.  Engine sessions
+   compile both and pair them. *)
+let timebase = Timebase.of_model

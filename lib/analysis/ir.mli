@@ -64,6 +64,14 @@ val exact_scenarios : t -> int
     the space the exact variant examines, as reported by session
     compilation events. *)
 
+val timebase : Model.t -> horizon_factor:int -> Timebase.t option
+(** The value-dependent half of session compilation: the scaled-int
+    constant tables of the integer timeline kernels ({!Timebase.of_model}).
+    Kept outside {!t} on purpose — the IR is shared across every
+    {!compatible} model precisely because it never reads the numeric
+    constants the timebase is made of, so {!Engine} compiles and rebinds
+    the two independently. *)
+
 val compatible : t -> Model.t -> bool
 (** [compatible t m] iff [m] has the same transaction/task shape and
     identical per-task (resource, priority) assignment as the model the

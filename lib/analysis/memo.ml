@@ -21,8 +21,21 @@ type entry = {
   values : Q.t QTbl.t;
 }
 
+(* Integer-timeline twin of [entry]: same (i, k) key space, signatures
+   are the scaled jitter/offset rows, samples map scaled t to scaled W.
+   Rational and int entries coexist in one cache — an engine session
+   that falls back mid-run keeps its warm int entries for the next
+   analyze call while the rational rerun fills the rational side. *)
+type ientry = {
+  mutable ijit_sig : int array;
+  mutable iphi_sig : int array;
+  mutable ikernel : Interference.ikernel;
+  ivalues : (int, int) Hashtbl.t;
+}
+
 type cache = {
   entries : (int * int, entry) Hashtbl.t;  (* keyed by (i, k) *)
+  ientries : (int * int, ientry) Hashtbl.t;  (* keyed by (i, k) *)
   mutable hits : int;
   mutable misses : int;
   mutable invalidations : int;
@@ -38,7 +51,13 @@ type stats = { hits : int; misses : int; invalidations : int }
 let create m ~slots =
   if slots < 1 then invalid_arg "Memo.create: slots < 1";
   let fresh () =
-    { entries = Hashtbl.create 16; hits = 0; misses = 0; invalidations = 0 }
+    {
+      entries = Hashtbl.create 16;
+      ientries = Hashtbl.create 16;
+      hits = 0;
+      misses = 0;
+      invalidations = 0;
+    }
   in
   {
     caches =
@@ -98,6 +117,47 @@ let lookup (c : cache) e t =
 let evaluator c m ~phi ~jit ~i ~k ~hp_list ~a ~b =
   let e = entry_for c m ~phi ~jit ~i ~k ~hp_list ~a ~b in
   fun t -> lookup c e t
+
+(* --- integer timeline twins --- *)
+
+let entry_for_int c tb ~sphi ~sjit ~i ~k ~hp_list =
+  let jit_row = sjit.(i) and phi_row = sphi.(i) in
+  match Hashtbl.find_opt c.ientries (i, k) with
+  | Some e ->
+      if not (e.ijit_sig = jit_row && e.iphi_sig = phi_row) then begin
+        Hashtbl.reset e.ivalues;
+        e.ijit_sig <- Array.copy jit_row;
+        e.iphi_sig <- Array.copy phi_row;
+        e.ikernel <- Interference.compile_int tb ~hp_list ~sphi ~sjit ~i ~k;
+        c.invalidations <- c.invalidations + 1
+      end;
+      e
+  | None ->
+      let e =
+        {
+          ijit_sig = Array.copy jit_row;
+          iphi_sig = Array.copy phi_row;
+          ikernel = Interference.compile_int tb ~hp_list ~sphi ~sjit ~i ~k;
+          ivalues = Hashtbl.create 32;
+        }
+      in
+      Hashtbl.add c.ientries (i, k) e;
+      e
+
+let lookup_int (c : cache) e t =
+  match Hashtbl.find_opt e.ivalues t with
+  | Some v ->
+      c.hits <- c.hits + 1;
+      v
+  | None ->
+      c.misses <- c.misses + 1;
+      let v = Interference.eval_int e.ikernel ~t in
+      Hashtbl.add e.ivalues t v;
+      v
+
+let evaluator_int c tb ~sphi ~sjit ~i ~k ~hp_list =
+  let e = entry_for_int c tb ~sphi ~sjit ~i ~k ~hp_list in
+  fun t -> lookup_int c e t
 
 let contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t =
   lookup c (entry_for c m ~phi ~jit ~i ~k ~hp_list ~a ~b) t

@@ -57,6 +57,23 @@ val evaluator :
     transaction [i] are unchanged — i.e. within one response-time
     computation of a sweep. *)
 
+val evaluator_int :
+  cache ->
+  Timebase.t ->
+  sphi:int array array ->
+  sjit:int array array ->
+  i:int ->
+  k:int ->
+  hp_list:int list ->
+  int ->
+  int
+(** Integer-timeline twin of {!evaluator}: entries are keyed by the same
+    [(i, k)] pairs, signed with the scaled jitter/offset rows, and map
+    scaled evaluation points to scaled demands.  Rational and int
+    entries live side by side in one cache (the hit/miss/invalidation
+    statistics are shared), so a session that alternates between the
+    kernel and the rational path keeps both warm. *)
+
 val contribution :
   cache ->
   Model.t ->

@@ -12,6 +12,7 @@ type t = {
   prune : bool;
   incremental : bool;
   keep_history : bool;
+  int_kernel : bool;
 }
 
 let default =
@@ -25,6 +26,7 @@ let default =
     prune = true;
     incremental = true;
     keep_history = true;
+    int_kernel = true;
   }
 
 let exact = { default with variant = Exact }

@@ -68,12 +68,23 @@ type t = {
           probe analyses with [keep_history = false] and skip the
           per-sweep deep copies.  [Report.t.history] is [[]] when
           off. *)
+  int_kernel : bool;
+      (** Run the analysis on the integer timeline kernel when the model
+          admits one ({!Timebase}): all inner fixed points on scaled
+          native ints, converted back to rationals only at report
+          boundaries.  Values on the integer timeline are exact, so
+          reports are bit-identical to the rational path (asserted by
+          the test suite and bench X12); models whose timeline does not
+          fit native ints — or that overflow mid-analysis — silently use
+          the rational path instead ({!Rta.kernel_fallbacks} counts the
+          mid-analysis case).  Disable only to benchmark the kernel
+          itself. *)
 }
 
 val default : t
 (** [Reduced], [Simple], horizon factor 64, at most 256 outer
     iterations, early exit on, memoisation on, pruning on, incremental
-    sweeps on, history kept. *)
+    sweeps on, history kept, integer kernel on. *)
 
 val exact : t
 (** [default] with [variant = Exact]. *)

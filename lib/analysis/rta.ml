@@ -30,6 +30,8 @@ type counters = {
   visited : int Atomic.t;
   pruned : int Atomic.t;
   bounds : int Atomic.t;
+  kernel_runs : int Atomic.t;
+  kernel_fallbacks : int Atomic.t;
 }
 
 let counters () =
@@ -38,6 +40,8 @@ let counters () =
     visited = Atomic.make 0;
     pruned = Atomic.make 0;
     bounds = Atomic.make 0;
+    kernel_runs = Atomic.make 0;
+    kernel_fallbacks = Atomic.make 0;
   }
 
 let total_scenarios c = Atomic.get c.total
@@ -47,6 +51,14 @@ let visited_scenarios c = Atomic.get c.visited
 let pruned_scenarios c = Atomic.get c.pruned
 
 let bound_evaluations c = Atomic.get c.bounds
+
+let kernel_runs c = Atomic.get c.kernel_runs
+
+let kernel_fallbacks c = Atomic.get c.kernel_fallbacks
+
+let record_kernel_run c = Atomic.incr c.kernel_runs
+
+let record_kernel_fallback c = Atomic.incr c.kernel_fallbacks
 
 (* Response of task (a,b) within busy periods started by scenario where
    τ_{a,c} initiates the own transaction, [own_interference t] is the
@@ -198,9 +210,13 @@ let response_time_site ?pool ?memo ?counters (site : Ir.site) m params ~phi ~jit
           done;
           !best
         in
-        if jobs = 1 || total <= 1 then best_in ~slot:0 ~lo:0 ~hi:total
+        (* [slots_for] applies the sequential cutoff: scenario spaces
+           too small to amortise the domain wake-up run inline on slot
+           0.  The chunk maxima join commutatively, so the chunk count
+           never changes the response. *)
+        let slots = Parallel.Pool.slots_for pool total in
+        if jobs = 1 || slots = 1 then best_in ~slot:0 ~lo:0 ~hi:total
         else begin
-          let slots = Stdlib.min jobs total in
           let results = Array.make jobs (Report.Finite Q.zero) in
           Parallel.Pool.run pool (fun slot ->
               if slot < slots then
@@ -351,18 +367,296 @@ let response_time_site ?pool ?memo ?counters (site : Ir.site) m params ~phi ~jit
             visit n_rem 0 []
           end
         in
-        (if jobs = 1 || total <= 1 then run_slot ~slot:0 ~lo:0 ~hi:total
-         else begin
-           let slots = Stdlib.min jobs total in
+        (let slots = Parallel.Pool.slots_for pool total in
+         if jobs = 1 || slots = 1 then run_slot ~slot:0 ~lo:0 ~hi:total
+         else
            Parallel.Pool.run pool (fun slot ->
                if slot < slots then
                  let lo = slot * total / slots
                  and hi = (slot + 1) * total / slots in
-                 run_slot ~slot ~lo ~hi)
-         end);
+                 run_slot ~slot ~lo ~hi));
         Parallel.Pool.Cell.get incumbent
       end
 
 let response_time ?pool ?memo ?counters m params ~phi ~jit ~a ~b =
   response_time_site ?pool ?memo ?counters (Ir.site_of m ~a ~b) m params ~phi
     ~jit
+
+(* ------------------------------------------------------------------ *)
+(* Integer timeline twin (see Timebase)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The same scenario machinery on scaled numerators: every arithmetic
+   step is the scaled image of the rational step (overflow-checked), so
+   the returned response is exactly the scaled rational response —
+   including the branch-and-bound pruning decisions, which compare
+   scaled values iff the rational path compares their originals. *)
+
+type iresponse = IFinite of int | IDivergent
+
+let iresponse_max x y =
+  match (x, y) with
+  | IDivergent, _ | _, IDivergent -> IDivergent
+  | IFinite u, IFinite v -> IFinite (Stdlib.max u v)
+
+let iresponse_to_bound tb = function
+  | IDivergent -> Report.Divergent
+  | IFinite v -> Report.Finite (Timebase.to_q tb v)
+
+let scenario_response_int (tb : Timebase.t) ~sphi ~sjit ~a ~b ~c
+    ~own_interference ~remote_interference =
+  let open Q.Checked in
+  let ta = tb.Timebase.speriod.(a) in
+  let scaled_c = tb.Timebase.sc.(a).(b) in
+  let horizon = tb.Timebase.shorizon.(a) in
+  let base = tb.Timebase.sbase.(a).(b) in
+  let ph = Interference.phase_int tb ~sphi ~sjit ~i:a ~k:c ~j:b in
+  let p0 = 1 - ((sjit.(a).(b) + ph) / ta) in
+  let inside l = Stdlib.max 0 (Interference.iceil_div (l - ph) ta) in
+  let busy_length l =
+    let self_jobs = Stdlib.max 0 (inside l - p0 + 1) in
+    base + (self_jobs * scaled_c) + own_interference l + remote_interference l
+  in
+  match Busy.fixpoint_int ~horizon busy_length 0 with
+  | None -> IDivergent
+  | Some l ->
+      let p_last = inside l in
+      let best = ref (IFinite 0) in
+      for p = p0 to p_last do
+        let self_jobs = p - p0 + 1 in
+        let completion w =
+          base
+          + (self_jobs * scaled_c)
+          + own_interference w + remote_interference w
+        in
+        match Busy.fixpoint_int ~horizon completion 0 with
+        | None -> best := IDivergent
+        | Some w ->
+            let activation = ph + ((p - 1) * ta) - sphi.(a).(b) in
+            best := iresponse_max !best (IFinite (w - activation))
+      done;
+      !best
+
+let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
+    (site : Ir.site) params ~sphi ~sjit =
+  let a = site.Ir.a and b = site.Ir.b in
+  let pool = Option.value pool ~default:Parallel.Pool.sequential in
+  let own_hp = site.Ir.own_hp in
+  let own = site.Ir.own in
+  let cache_of slot = Option.map (fun t -> Memo.cache t ~a ~b ~slot) memo in
+  let bump field n =
+    match counters with
+    | Some c -> ignore (Atomic.fetch_and_add (field c) n)
+    | None -> ()
+  in
+  let eval_of cache ~i ~k ~hp_list =
+    match cache with
+    | Some c -> Memo.evaluator_int c tb ~sphi ~sjit ~i ~k ~hp_list
+    | None ->
+        let kernel = Interference.compile_int tb ~hp_list ~sphi ~sjit ~i ~k in
+        fun t -> Interference.eval_int kernel ~t
+  in
+  let own_evals cache =
+    List.map (fun c -> (c, eval_of cache ~i:a ~k:c ~hp_list:own_hp)) own
+  in
+  let best_over_own own_evals ~remote_interference acc =
+    List.fold_left
+      (fun acc (c, own_interference) ->
+        iresponse_max acc
+          (scenario_response_int tb ~sphi ~sjit ~a ~b ~c ~own_interference
+             ~remote_interference))
+      acc own_evals
+  in
+  let remotes = site.Ir.remotes in
+  match params.Params.variant with
+  | Params.Reduced ->
+      let cache = cache_of 0 in
+      let remote_ws =
+        Array.to_list
+          (Array.map
+             (fun (r : Ir.remote) ->
+               let evals =
+                 List.map
+                   (fun k -> eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                   r.Ir.hp_list
+               in
+               fun t ->
+                 List.fold_left (fun acc f -> Stdlib.max acc (f t)) 0 evals)
+             remotes)
+      in
+      let remote_interference t =
+        List.fold_left (fun acc w -> Q.Checked.(acc + w t)) 0 remote_ws
+      in
+      bump (fun c -> c.total) 1;
+      bump (fun c -> c.visited) 1;
+      best_over_own (own_evals cache) ~remote_interference (IFinite 0)
+  | Params.Exact ->
+      let n_rem = Array.length remotes in
+      let stride = site.Ir.stride in
+      let total = site.Ir.total in
+      bump (fun c -> c.total) total;
+      let jobs = Parallel.Pool.jobs pool in
+      if not params.Params.prune then begin
+        bump (fun c -> c.visited) total;
+        let best_in ~slot ~lo ~hi =
+          let cache = cache_of slot in
+          let contrib =
+            Array.map
+              (fun (r : Ir.remote) ->
+                Array.map
+                  (fun k -> eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                  r.Ir.choices)
+              remotes
+          in
+          let own_evals = own_evals cache in
+          let best = ref (IFinite 0) in
+          for v = lo to hi - 1 do
+            let remote_interference t =
+              let acc = ref 0 and rem = ref v in
+              Array.iter
+                (fun fs ->
+                  let s = Array.length fs in
+                  acc := Q.Checked.(!acc + fs.(!rem mod s) t);
+                  rem := !rem / s)
+                contrib;
+              !acc
+            in
+            best := best_over_own own_evals ~remote_interference !best
+          done;
+          !best
+        in
+        let slots = Parallel.Pool.slots_for pool total in
+        if jobs = 1 || slots = 1 then best_in ~slot:0 ~lo:0 ~hi:total
+        else begin
+          let results = Array.make jobs (IFinite 0) in
+          Parallel.Pool.run pool (fun slot ->
+              if slot < slots then
+                let lo = slot * total / slots
+                and hi = (slot + 1) * total / slots in
+                results.(slot) <- best_in ~slot ~lo ~hi);
+          Array.fold_left iresponse_max (IFinite 0) results
+        end
+      end
+      else begin
+        let incumbent = Parallel.Pool.Cell.create iresponse_max (IFinite 0) in
+        let horizon = tb.Timebase.shorizon.(a) in
+        let evaluate_index ~slot v =
+          let cache = cache_of slot in
+          let fs =
+            Array.to_list
+              (Array.mapi
+                 (fun ri (r : Ir.remote) ->
+                   let s = Array.length r.Ir.choices in
+                   let k = r.Ir.choices.(v / stride.(ri) mod s) in
+                   eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                 remotes)
+          in
+          let remote_interference t =
+            List.fold_left (fun acc f -> Q.Checked.(acc + f t)) 0 fs
+          in
+          best_over_own (own_evals cache) ~remote_interference (IFinite 0)
+        in
+        let seed_index =
+          let idx = ref 0 in
+          let cache = cache_of 0 in
+          Array.iteri
+            (fun ri (r : Ir.remote) ->
+              let ks = r.Ir.choices and hp_list = r.Ir.hp_list in
+              let i = r.Ir.txn in
+              let best_ci = ref 0
+              and best_w = ref ((eval_of cache ~i ~k:ks.(0) ~hp_list) horizon) in
+              for ci = 1 to Array.length ks - 1 do
+                let w = (eval_of cache ~i ~k:ks.(ci) ~hp_list) horizon in
+                if w > !best_w then begin
+                  best_w := w;
+                  best_ci := ci
+                end
+              done;
+              idx := !idx + (!best_ci * stride.(ri)))
+            remotes;
+          !idx
+        in
+        bump (fun c -> c.visited) 1;
+        Parallel.Pool.Cell.join incumbent (evaluate_index ~slot:0 seed_index);
+        let prune_le ub inc =
+          match (ub, inc) with
+          | _, IDivergent -> true
+          | IDivergent, IFinite _ -> false
+          | IFinite u, IFinite i -> u <= i
+        in
+        let run_slot ~slot ~lo ~hi =
+          if lo < hi then begin
+            let cache = cache_of slot in
+            let contrib =
+              Array.map
+                (fun (r : Ir.remote) ->
+                  Array.map
+                    (fun k ->
+                      eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                    r.Ir.choices)
+                remotes
+            in
+            let wstar =
+              Array.map
+                (fun fs t ->
+                  Array.fold_left (fun acc f -> Stdlib.max acc (f t)) 0 fs)
+                contrib
+            in
+            let own_evals = own_evals cache in
+            let block_bound level fixed =
+              bump (fun c -> c.bounds) 1;
+              let remote_interference t =
+                let acc = ref 0 in
+                for ri = 0 to level - 1 do
+                  acc := Q.Checked.(!acc + wstar.(ri) t)
+                done;
+                List.fold_left (fun acc f -> Q.Checked.(acc + f t)) !acc fixed
+              in
+              best_over_own own_evals ~remote_interference (IFinite 0)
+            in
+            let rec visit level v_base fixed =
+              if level = 0 then begin
+                if v_base <> seed_index then begin
+                  bump (fun c -> c.visited) 1;
+                  Parallel.Pool.Cell.join incumbent (evaluate_index' fixed)
+                end
+              end
+              else begin
+                let inside =
+                  Stdlib.min hi (v_base + stride.(level)) - Stdlib.max lo v_base
+                in
+                if
+                  inside > 1
+                  && prune_le (block_bound level fixed)
+                       (Parallel.Pool.Cell.get incumbent)
+                then bump (fun c -> c.pruned) inside
+                else begin
+                  let ri = level - 1 in
+                  let ks = remotes.(ri).Ir.choices in
+                  let sub = stride.(ri) in
+                  for ci = 0 to Array.length ks - 1 do
+                    let v = v_base + (ci * sub) in
+                    if v + sub > lo && v < hi then
+                      visit ri v (contrib.(ri).(ci) :: fixed)
+                  done
+                end
+              end
+            and evaluate_index' fixed =
+              let remote_interference t =
+                List.fold_left (fun acc f -> Q.Checked.(acc + f t)) 0 fixed
+              in
+              best_over_own own_evals ~remote_interference (IFinite 0)
+            in
+            visit n_rem 0 []
+          end
+        in
+        (let slots = Parallel.Pool.slots_for pool total in
+         if jobs = 1 || slots = 1 then run_slot ~slot:0 ~lo:0 ~hi:total
+         else
+           Parallel.Pool.run pool (fun slot ->
+               if slot < slots then
+                 let lo = slot * total / slots
+                 and hi = (slot + 1) * total / slots in
+                 run_slot ~slot ~lo ~hi));
+        Parallel.Pool.Cell.get incumbent
+      end

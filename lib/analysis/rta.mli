@@ -53,6 +53,20 @@ val pruned_scenarios : counters -> int
 val bound_evaluations : counters -> int
 (** Optimistic block bounds computed (the overhead side of pruning). *)
 
+val kernel_runs : counters -> int
+(** Analyses the engine started on the integer timeline kernel
+    ({!response_time_site_int}), whether or not they completed there. *)
+
+val kernel_fallbacks : counters -> int
+(** Kernel analyses aborted by a mid-analysis overflow and rerun on the
+    rational path.  Always [<= kernel_runs]. *)
+
+val record_kernel_run : counters -> unit
+(** Bumped by {!Engine.analyze} when it enters the kernel path. *)
+
+val record_kernel_fallback : counters -> unit
+(** Bumped by {!Engine.analyze} when a kernel run overflows. *)
+
 val response_time_site :
   ?pool:Parallel.Pool.t ->
   ?memo:Memo.t ->
@@ -79,6 +93,38 @@ val response_time_site :
     when both are given, slot [s] of the pool only touches cache slot
     [s], so no synchronisation is needed.  [counters], when given, is
     bumped with this call's scenario accounting. *)
+
+(** {1 Integer timeline twin} *)
+
+type iresponse = IFinite of int | IDivergent
+    (** A response on the scaled integer timeline: the scaled numerator
+        of the rational bound, or divergence (detected at exactly the
+        scaled horizon, hence in exactly the cases the rational path
+        detects it). *)
+
+val iresponse_to_bound : Timebase.t -> iresponse -> Report.bound
+(** Back to the report domain: [IFinite v] is the normalised rational
+    [v / scale]. *)
+
+val response_time_site_int :
+  Timebase.t ->
+  ?pool:Parallel.Pool.t ->
+  ?memo:Memo.t ->
+  ?counters:counters ->
+  Ir.site ->
+  Params.t ->
+  sphi:int array array ->
+  sjit:int array array ->
+  iresponse
+(** {!response_time_site} on the integer timeline: same scenario
+    enumeration (including branch-and-bound pruning and the chunked
+    parallel split), all inner fixed points on scaled native ints.
+    [sphi]/[sjit] are the scaled offset and jitter matrices.  The result
+    is the exact scaled image of the rational bound; any intermediate
+    overflow raises [Rational.Overflow], which {!Engine.analyze} turns
+    into a rational-path fallback.  [counters] accounting (total /
+    visited / pruned / bounds) is bumped exactly as the rational path
+    would. *)
 
 val response_time :
   ?pool:Parallel.Pool.t ->

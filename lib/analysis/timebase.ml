@@ -1,0 +1,95 @@
+module Q = Rational
+
+(* The integer timeline of a model: every rational the analysis can
+   reach — periods, deadlines, release jitters, blocking terms, the
+   platform-transformed demands C/α and Cb/α, the supply latencies Δ and
+   offsets β — lies on the lattice (1/scale)·Z where [scale] is the lcm
+   of their denominators.  The recurrences of the holistic analysis
+   (phases, busy periods, jitters, offsets) only add, subtract and
+   integer-multiply lattice values, so they stay on the lattice: running
+   them on the scaled numerators with int arithmetic is exact (see
+   docs/THEORY.md).  The scaled constants are precomputed here, once per
+   engine session. *)
+
+type t = {
+  scale : int;
+  speriod : int array;  (* per transaction *)
+  sdeadline : int array;
+  srelease_jitter : int array;
+  shorizon : int array;  (* horizon_factor · max(period, deadline) *)
+  sbase : int array array;  (* per site: Δ + blocking *)
+  sbeta : int array array;
+  sc : int array array;  (* C/α *)
+  scb : int array array;  (* Cb/α *)
+}
+
+(* Headroom rule: every scaled constant — including the busy-period
+   horizon, the largest value the fixed points are allowed to reach —
+   must leave 10 bits of slack below max_int.  The slack absorbs the
+   sums and job-count products of typical busy-period evaluations; the
+   kernels still run fully overflow-checked, so a system that blows
+   through it mid-analysis falls back to the rational path instead of
+   going wrong. *)
+let headroom_bits = 10
+
+let fits v = abs v <= max_int asr headroom_bits
+
+let of_model (m : Model.t) ~horizon_factor =
+  let n = Model.n_txns m in
+  try
+    let scale = ref 1 in
+    let see v = scale := Q.lcm_den !scale v in
+    for a = 0 to n - 1 do
+      let tx = m.Model.txns.(a) in
+      see tx.Model.period;
+      see tx.Model.deadline;
+      see m.Model.release_jitter.(a);
+      for b = 0 to Model.n_tasks m a - 1 do
+        let tk = Model.task m a b in
+        see m.Model.blocking.(a).(b);
+        see (Model.delta m tk);
+        see (Model.beta m tk);
+        see Q.(tk.Model.c / Model.alpha m tk);
+        see Q.(tk.Model.cb / Model.alpha m tk)
+      done
+    done;
+    let scale = !scale in
+    let conv v =
+      let s = Q.to_scaled ~scale v in
+      if fits s then s else raise Q.Overflow
+    in
+    let per_site f =
+      Array.init n (fun a ->
+          Array.init (Model.n_tasks m a) (fun b -> conv (f a b (Model.task m a b))))
+    in
+    let speriod =
+      Array.init n (fun a -> conv m.Model.txns.(a).Model.period)
+    in
+    let sdeadline =
+      Array.init n (fun a -> conv m.Model.txns.(a).Model.deadline)
+    in
+    let shorizon =
+      Array.init n (fun a ->
+          let h = Q.Checked.(horizon_factor * Stdlib.max speriod.(a) sdeadline.(a)) in
+          if fits h then h else raise Q.Overflow)
+    in
+    Some
+      {
+        scale;
+        speriod;
+        sdeadline;
+        srelease_jitter =
+          Array.init n (fun a -> conv m.Model.release_jitter.(a));
+        shorizon;
+        sbase =
+          per_site (fun a b tk ->
+              Q.(Model.delta m tk + m.Model.blocking.(a).(b)));
+        sbeta = per_site (fun _ _ tk -> Model.beta m tk);
+        sc = per_site (fun _ _ tk -> Q.(tk.Model.c / Model.alpha m tk));
+        scb = per_site (fun _ _ tk -> Q.(tk.Model.cb / Model.alpha m tk));
+      }
+  with Q.Overflow -> None
+
+let scale t = t.scale
+
+let to_q t v = Q.of_scaled ~scale:t.scale v

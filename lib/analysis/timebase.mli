@@ -1,0 +1,47 @@
+(** The integer timeline of a model — scaled-int constants for the
+    integer timeline kernels.
+
+    Let [scale] be the lcm of the denominators of every rational the
+    analysis can reach in a model: periods, deadlines, release jitters,
+    blocking terms, the platform-transformed demands C/α and Cb/α and
+    the supply parameters Δ and β.  All those values lie on the lattice
+    (1/scale)·Z, and the lattice is closed under the recurrences of the
+    holistic analysis (sums, differences, integer multiples, and floors
+    and ceilings of quotients — which are plain integers).  Representing
+    each value by its scaled numerator [v·scale] therefore lets the
+    interference, busy-period, best-case and response-time fixed points
+    run on native ints, bit-exactly: {!Rational.of_scaled} at the report
+    boundary recovers the very rationals the unscaled computation would
+    have produced.  See docs/THEORY.md for the closure argument and
+    docs/PERFORMANCE.md for the headroom and fallback rules. *)
+
+type t = {
+  scale : int;  (** the common denominator lcm [L] *)
+  speriod : int array;  (** scaled period, per transaction *)
+  sdeadline : int array;
+  srelease_jitter : int array;
+  shorizon : int array;
+      (** scaled busy-period horizon
+          [horizon_factor · max(period, deadline)], per transaction *)
+  sbase : int array array;  (** per site (a, b): scaled [Δ + blocking] *)
+  sbeta : int array array;
+  sc : int array array;  (** scaled worst-case demand in platform time,
+                             [C/α] *)
+  scb : int array array;  (** scaled best-case demand in platform time,
+                             [Cb/α] *)
+}
+
+val of_model : Model.t -> horizon_factor:int -> t option
+(** Compute the scale and the scaled constant tables, or [None] when the
+    model has no usable integer timeline: the denominator lcm overflows,
+    or some scaled constant (including the horizon) exceeds
+    [max_int / 2{^10}].  The 10-bit headroom absorbs the sums and
+    job-count products of ordinary busy-period evaluations; kernels are
+    overflow-checked regardless, so [Some] is a fast-path eligibility
+    verdict, not a guarantee ({!Engine} falls back to the rational path
+    on a mid-analysis overflow). *)
+
+val scale : t -> int
+
+val to_q : t -> int -> Rational.t
+(** [to_q t v] is the rational the scaled value [v] denotes. *)

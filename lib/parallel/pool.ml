@@ -1,9 +1,14 @@
 (* Resident worker domains synchronised by a single mutex: the caller
-   publishes a region (epoch bump + broadcast), every worker executes
-   its slot once per epoch, the caller takes slot 0 itself and waits for
-   the unfinished count to drain.  No work queue, no stealing — the
-   chunk geometry is static, which is what keeps per-slot caches valid
-   across regions and the reduction order deterministic. *)
+   publishes a region (epoch bump + broadcast), every participant
+   executes a static stride of slots once per epoch, the caller takes
+   participant 0 itself and waits for the unfinished count to drain.
+   No work queue, no stealing — the chunk geometry is static, which is
+   what keeps per-slot caches valid across regions and the reduction
+   order deterministic.  At most one worker per hardware core is ever
+   spawned: surplus domains cannot run in parallel, yet each live
+   domain taxes every minor collection with stop-the-world
+   coordination, so on a single-core host the pool spawns no domains
+   at all and [run] degrades to an inline loop over the slots. *)
 
 type t = {
   jobs : int;
@@ -26,7 +31,19 @@ let jobs t = t.jobs
 let record_error t slot e =
   t.errors.(slot) <- Some (e, Printexc.get_raw_backtrace ())
 
-let worker t slot =
+let hardware_slots = lazy (Domain.recommended_domain_count ())
+
+(* Participant [p] of [P] owns slots [p], [p + P], [p + 2P], … — a
+   static assignment, so the caller can wait on a plain count of
+   workers and no claiming protocol is needed. *)
+let exec_stride t f ~participant ~participants =
+  let slot = ref participant in
+  while !slot < t.jobs do
+    (try f !slot with e -> record_error t !slot e);
+    slot := !slot + participants
+  done
+
+let worker t participant participants =
   let seen = ref 0 in
   let running = ref true in
   while !running do
@@ -42,7 +59,7 @@ let worker t slot =
       seen := t.epoch;
       let f = match t.work with Some f -> f | None -> assert false in
       Mutex.unlock t.mutex;
-      (try f slot with e -> record_error t slot e);
+      exec_stride t f ~participant ~participants;
       Mutex.lock t.mutex;
       t.unfinished <- t.unfinished - 1;
       if t.unfinished = 0 then Condition.broadcast t.work_done;
@@ -68,8 +85,15 @@ let create ~jobs =
       workers = [||];
     }
   in
-  if jobs > 1 then
-    t.workers <- Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker t (i + 1)));
+  let workers =
+    Stdlib.max 0 (Stdlib.min (jobs - 1) (Lazy.force hardware_slots - 1))
+  in
+  if workers > 0 then begin
+    let participants = workers + 1 in
+    t.workers <-
+      Array.init workers (fun i ->
+          Domain.spawn (fun () -> worker t (i + 1) participants))
+  end;
   t
 
 let sequential = create ~jobs:1
@@ -104,6 +128,13 @@ let reraise_first t =
 let run t f =
   if t.jobs = 1 then f 0
   else if t.stopped then invalid_arg "Parallel.Pool.run: pool was shut down"
+  else if Array.length t.workers = 0 then begin
+    (* single-core host: no resident workers were spawned, so the
+       region runs inline — same slots, same chunks, same results *)
+    Array.fill t.errors 0 t.jobs None;
+    exec_stride t f ~participant:0 ~participants:1;
+    reraise_first t
+  end
   else if not (Atomic.compare_and_set t.busy false true) then begin
     (* reentrant call from a worker of this pool: the outer region holds
        the domains, so execute every slot inline — same slots, same
@@ -117,14 +148,15 @@ let run t f =
     Fun.protect
       ~finally:(fun () -> Atomic.set t.busy false)
       (fun () ->
+        let workers = Array.length t.workers in
         Mutex.lock t.mutex;
         t.work <- Some f;
-        t.unfinished <- t.jobs - 1;
+        t.unfinished <- workers;
         Array.fill t.errors 0 t.jobs None;
         t.epoch <- t.epoch + 1;
         Condition.broadcast t.work_ready;
         Mutex.unlock t.mutex;
-        (try f 0 with e -> record_error t 0 e);
+        exec_stride t f ~participant:0 ~participants:(workers + 1);
         Mutex.lock t.mutex;
         while t.unfinished > 0 do
           Condition.wait t.work_done t.mutex
@@ -134,6 +166,25 @@ let run t f =
         reraise_first t)
 
 let chunk ~jobs ~n ~slot = (slot * n / jobs, (slot + 1) * n / jobs)
+
+(* Waking the resident domains costs a few microseconds of mutex and
+   condition traffic; an item of analysis work (one scenario's busy
+   fixpoints) costs on the order of one.  Regions smaller than a few
+   items per slot therefore lose more to dispatch than they gain from
+   parallelism — the caller should run them inline on slot 0. *)
+let default_min_chunk = 8
+
+(* Slots beyond the cores the host actually offers cannot run in
+   parallel: the extra slots serialise behind the same cores and pay
+   the wake-up for nothing, so [slots_for] also caps at the hardware
+   parallelism.  Slot identity is untouched — per-slot state such as
+   memo shards is still sized by [jobs]. *)
+let slots_for ?(min_chunk = default_min_chunk) t n =
+  if n <= 0 then 1
+  else
+    let by_chunk = if min_chunk <= 1 then n else n / min_chunk in
+    let cap = Stdlib.min t.jobs (Lazy.force hardware_slots) in
+    Stdlib.min cap (Stdlib.max 1 (Stdlib.min n by_chunk))
 
 (* A lock-free cell holding the join of everything published to it.
    Because the join is associative, commutative and idempotent, the

@@ -3,8 +3,8 @@
     Deliberately work-stealing-free: a parallel region over [n] items is
     split into at most [jobs] {e contiguous} chunks, chunk [s] always
     covers the index range [\[s·n/jobs, (s+1)·n/jobs)], and chunk [s] is
-    always executed by the same domain (the caller takes slot [0], the
-    [jobs − 1] resident worker domains take slots [1 .. jobs − 1]).  The
+    always executed by the same participant (the caller plus the
+    resident worker domains, slots strided across them statically).  The
     static slot→chunk mapping keeps per-slot caches (the interference
     memo of [Analysis.Memo]) valid across successive regions, and makes
     reductions deterministic: results land at their index, and folds are
@@ -25,9 +25,14 @@
 type t
 
 val create : jobs:int -> t
-(** A pool of [jobs] slots backed by [jobs − 1] resident worker domains.
-    [jobs = 0] means {!Domain.recommended_domain_count}; [jobs = 1]
-    spawns no domains and runs everything in the caller.
+(** A pool of [jobs] slots backed by at most
+    [min jobs (Domain.recommended_domain_count ()) − 1] resident worker
+    domains — extra domains beyond the hardware's cores cannot run in
+    parallel yet tax every minor collection, so they are never spawned
+    and their slots are strided over the live participants instead.
+    [jobs = 0] means {!Domain.recommended_domain_count}; [jobs = 1] (or
+    any job count on a single-core host) spawns no domains and runs
+    everything in the caller.
     @raise Invalid_argument if [jobs < 0]. *)
 
 val jobs : t -> int
@@ -51,6 +56,19 @@ val run : t -> (int -> unit) -> unit
     [slot]'s domain — and returns when all have finished.  If several
     slots raise, the exception of the lowest slot is re-raised in the
     caller (deterministically), after every slot has completed. *)
+
+val slots_for : ?min_chunk:int -> t -> int -> int
+(** [slots_for t n] is the number of slots a region of [n] items should
+    be split over: at most [jobs t], at most the host's recommended
+    domain count (extra slots cannot run in parallel and only pay
+    dispatch), and no more than [n / min_chunk] (default 8) so each
+    woken domain amortises the dispatch cost over at least [min_chunk]
+    items.  [1] means: run the whole range inline on slot 0 — small
+    regions then never pay the domain wake-up, which is what keeps many
+    tiny scenario spaces from making [jobs 4] slower than [jobs 1].
+    Reductions joined over chunks are associative and commutative in
+    the analysis, so the chunk count never changes results (asserted by
+    the identity tests and bench X9). *)
 
 val tabulate : t -> int -> (int -> 'a) -> 'a array
 (** [tabulate t n f] is [Array.init n f] with the index range chunked

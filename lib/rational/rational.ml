@@ -195,6 +195,31 @@ let of_decimal_string s =
           let magnitude = add (of_int (abs whole_n)) (make frac_n scale) in
           if negative || whole_n < 0 then neg magnitude else magnitude)
 
+(* Scaled-int timebase support: a family of rationals whose denominators
+   all divide a common scale L lives on the integer lattice (1/L)·Z, so
+   the analysis kernels can run on the scaled numerators v·L with plain
+   (overflow-checked) int arithmetic.  See docs/PERFORMANCE.md. *)
+
+let lcm_den acc x =
+  if acc <= 0 then invalid_arg "Rational.lcm_den: accumulator must be > 0";
+  let g = gcd acc x.den in
+  mul_exn (acc / g) x.den
+
+let to_scaled ~scale x =
+  if scale <= 0 then invalid_arg "Rational.to_scaled: scale must be > 0";
+  if scale mod x.den <> 0 then raise Overflow
+  else mul_exn x.num (scale / x.den)
+
+let of_scaled ~scale v = make v scale
+
+module Checked = struct
+  let ( + ) = add_exn
+
+  let ( - ) a b = add_exn a (neg_exn b)
+
+  let ( * ) = mul_exn
+end
+
 let hash x = Hashtbl.hash (x.num, x.den)
 
 (* Exported names that shadow Stdlib: defined last so the implementations

@@ -124,6 +124,45 @@ val fmod : t -> t -> t
     @raise Division_by_zero if [y] is zero.
     @raise Invalid_argument if [y < 0]. *)
 
+(** {1 Scaled-int timebase}
+
+    A set of rationals whose denominators all divide a common scale [L]
+    lies on the lattice (1/L)·Z; representing each value by its scaled
+    numerator [v·L] turns the analysis recurrences into plain integer
+    arithmetic (the integer timeline kernels, see docs/PERFORMANCE.md).
+    The helpers below compute [L], move values on and off the lattice,
+    and provide the overflow-checked int operations the kernels use —
+    every overflow raises {!Overflow} so callers can fall back to the
+    rational path instead of computing a wrong result. *)
+
+val lcm_den : int -> t -> int
+(** [lcm_den acc x] is the least common multiple of [acc] and the
+    denominator of [x] — fold it over a value set to obtain the common
+    scale.  @raise Overflow when the lcm exceeds [max_int].
+    @raise Invalid_argument if [acc <= 0]. *)
+
+val to_scaled : scale:int -> t -> int
+(** [to_scaled ~scale x] is the exact integer [x·scale].
+    @raise Overflow if the denominator of [x] does not divide [scale]
+    (the value is off the lattice) or the product overflows.
+    @raise Invalid_argument if [scale <= 0]. *)
+
+val of_scaled : scale:int -> int -> t
+(** [of_scaled ~scale v] is the normalised rational [v/scale] — the
+    exact inverse of {!to_scaled}, used at report boundaries. *)
+
+module Checked : sig
+  val ( + ) : int -> int -> int
+
+  val ( - ) : int -> int -> int
+
+  val ( * ) : int -> int -> int
+end
+(** Overflow-checked native-int arithmetic; each operator raises
+    {!Overflow} instead of wrapping.  Division and modulus need no
+    checked variants: the kernels only divide by positive scaled
+    periods. *)
+
 (** {1 Conversion and printing} *)
 
 val to_float : t -> float

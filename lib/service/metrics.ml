@@ -52,7 +52,8 @@ let record_latency t ms =
   t.latency_total_ms <- t.latency_total_ms +. ms;
   if ms > t.latency_max_ms then t.latency_max_ms <- ms
 
-let to_json t ~seq ~admitted ~hash ~workers ~entries =
+let to_json t ~seq ~admitted ~hash ~workers ~entries ~kernel_sessions
+    ~fallback_count =
   Json.Obj
     [
       ("seq", Json.Int seq);
@@ -93,6 +94,8 @@ let to_json t ~seq ~admitted ~hash ~workers ~entries =
             ("rebound", Json.Int t.sessions_rebound);
             ("ir_warm", Json.Int t.ir_warm);
           ] );
+      ("kernel_sessions", Json.Int kernel_sessions);
+      ("fallback_count", Json.Int fallback_count);
       ("batches", Json.Int t.batches);
       ( "latency_ms",
         Json.Obj

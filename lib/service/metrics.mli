@@ -35,6 +35,17 @@ val count_request : t -> Protocol.request -> unit
 val record_latency : t -> float -> unit
 
 val to_json :
-  t -> seq:int -> admitted:int -> hash:string -> workers:int -> entries:int ->
+  t ->
+  seq:int ->
+  admitted:int ->
+  hash:string ->
+  workers:int ->
+  entries:int ->
+  kernel_sessions:int ->
+  fallback_count:int ->
   Json.t
-(** The [stats] response body; [entries] is the result-cache size. *)
+(** The [stats] response body; [entries] is the result-cache size,
+    [kernel_sessions] the live worker sessions currently running on the
+    integer timeline kernel, [fallback_count] the total kernel-overflow
+    fallbacks those sessions recorded (both snapshots taken at the stats
+    barrier, not counters of this record). *)

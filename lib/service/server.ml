@@ -314,12 +314,29 @@ let process_batch t envs =
     in
     match env.P.req with
     | P.Stats ->
+        (* Snapshot of the worker sessions at the barrier: the main
+           domain is alone here, and the fallback counters are atomics,
+           so reading across slots is safe. *)
+        let kernel_sessions = ref 0 and fallback_count = ref 0 in
+        Array.iter
+          (fun s ->
+            match s.session with
+            | None -> ()
+            | Some e ->
+                if Analysis.Engine.kernel_scale e <> None then
+                  incr kernel_sessions;
+                fallback_count :=
+                  !fallback_count
+                  + Analysis.Rta.kernel_fallbacks (Analysis.Engine.counters e))
+          t.slots;
         finish i ~status:"ok" ~cache_hit:false ~session:None
           (Metrics.to_json t.metrics ~seq
              ~admitted:(List.length t.store.Store.units)
              ~hash:t.store.Store.hash
              ~workers:(Array.length t.slots)
-             ~entries:(Hashtbl.length t.cache))
+             ~entries:(Hashtbl.length t.cache)
+             ~kernel_sessions:!kernel_sessions
+             ~fallback_count:!fallback_count)
     | P.Admit { uid; spec } -> (
         match Store.admit t.store ~uid ~spec with
         | Error errors -> invalid ~op:"admit" ~uid errors
@@ -406,6 +423,13 @@ let run t ic oc =
     let finished = !eof in
     Mutex.unlock mu;
     let lines = List.rev !lines in
+    (* An empty round happens only on the EOF wake-up, and only when the
+       reader flagged EOF after this domain popped the last line — a
+       scheduling race.  Skip it entirely so the batch trace and the
+       [batches] metric do not depend on that timing. *)
+    if lines = [] then (if not finished then round ())
+    else process_lines lines finished
+  and process_lines lines finished =
     let items =
       List.filter_map
         (fun (line, arrival) ->

@@ -55,12 +55,24 @@ Bad job counts are rejected at parse time (negative, absurd, garbage):
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --trace events.jsonl > /dev/null
   $ cat events.jsonl
   {"event":"compiled","txns":4,"tasks":7,"exact_scenarios":9}
+  {"event":"kernel_compiled","scale":8}
   {"event":"analysis_started","variant":"reduced"}
   {"event":"sweep","iteration":1,"recomputed":7,"carried":0}
   {"event":"sweep","iteration":2,"recomputed":5,"carried":2}
   {"event":"sweep","iteration":3,"recomputed":5,"carried":2}
   {"event":"sweep","iteration":4,"recomputed":5,"carried":2}
   {"event":"finished","iterations":4,"converged":true,"schedulable":true}
+
+--no-int-kernel forces the rational reference path: no kernel events,
+and the report is identical to the kernel run bit for bit:
+
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --csv > kernel.csv
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --csv \
+  >   --no-int-kernel --trace rational.jsonl > rational.csv
+  $ cmp kernel.csv rational.csv
+  $ grep -c kernel rational.jsonl
+  0
+  [1]
 
 Unknown transaction names are reported:
 

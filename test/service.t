@@ -42,7 +42,7 @@ line is filtered; everything else is exact.
   {"seq":8,"op":"query","status":"ok","hash":"6d12b8e9e010ec2cdc135c6be39eb734","schedulable":true,"converged":true,"iterations":1,"cached":true,"bounds":[{"transaction":"A.T","task":"A.T.mix","response":"6","deadline":"8","meets":true}]}
   {"seq":9,"op":"invalid","status":"error","error":"unknown op \"nonsense\""}
   {"seq":10,"op":"what_if","status":"shed","reason":"deadline"}
-  {"seq":11,"op":"stats","status":"ok","admitted":1,"hash":"6d12b8e9e010ec2cdc135c6be39eb734","workers":2,"requests":{"admit":3,"revoke":1,"query":3,"what_if":2,"stats":1,"errors":1},"committed":3,"rejected":1,"shed":{"deadline":1,"overload":0},"cache":{"hits":3,"misses":5,"entries":5},"sessions":{"created":1,"rebound":4,"ir_warm":0},"batches":"-","latency_ms":"-"}
+  {"seq":11,"op":"stats","status":"ok","admitted":1,"hash":"6d12b8e9e010ec2cdc135c6be39eb734","workers":2,"requests":{"admit":3,"revoke":1,"query":3,"what_if":2,"stats":1,"errors":1},"committed":3,"rejected":1,"shed":{"deadline":1,"overload":0},"cache":{"hits":3,"misses":5,"entries":5},"sessions":{"created":1,"rebound":4,"ir_warm":0},"kernel_sessions":1,"fallback_count":0,"batches":"-","latency_ms":"-"}
 
 The hash after revoking `video` with `audio` still in place is NOT the
 hash before `video` was admitted — content hashing is over the admitted
@@ -71,6 +71,7 @@ per-request and per-batch service events:
   $ printf '{"op":"query"}\n' | ../bin/hsched_cli.exe serve base.hsc --trace serve_trace.jsonl > /dev/null
   $ sed -e 's/"latency_ms":[0-9.]*/"latency_ms":"-"/' serve_trace.jsonl
   {"event":"compiled","txns":0,"tasks":0,"exact_scenarios":0}
+  {"event":"kernel_compiled","scale":1}
   {"event":"analysis_started","variant":"reduced"}
   {"event":"sweep","iteration":1,"recomputed":0,"carried":0}
   {"event":"finished","iterations":1,"converged":true,"schedulable":true}
@@ -97,6 +98,7 @@ even at full rates), and the trace still ends with the final verdict:
   [2]
   $ cat design_trace.jsonl
   {"event":"compiled","txns":1,"tasks":1,"exact_scenarios":1}
+  {"event":"kernel_compiled","scale":1}
   {"event":"analysis_started","variant":"reduced"}
   {"event":"sweep","iteration":1,"recomputed":1,"carried":0}
   {"event":"finished","iterations":1,"converged":false,"schedulable":false}

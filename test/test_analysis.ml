@@ -559,9 +559,13 @@ let test_engine_events () =
   let report = Engine.analyze e in
   let evs = List.rev !events in
   (match evs with
-  | Engine.Compiled { txns; tasks; _ } :: Engine.Analysis_started _ :: rest ->
+  | Engine.Compiled { txns; tasks; _ }
+    :: Engine.Kernel_compiled { scale }
+    :: Engine.Analysis_started _
+    :: rest ->
       Alcotest.(check int) "txns" 4 txns;
       Alcotest.(check int) "tasks" 7 tasks;
+      Alcotest.(check bool) "positive scale" true (scale > 0);
       let sweeps =
         List.filter (function Engine.Sweep _ -> true | _ -> false) rest
       in
@@ -576,7 +580,8 @@ let test_engine_events () =
           Alcotest.(check int)
             "iterations" report.Report.outer_iterations iterations
       | _ -> Alcotest.fail "missing Finished event")
-  | _ -> Alcotest.fail "expected Compiled then Analysis_started");
+  | _ ->
+      Alcotest.fail "expected Compiled, Kernel_compiled then Analysis_started");
   List.iter
     (fun ev ->
       let s = Engine.event_to_json ev in
@@ -614,6 +619,185 @@ let test_scenario_count () =
     (Rta.scenario_count m P.default ~a:g4 ~b:0);
   Alcotest.(check int) "exact scenarios" 2
     (Rta.scenario_count m P.exact ~a:g4 ~b:0)
+
+(* --- integer timeline kernels --- *)
+
+let qtask name c cb res prio = { Model.name; c; cb; res; prio }
+
+let qtxn name period tasks =
+  { Model.tname = name; period; deadline = period; tasks = Array.of_list tasks }
+
+let test_timebase_of_model () =
+  let m = paper_model () in
+  match Analysis.Ir.timebase m ~horizon_factor:64 with
+  | None -> Alcotest.fail "paper model must fit the integer timeline"
+  | Some tb ->
+      let module T = Analysis.Timebase in
+      Alcotest.(check bool) "positive scale" true (T.scale tb > 0);
+      Array.iteri
+        (fun a (tx : Model.txn) ->
+          check_q "scaled period converts back" tx.Model.period
+            (T.to_q tb tb.T.speriod.(a));
+          check_q "scaled deadline converts back" tx.Model.deadline
+            (T.to_q tb tb.T.sdeadline.(a)))
+        m.Model.txns
+
+(* A single constant within 2^10 of max_int fails the headroom rule, so
+   the model compiles to no timebase and the engine announces the
+   rational path up front. *)
+let unrepresentable_model () =
+  Model.make ~bounds:[ LB.full ]
+    [ qtxn "H" (Q.of_int (max_int asr 5)) [ qtask "H.t" Q.one Q.one 0 1 ] ]
+
+let test_kernel_unrepresentable () =
+  let m1 = unrepresentable_model () in
+  Alcotest.(check bool) "headroom fails" true
+    (Analysis.Ir.timebase m1 ~horizon_factor:64 = None);
+  (* Coprime denominators whose product exceeds max_int: each fits on
+     its own, the lcm of the two does not. *)
+  let m2 =
+    Model.make
+      ~bounds:[ LB.full; LB.full ]
+      [
+        qtxn "A"
+          (Q.make 7 4_000_000_007)
+          [ qtask "A.t" (Q.make 1 4_000_000_007) (Q.make 1 4_000_000_007) 0 1 ];
+        qtxn "B"
+          (Q.make 7 4_000_000_009)
+          [ qtask "B.t" (Q.make 1 4_000_000_009) (Q.make 1 4_000_000_009) 1 1 ];
+      ]
+  in
+  Alcotest.(check bool) "lcm overflows" true
+    (Analysis.Ir.timebase m2 ~horizon_factor:64 = None);
+  let events = ref [] in
+  let e = Engine.create ~sink:(fun ev -> events := ev :: !events) m2 in
+  Alcotest.(check bool) "unrepresentable event" true
+    (List.exists
+       (function
+         | Engine.Kernel_fallback { reason } -> reason = "unrepresentable"
+         | _ -> false)
+       !events);
+  Alcotest.(check bool) "no kernel" true (Engine.kernel_scale e = None);
+  let r_on = Engine.analyze e in
+  let r_off =
+    Holistic.analyze ~params:{ P.default with P.int_kernel = false } m2
+  in
+  Alcotest.(check bool) "fallback report identical" true (r_on = r_off)
+
+(* A model whose timebase compiles — every scaled constant clears the
+   headroom rule — but whose busy-period arithmetic overflows anyway:
+   two independent transactions with denominators 3^13 and 2^20 inflate
+   the global scale to ~1.7e12 (the rational path only ever pays local
+   pairwise lcms, so it never sees numbers this size), and a 4096-times
+   overutilized interferer on the target's platform drives the job-count
+   product past max_int inside the first busy evaluation. *)
+let runtime_fallback_model () =
+  Model.make
+    ~bounds:[ LB.full; LB.full; LB.full ]
+    [
+      qtxn "I" (Q.make 1 1024) [ qtask "I.t" (Q.of_int 4) (Q.of_int 4) 0 2 ];
+      qtxn "T" (Q.of_int 32)
+        [ qtask "T.t" (Q.of_int 1024) (Q.of_int 1024) 0 1 ];
+      qtxn "G3"
+        (Q.make 2 1_594_323)
+        [ qtask "G3.t" (Q.make 1 1_594_323) (Q.make 1 1_594_323) 1 1 ];
+      qtxn "G2"
+        (Q.make 3 1_048_576)
+        [ qtask "G2.t" (Q.make 1 1_048_576) (Q.make 1 1_048_576) 2 1 ];
+    ]
+
+let test_kernel_runtime_fallback () =
+  let m = runtime_fallback_model () in
+  let events = ref [] in
+  let counters = Rta.counters () in
+  let e =
+    Engine.create ~counters ~sink:(fun ev -> events := ev :: !events) m
+  in
+  Alcotest.(check bool) "kernel compiled" true (Engine.kernel_scale e <> None);
+  let report = Engine.analyze e in
+  Alcotest.(check int) "kernel entered once" 1 (Rta.kernel_runs counters);
+  Alcotest.(check int) "one overflow fallback" 1
+    (Rta.kernel_fallbacks counters);
+  Alcotest.(check bool) "overflow event" true
+    (List.exists
+       (function
+         | Engine.Kernel_fallback { reason } -> reason = "overflow"
+         | _ -> false)
+       !events);
+  Alcotest.(check bool) "session poisoned" true (Engine.kernel_scale e = None);
+  let reference =
+    Holistic.analyze ~params:{ P.default with P.int_kernel = false } m
+  in
+  Alcotest.(check bool) "fallback report identical" true (report = reference);
+  (* a poisoned session goes straight to the rational path *)
+  Alcotest.(check bool) "rerun identical" true (Engine.analyze e = reference);
+  Alcotest.(check int) "kernel skipped after poison" 1
+    (Rta.kernel_runs counters)
+
+(* The tentpole identity: the scaled-int kernels reproduce the rational
+   reports bit for bit — same bounds, history, sweep counts and verdict —
+   under both variants, sequential and 4-domain pools, with zero
+   overflow fallbacks on these workloads; and a model the kernel cannot
+   represent (gadget transaction appended) silently falls back to the
+   identical rational result. *)
+let kernel_identity_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"int kernel = rational path, exact and reduced, jobs 1 and 4"
+       ~count:10
+       (QCheck.int_range 1 1000)
+       (fun seed ->
+         let spec =
+           {
+             Workload.Gen.default_spec with
+             Workload.Gen.n_txns = 3;
+             max_tasks_per_txn = 3;
+           }
+         in
+         let sys = Workload.Gen.system ~seed spec in
+         let m = Model.of_system sys in
+         QCheck.assume (scenario_total m < 20_000);
+         let engaged =
+           Analysis.Ir.timebase m ~horizon_factor:P.default.P.horizon_factor
+           <> None
+         in
+         let with_gadget =
+           {
+             Model.bounds = Array.append m.Model.bounds [| LB.full |];
+             txns =
+               Array.append m.Model.txns
+                 [|
+                   (* large enough that the scaled horizon fails the
+                      headroom rule, small enough that the rational
+                      horizon still fits native ints *)
+                   qtxn "gadget"
+                     (Q.of_int (max_int asr 12))
+                     [
+                       qtask "gadget.t" Q.one Q.one
+                         (Array.length m.Model.bounds)
+                         1;
+                     ];
+                 |];
+             blocking = Array.append m.Model.blocking [| [| Q.zero |] |];
+             release_jitter = Array.append m.Model.release_jitter [| Q.zero |];
+           }
+         in
+         let agrees model base =
+           let reference =
+             Holistic.analyze ~params:{ base with P.int_kernel = false } model
+           in
+           List.for_all
+             (fun jobs ->
+               Parallel.Pool.with_pool ~jobs (fun pool ->
+                   let counters = Rta.counters () in
+                   Engine.analyze (Engine.create ~params:base ~pool ~counters model)
+                   = reference
+                   && Rta.kernel_fallbacks counters = 0))
+             [ 1; 4 ]
+         in
+         engaged
+         && agrees m P.exact && agrees m P.default
+         && agrees with_gadget P.exact && agrees with_gadget P.default))
 
 let () =
   Alcotest.run "analysis"
@@ -679,5 +863,15 @@ let () =
           Alcotest.test_case "model rebinding" `Quick test_engine_with_model;
           Alcotest.test_case "events" `Quick test_engine_events;
           Alcotest.test_case "classical view" `Quick test_engine_classical_view;
+        ] );
+      ( "int kernel",
+        [
+          kernel_identity_prop;
+          Alcotest.test_case "timebase of the paper model" `Quick
+            test_timebase_of_model;
+          Alcotest.test_case "unrepresentable models fall back" `Quick
+            test_kernel_unrepresentable;
+          Alcotest.test_case "mid-analysis overflow falls back" `Quick
+            test_kernel_runtime_fallback;
         ] );
     ]

@@ -102,6 +102,51 @@ let test_compare_never_overflows () =
   Alcotest.(check int) "huge vs one" 1 (Q.compare big Q.one);
   Alcotest.(check int) "negative huge vs one" (-1) (Q.compare (Q.neg big) Q.one)
 
+(* The scaled-timebase helpers must detect overflow exactly where native
+   ints run out, not silently wrap: these values sit within a factor of
+   two of max_int on both sides of the line. *)
+let test_scaled_helpers () =
+  Alcotest.(check int) "lcm_den folds" 12 (Q.lcm_den 4 (Q.make 5 6));
+  Alcotest.(check int) "lcm_den of integer" 4 (Q.lcm_den 4 (Q.of_int 7));
+  (* coprime denominators just below the square root of (63-bit)
+     max_int fit... *)
+  let p = 2_147_483_647 and q = 2_147_483_629 in
+  Alcotest.(check int) "huge coprime lcm" (p * q)
+    (Q.lcm_den p (Q.make 1 q));
+  (* ...while the next pair of huge coprimes must raise, not wrap *)
+  Alcotest.check_raises "lcm_den overflow" Q.Overflow (fun () ->
+      ignore (Q.lcm_den (p * 2) (Q.make 1 (q * 2))));
+  Alcotest.(check int) "to_scaled" 15 (Q.to_scaled ~scale:6 (Q.make 5 2));
+  Alcotest.check_raises "to_scaled off-lattice" Q.Overflow (fun () ->
+      ignore (Q.to_scaled ~scale:6 (Q.make 1 4)));
+  Alcotest.check_raises "to_scaled overflow" Q.Overflow (fun () ->
+      ignore (Q.to_scaled ~scale:(max_int / 2) (Q.of_int 3)));
+  (* the largest representable scaled value survives the round trip *)
+  Alcotest.(check bool) "of_scaled inverts" true
+    (Q.equal (Q.make max_int 6) (Q.of_scaled ~scale:6 max_int));
+  let x = Q.make ((max_int / 6) * 6) 6 in
+  Alcotest.(check int) "near-max round trip"
+    ((max_int / 6) * 6)
+    (Q.to_scaled ~scale:6 x);
+  Alcotest.check_raises "bad accumulator" (Invalid_argument
+    "Rational.lcm_den: accumulator must be > 0") (fun () ->
+      ignore (Q.lcm_den 0 Q.one));
+  Alcotest.check_raises "bad scale" (Invalid_argument
+    "Rational.to_scaled: scale must be > 0") (fun () ->
+      ignore (Q.to_scaled ~scale:0 Q.one))
+
+let test_checked_ops () =
+  let open Q.Checked in
+  Alcotest.(check int) "checked add" 7 (3 + 4);
+  Alcotest.(check int) "checked sub" (-1) (3 - 4);
+  Alcotest.(check int) "checked mul" 12 (3 * 4);
+  Alcotest.check_raises "checked add overflow" Q.Overflow (fun () ->
+      ignore (max_int + 1));
+  Alcotest.check_raises "checked sub overflow" Q.Overflow (fun () ->
+      ignore (min_int - 1));
+  Alcotest.check_raises "checked mul overflow" Q.Overflow (fun () ->
+      ignore ((max_int / 2) * 3))
+
 let test_division_by_zero () =
   Alcotest.check_raises "div" Q.Division_by_zero (fun () ->
       ignore (Q.div Q.one Q.zero));
@@ -196,6 +241,9 @@ let () =
           Alcotest.test_case "overflow detected" `Quick test_overflow_detected;
           Alcotest.test_case "compare never overflows" `Quick
             test_compare_never_overflows;
+          Alcotest.test_case "scaled timebase helpers" `Quick
+            test_scaled_helpers;
+          Alcotest.test_case "checked int operators" `Quick test_checked_ops;
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
         ] );
       ("laws", laws);

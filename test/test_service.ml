@@ -207,6 +207,30 @@ let test_mixed_session_seq () = mixed_session 1
 
 let test_mixed_session_par () = mixed_session 4
 
+(* --- stats: integer-kernel telemetry --- *)
+
+let int_field name j =
+  match Json.int_field name j with
+  | Some n -> n
+  | None -> Alcotest.failf "missing %S in %s" name (Json.to_string j)
+
+let test_stats_kernel_fields () =
+  with_server ~workers:2 @@ fun srv ->
+  (* Before any analysis ran, no worker session exists yet. *)
+  let s0 = Server.handle srv P.Stats in
+  Alcotest.(check int) "no sessions yet" 0 (int_field "kernel_sessions" s0);
+  Alcotest.(check int) "no fallbacks yet" 0 (int_field "fallback_count" s0);
+  ignore (Server.handle srv (P.Admit { uid = "a"; spec = unit_spec 1 }));
+  ignore (Server.handle srv P.Query);
+  let s1 = Server.handle srv P.Stats in
+  (* The base model's constants are small decimals, so the admitted
+     system fits the integer timeline and the analyzing session reports
+     an engaged kernel with no overflow fallback. *)
+  Alcotest.(check bool)
+    "kernel engaged" true
+    (int_field "kernel_sessions" s1 >= 1);
+  Alcotest.(check int) "no fallbacks" 0 (int_field "fallback_count" s1)
+
 (* --- qcheck: what_if probes never mutate the store --- *)
 
 let probe_gen =
@@ -304,6 +328,11 @@ let () =
             test_mixed_session_seq;
           Alcotest.test_case "mixed session matches one-shot (4 workers)"
             `Quick test_mixed_session_par;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "kernel telemetry fields" `Quick
+            test_stats_kernel_fields;
         ] );
       ("purity", [ test_what_if_pure ]);
     ]
