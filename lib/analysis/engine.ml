@@ -9,6 +9,7 @@ type event =
   | Kernel_compiled of { scale : int }
   | Kernel_fallback of { reason : string }
   | Analysis_started of { variant : Params.variant }
+  | Delta of { dirty : int; total : int; carried : int }
   | Sweep of { iteration : int; recomputed : int; carried : int }
   | Finished of { iterations : int; converged : bool; schedulable : bool }
 
@@ -30,6 +31,9 @@ let event_to_json = function
   | Analysis_started { variant } ->
       Printf.sprintf {|{"event":"analysis_started","variant":"%s"}|}
         (variant_name variant)
+  | Delta { dirty; total; carried } ->
+      Printf.sprintf {|{"event":"delta","dirty":%d,"total":%d,"carried":%d}|}
+        dirty total carried
   | Sweep { iteration; recomputed; carried } ->
       Printf.sprintf
         {|{"event":"sweep","iteration":%d,"recomputed":%d,"carried":%d}|}
@@ -206,24 +210,59 @@ let rows_equal a b =
   Array.iteri (fun i x -> if not (Q.equal x b.(i)) then ok := false) a;
   !ok
 
-let analyze_rational t =
+(* A warm start, planned by [Delta] from a previous converged report:
+   the sweep begins from the seeded jitter matrix instead of the bottom,
+   with the clean transactions' rows pinned at their converged values
+   and their responses carried from [w_resp].  [w_dirty] must be closed
+   under the IR's dependency rows (Ir.dirty_closure) — that is what
+   makes the pinning exact, see docs/INCREMENTAL.md. *)
+type warm = {
+  w_dirty : bool array;  (* per transaction, transitively closed *)
+  w_jit : Q.t array array;  (* seed jitters: previous values on clean
+                               rows, the cold bottom on dirty ones *)
+  w_resp : Report.bound array array;
+      (* previous responses; only clean rows are ever read *)
+}
+
+(* The scaled-integer image of a warm start, for [analyze_int]. *)
+type iwarm = {
+  iw_dirty : bool array;
+  iw_jit : int array array;
+  iw_resp : Rta.iresponse array array;
+}
+
+let analyze_rational t ~warm =
   let m = t.model and params = t.params in
   emit t (Analysis_started { variant = params.Params.variant });
   let n = Model.n_txns m in
   let zero_matrix () =
     Array.init n (fun a -> Array.make (Model.n_tasks m a) Q.zero)
   in
-  let jit = zero_matrix () in
-  for a = 0 to n - 1 do
-    jit.(a).(0) <- m.Model.release_jitter.(a)
-  done;
+  let jit =
+    match warm with
+    | Some w -> copy_matrix w.w_jit
+    | None ->
+        let jit = zero_matrix () in
+        for a = 0 to n - 1 do
+          jit.(a).(0) <- m.Model.release_jitter.(a)
+        done;
+        jit
+  in
   let rbest = ref (best_case t ~jit) in
   let phi = ref (offsets_of m !rbest) in
   (* Rows whose values changed in the latest jitter/offset update; all
-     dirty before the first sweep so every task is computed once. *)
-  let jit_dirty = Array.make n true in
-  let phi_dirty = Array.make n true in
-  let prev = ref None in
+     dirty before the first sweep so every task is computed once.  A
+     warm start instead seeds exactly its dirty frontier: clean rows
+     hold the converged values their carried responses were computed
+     under, so carrying them is the same bit-identical shortcut the
+     within-run incremental sweep takes.  (Warm starts imply the Simple
+     best case — see [Delta.plan] — so the offsets are constant and
+     [phi_dirty] stays false.) *)
+  let jit_dirty =
+    match warm with Some w -> Array.copy w.w_dirty | None -> Array.make n true
+  in
+  let phi_dirty = Array.make n (Option.is_none warm) in
+  let prev = ref (Option.map (fun w -> copy_matrix w.w_resp) warm) in
   let history = ref [] in
   let responses = ref (Array.map (Array.map (fun _ -> Report.Divergent)) jit) in
   let diverged = ref false in
@@ -366,7 +405,7 @@ let analyze_rational t =
    overflow anywhere — including inside a worker domain, which the pool
    re-raises in the caller — surfaces as [Q.Overflow] for [analyze] to
    catch. *)
-let analyze_int t tb =
+let analyze_int t tb ~warm =
   let m = t.model and params = t.params in
   emit t (Analysis_started { variant = params.Params.variant });
   let n = Model.n_txns m in
@@ -386,15 +425,23 @@ let analyze_int t tb =
           tx.Model.tasks)
       m.Model.txns
   in
-  let jit = zero_matrix () in
-  for a = 0 to n - 1 do
-    jit.(a).(0) <- tb.Timebase.srelease_jitter.(a)
-  done;
+  let jit =
+    match warm with
+    | Some w -> copy_matrix w.iw_jit
+    | None ->
+        let jit = zero_matrix () in
+        for a = 0 to n - 1 do
+          jit.(a).(0) <- tb.Timebase.srelease_jitter.(a)
+        done;
+        jit
+  in
   let rbest = ref (best_case_int ~sjit:jit) in
   let phi = ref (offsets_of_int !rbest) in
-  let jit_dirty = Array.make n true in
-  let phi_dirty = Array.make n true in
-  let prev = ref None in
+  let jit_dirty =
+    match warm with Some w -> Array.copy w.iw_dirty | None -> Array.make n true
+  in
+  let phi_dirty = Array.make n (Option.is_none warm) in
+  let prev = ref (Option.map (fun w -> copy_matrix w.iw_resp) warm) in
   let history = ref [] in
   let responses =
     ref (Array.map (Array.map (fun _ -> Rta.IDivergent)) jit)
@@ -522,21 +569,195 @@ let analyze_int t tb =
     schedulable;
   }
 
-let analyze t =
+(* The warm matrices were produced by a previous analysis — possibly on
+   a different timebase, or on the rational path — so they need not lie
+   on this session's scaled-integer lattice.  Off-lattice values raise
+   [Q.Overflow] in [to_scaled]; the warm start then runs on the
+   rational path (the report is bit-identical either way) without
+   poisoning the kernel for later cold calls. *)
+let iwarm_of tb w =
+  let scale = Timebase.scale tb in
+  try
+    Some
+      {
+        iw_dirty = w.w_dirty;
+        iw_jit = Array.map (Array.map (Q.to_scaled ~scale)) w.w_jit;
+        iw_resp =
+          Array.map
+            (Array.map (function
+              | Report.Finite r -> Rta.IFinite (Q.to_scaled ~scale r)
+              | Report.Divergent -> Rta.IDivergent))
+            w.w_resp;
+      }
+  with Q.Overflow -> None
+
+let analyze_with t warm =
   match t.timebase with
   | Some tb when not !(t.kernel_poisoned) -> (
-      Rta.record_kernel_run t.counters;
-      try analyze_int t tb
-      with Q.Overflow ->
-        (* Scaled arithmetic left the native range mid-analysis; the
-           rational path cannot (its local denominators stay small), so
-           rerun there from scratch and stop trying the kernel on this
-           session — it would overflow on every call. *)
-        Rta.record_kernel_fallback t.counters;
-        t.kernel_poisoned := true;
-        emit t (Kernel_fallback { reason = "overflow" });
-        analyze_rational t)
-  | _ -> analyze_rational t
+      let iwarm = match warm with None -> Some None | Some w -> (
+          match iwarm_of tb w with Some iw -> Some (Some iw) | None -> None)
+      in
+      match iwarm with
+      | None -> analyze_rational t ~warm
+      | Some iwarm -> (
+          Rta.record_kernel_run t.counters;
+          try analyze_int t tb ~warm:iwarm
+          with Q.Overflow ->
+            (* Scaled arithmetic left the native range mid-analysis; the
+               rational path cannot (its local denominators stay small),
+               so rerun there from scratch and stop trying the kernel on
+               this session — it would overflow on every call. *)
+            Rta.record_kernel_fallback t.counters;
+            t.kernel_poisoned := true;
+            emit t (Kernel_fallback { reason = "overflow" });
+            analyze_rational t ~warm))
+  | _ -> analyze_rational t ~warm
+
+let analyze t = analyze_with t None
+
+(* ------------------------------------------------------------------ *)
+(* Delta re-analysis: warm fixed points across model changes           *)
+(* ------------------------------------------------------------------ *)
+
+type delta_outcome =
+  | Delta_warm of { dirty : int; total : int; carried : int }
+  | Delta_cold of { reason : string }
+
+module Delta = struct
+  type plan = { warm : warm; dirty_tasks : int; total_tasks : int }
+
+  (* The transactions of two models are aligned by name — admission
+     changes the transaction count, so positional indices never
+     transfer.  A transaction is clean when everything its own response
+     equations read is unchanged: period, deadline, release jitter,
+     blocking, the task chain (demands, placement, priorities) and the
+     linear bounds of every platform its tasks run on.  Interference
+     *from other* transactions is not part of this check — changes
+     there are other transactions' dirtiness, propagated through the
+     dependency rows by the closure. *)
+  let txn_clean ~prev_model ~model ~prev_a ~a =
+    let om = prev_model and nm = model in
+    let ot = om.Model.txns.(prev_a) and nt = nm.Model.txns.(a) in
+    Q.equal ot.Model.period nt.Model.period
+    && Q.equal ot.Model.deadline nt.Model.deadline
+    && Q.equal om.Model.release_jitter.(prev_a) nm.Model.release_jitter.(a)
+    && ot.Model.tasks = nt.Model.tasks
+    && om.Model.blocking.(prev_a) = nm.Model.blocking.(a)
+    && Array.for_all
+         (fun (tk : Model.task) ->
+           tk.Model.res < Array.length om.Model.bounds
+           && Platform.Linear_bound.equal
+                om.Model.bounds.(tk.Model.res)
+                nm.Model.bounds.(tk.Model.res))
+         nt.Model.tasks
+
+  let plan t ~prev_model ~prev_report =
+    let params = t.params in
+    if not prev_report.Report.converged then Error "previous-not-converged"
+    else if not params.Params.incremental then Error "incremental-disabled"
+    else if params.Params.best_case <> Params.Simple then
+      Error "refined-best-case"
+    else if params.Params.keep_history then Error "history-requested"
+    else begin
+      let m = t.model in
+      let n = Model.n_txns m in
+      let seed = Array.make n false in
+      let old_of = Array.make n (-1) in
+      for a = 0 to n - 1 do
+        match Model.find_txn prev_model m.Model.txns.(a).Model.tname with
+        | Some oa when txn_clean ~prev_model ~model:m ~prev_a:oa ~a ->
+            old_of.(a) <- oa
+        | Some _ | None -> seed.(a) <- true
+      done;
+      (* A removed transaction's interference is gone from equations the
+         new dependency rows cannot see any more; conservatively seed
+         every survivor that shares a platform with it.  Clean survivors
+         keep their resource indices (the task chains compared equal),
+         so the overlap test in the old model's indexing is exact. *)
+      let surviving =
+        Array.to_list m.Model.txns
+        |> List.map (fun (tx : Model.txn) -> tx.Model.tname)
+      in
+      Array.iter
+        (fun (ot : Model.txn) ->
+          if not (List.mem ot.Model.tname surviving) then
+            Array.iter
+              (fun (otk : Model.task) ->
+                Array.iteri
+                  (fun a (tx : Model.txn) ->
+                    if
+                      (not seed.(a))
+                      && Array.exists
+                           (fun (tk : Model.task) ->
+                             tk.Model.res = otk.Model.res)
+                           tx.Model.tasks
+                    then seed.(a) <- true)
+                  m.Model.txns)
+              ot.Model.tasks)
+        prev_model.Model.txns;
+      let dirty = Ir.dirty_closure t.ir ~seed in
+      if Array.for_all Fun.id dirty then Error "all-dirty"
+      else begin
+        let w_jit =
+          Array.init n (fun a ->
+              let nt = Model.n_tasks m a in
+              if dirty.(a) then begin
+                let row = Array.make nt Q.zero in
+                row.(0) <- m.Model.release_jitter.(a);
+                row
+              end
+              else
+                Array.init nt (fun b ->
+                    prev_report.Report.results.(old_of.(a)).(b).Report.jitter))
+        in
+        let w_resp =
+          Array.init n (fun a ->
+              let nt = Model.n_tasks m a in
+              if dirty.(a) then Array.make nt Report.Divergent
+              else
+                Array.init nt (fun b ->
+                    prev_report.Report.results.(old_of.(a)).(b).Report.response))
+        in
+        let dirty_tasks = ref 0 in
+        Array.iteri
+          (fun a d -> if d then dirty_tasks := !dirty_tasks + Model.n_tasks m a)
+          dirty;
+        Ok
+          {
+            warm = { w_dirty = dirty; w_jit; w_resp };
+            dirty_tasks = !dirty_tasks;
+            total_tasks = Ir.n_tasks t.ir;
+          }
+      end
+    end
+
+  let dirty_tasks p = p.dirty_tasks
+
+  let total_tasks p = p.total_tasks
+end
+
+let analyze_delta t ~prev_model ~prev_report =
+  match Delta.plan t ~prev_model ~prev_report with
+  | Error reason -> (analyze t, Delta_cold { reason })
+  | Ok p ->
+      let dirty = p.Delta.dirty_tasks and total = p.Delta.total_tasks in
+      let carried = total - dirty in
+      Rta.record_delta_run t.counters;
+      emit t (Delta { dirty; total; carried });
+      let report = analyze_with t (Some p.Delta.warm) in
+      (* A warm run that converged reached the system's least fixed
+         point (the seed is below it coordinatewise and the clean block
+         is pinned at it — docs/INCREMENTAL.md), and under early exit a
+         converged run is schedulable by construction, so the report is
+         the cold report bit for bit.  Anything else — early exit on
+         the dirty frontier, iteration cap — is rerun cold so the
+         non-converged report matches the cold iterates exactly. *)
+      if report.Report.converged then
+        (report, Delta_warm { dirty; total; carried })
+      else begin
+        Rta.record_delta_fallback t.counters;
+        (analyze t, Delta_cold { reason = "warm-not-converged" })
+      end
 
 let response_times t =
   (analyze t).Report.results

@@ -50,6 +50,14 @@ type event =
           overflowed — the analysis transparently reruns on the rational
           path and the session stops attempting the kernel. *)
   | Analysis_started of { variant : Params.variant }
+  | Delta of { dirty : int; total : int; carried : int }
+      (** Emitted by {!analyze_delta} when a warm plan is executed:
+          [dirty] tasks sit on the dirty frontier and will be iterated,
+          [carried] tasks ride on their previously converged responses,
+          [total = dirty + carried] is the task count of the model.
+          Followed by the warm run's ordinary [Analysis_started] /
+          [Sweep] / [Finished] stream (and, on a warm fallback, by a
+          second full cold stream). *)
   | Sweep of { iteration : int; recomputed : int; carried : int }
       (** One outer Jacobi iteration finished; [recomputed] tasks had a
           dirty dependency row, [carried] reused their previous response
@@ -158,6 +166,68 @@ val analyze : t -> Report.t
 
 val response_times : t -> Report.bound array array
 (** [analyze] reduced to the response matrix. *)
+
+(** {1 Delta re-analysis}
+
+    {!analyze} pays a full outer fixed point — every task recomputed
+    from the bottom — even when the session's model differs from a
+    previously analysed one by a single admitted or revoked fragment.
+    {!analyze_delta} instead diffs the two models into a changed
+    transaction set, closes it over the IR's dependency rows
+    ({!Ir.dirty_closure}), pins every clean transaction's jitter row
+    and responses at the previous converged values and iterates only
+    the dirty frontier — O(affected) instead of O(system), with the
+    same report bit for bit.  Design, convergence argument and fallback
+    conditions: docs/INCREMENTAL.md. *)
+
+type delta_outcome =
+  | Delta_warm of { dirty : int; total : int; carried : int }
+      (** The warm fixed point converged; [carried] of [total] tasks
+          reused their previous responses without recomputation. *)
+  | Delta_cold of { reason : string }
+      (** The analysis ran cold.  [reason] is one of
+          ["previous-not-converged"], ["incremental-disabled"],
+          ["refined-best-case"], ["history-requested"], ["all-dirty"]
+          (planning refused) or ["warm-not-converged"] (the warm run
+          early-exited or hit the iteration cap and was rerun cold). *)
+
+(** The planning half of {!analyze_delta}, exposed for tests and
+    benchmarks that want to inspect the dirty frontier without running
+    the analysis. *)
+module Delta : sig
+  type plan
+
+  val plan :
+    t -> prev_model:Model.t -> prev_report:Report.t -> (plan, string) result
+  (** Align [prev_model]'s transactions with the session's by name,
+      seed the changed ones (different period, deadline, jitter,
+      blocking, task chain or platform bounds — plus every survivor
+      sharing a platform with a removed transaction), and close the
+      seed over the session IR's dependency rows.  [Error reason] when
+      warm analysis is unsound or pointless — the [Delta_cold] reasons
+      above, except ["warm-not-converged"]. *)
+
+  val dirty_tasks : plan -> int
+  (** Tasks on the dirty frontier (to be iterated). *)
+
+  val total_tasks : plan -> int
+  (** Task count of the session's model. *)
+end
+
+val analyze_delta :
+  t -> prev_model:Model.t -> prev_report:Report.t -> Report.t * delta_outcome
+(** {!analyze}, warm-started from a previous converged analysis.
+    [prev_report] must be the report of analysing [prev_model] (any
+    converged pair works — it does not have to be the session's own
+    history).  The returned report is bit-identical to [analyze t] in
+    [results], [converged] and [schedulable]; [outer_iterations] (and
+    [history], were it kept — warm plans require
+    [params.keep_history = false]) count the warm run's shorter
+    trajectory.  Emits [Delta] before a warm run; plans that fail and
+    warm runs that do not converge fall back to the cold path
+    transparently ({!Rta.delta_fallbacks}).  On a kernel session the
+    warm start is scaled onto the integer timeline when the previous
+    values lie on its lattice, and runs on exact rationals otherwise. *)
 
 val response_time :
   t ->

@@ -92,6 +92,39 @@ let exact_scenarios t =
 
 let compatible t m = t.shape = shape_of m
 
+(* Transitive closure of a dirty seed over the dependency rows, at
+   transaction granularity: a transaction is dirty when any of its sites
+   reads the jitter/offset row of a dirty transaction.  Iterated to a
+   fixed point, so the clean complement is a closed subsystem — every
+   dependency of a clean site lands on another clean transaction.  That
+   closure is what lets Engine.Delta pin clean rows at their previously
+   converged values: the pinned block's equations never read a dirty
+   row, so carrying is exact (see docs/INCREMENTAL.md). *)
+let dirty_closure t ~seed =
+  let n = t.n_txns in
+  if Array.length seed <> n then
+    invalid_arg "Ir.dirty_closure: seed length mismatch";
+  let dirty = Array.copy seed in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun row ->
+        Array.iter
+          (fun s ->
+            if not dirty.(s.a) then
+              Array.iteri
+                (fun i d ->
+                  if d && dirty.(i) then begin
+                    dirty.(s.a) <- true;
+                    changed := true
+                  end)
+                s.deps)
+          row)
+      t.sites
+  done;
+  dirty
+
 (* The timebase is deliberately NOT part of [t]: the IR reads placement
    and priorities only, which is what lets [compatible] models share it,
    while the timebase embeds every numeric constant.  Engine sessions

@@ -78,3 +78,14 @@ val compatible : t -> Model.t -> bool
     IR was compiled from — the exact condition under which every hp set,
     stride and dependency row of [t] is valid for [m].  Demands,
     periods, deadlines, bounds, blocking and jitter may all differ. *)
+
+val dirty_closure : t -> seed:bool array -> bool array
+(** Transitive closure of a per-transaction dirty seed over the IR's
+    dependency rows: the result marks [a] dirty whenever some site of
+    transaction [a] reads the jitter/offset row of a (transitively)
+    dirty transaction.  The clean complement is therefore a {e closed}
+    subsystem — no clean site depends on a dirty row — which is the
+    condition under which {!Engine.analyze_delta} may pin clean rows at
+    their previously converged values and iterate only the dirty
+    frontier (the warm fixed-point argument of docs/INCREMENTAL.md).
+    [seed] must have length {!n_txns}. *)

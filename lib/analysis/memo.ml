@@ -41,35 +41,48 @@ type cache = {
   mutable invalidations : int;
 }
 
+(* Caches are allocated on first touch, not at [create]: a delta-warm
+   analysis (Engine.analyze_delta) recomputes only the dirty frontier,
+   so most (task, slot) cells of a large memo are never consulted and
+   eager allocation would dominate the warm path's cost.  The [None]
+   slots are written at distinct indices, each by the one domain the
+   pool statically assigns that slot to, so no synchronisation is
+   needed — the same partitioning argument that makes the caches
+   themselves lock-free. *)
 type t = {
-  caches : cache array array array; (* [a].[b].[slot] *)
+  caches : cache option array array array; (* [a].[b].[slot] *)
   slots : int;
 }
 
 type stats = { hits : int; misses : int; invalidations : int }
 
+let fresh () =
+  {
+    entries = Hashtbl.create 16;
+    ientries = Hashtbl.create 16;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+  }
+
 let create m ~slots =
   if slots < 1 then invalid_arg "Memo.create: slots < 1";
-  let fresh () =
-    {
-      entries = Hashtbl.create 16;
-      ientries = Hashtbl.create 16;
-      hits = 0;
-      misses = 0;
-      invalidations = 0;
-    }
-  in
   {
     caches =
       Array.init (Model.n_txns m) (fun a ->
-          Array.init (Model.n_tasks m a) (fun _ ->
-              Array.init slots (fun _ -> fresh ())));
+          Array.init (Model.n_tasks m a) (fun _ -> Array.make slots None));
     slots;
   }
 
 let slots t = t.slots
 
-let cache t ~a ~b ~slot = t.caches.(a).(b).(slot)
+let cache t ~a ~b ~slot =
+  match t.caches.(a).(b).(slot) with
+  | Some c -> c
+  | None ->
+      let c = fresh () in
+      t.caches.(a).(b).(slot) <- Some c;
+      c
 
 let rows_equal a b =
   Array.length a = Array.length b
@@ -171,12 +184,14 @@ let stats t =
   let acc = ref { hits = 0; misses = 0; invalidations = 0 } in
   Array.iter
     (Array.iter
-       (Array.iter (fun (c : cache) ->
-            acc :=
-              {
-                hits = !acc.hits + c.hits;
-                misses = !acc.misses + c.misses;
-                invalidations = !acc.invalidations + c.invalidations;
-              })))
+       (Array.iter (function
+         | None -> ()
+         | Some (c : cache) ->
+             acc :=
+               {
+                 hits = !acc.hits + c.hits;
+                 misses = !acc.misses + c.misses;
+                 invalidations = !acc.invalidations + c.invalidations;
+               })))
     t.caches;
   !acc

@@ -28,7 +28,10 @@ type cache
 (** The caches of one (task under analysis, pool slot) pair. *)
 
 val create : Model.t -> slots:int -> t
-(** Fresh memo for [slots] pool slots (≥ 1). *)
+(** Fresh memo for [slots] pool slots (≥ 1).  Per-(task, slot) caches
+    are allocated lazily on first {!cache} access: a delta-warm analysis
+    ({!Engine.analyze_delta}) touches only the dirty frontier's cells,
+    so creation stays O(tasks) pointers however large the slot count. *)
 
 val slots : t -> int
 (** The slot count the memo was created for.  A memo may only be used

@@ -69,3 +69,8 @@ val scaled_wcet : t -> task -> Rational.t
 (** [c / α] of the task's platform. *)
 
 val find_task : t -> string -> (int * int) option
+
+val find_txn : t -> string -> int option
+(** Index of the named transaction.  {!Engine.analyze_delta} aligns the
+    transactions of two models by name through this — admission changes
+    the transaction count, so positional indices do not transfer. *)

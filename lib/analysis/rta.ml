@@ -32,6 +32,8 @@ type counters = {
   bounds : int Atomic.t;
   kernel_runs : int Atomic.t;
   kernel_fallbacks : int Atomic.t;
+  delta_runs : int Atomic.t;
+  delta_fallbacks : int Atomic.t;
 }
 
 let counters () =
@@ -42,6 +44,8 @@ let counters () =
     bounds = Atomic.make 0;
     kernel_runs = Atomic.make 0;
     kernel_fallbacks = Atomic.make 0;
+    delta_runs = Atomic.make 0;
+    delta_fallbacks = Atomic.make 0;
   }
 
 let total_scenarios c = Atomic.get c.total
@@ -59,6 +63,14 @@ let kernel_fallbacks c = Atomic.get c.kernel_fallbacks
 let record_kernel_run c = Atomic.incr c.kernel_runs
 
 let record_kernel_fallback c = Atomic.incr c.kernel_fallbacks
+
+let delta_runs c = Atomic.get c.delta_runs
+
+let delta_fallbacks c = Atomic.get c.delta_fallbacks
+
+let record_delta_run c = Atomic.incr c.delta_runs
+
+let record_delta_fallback c = Atomic.incr c.delta_fallbacks
 
 (* Response of task (a,b) within busy periods started by scenario where
    τ_{a,c} initiates the own transaction, [own_interference t] is the

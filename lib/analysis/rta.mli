@@ -67,6 +67,21 @@ val record_kernel_run : counters -> unit
 val record_kernel_fallback : counters -> unit
 (** Bumped by {!Engine.analyze} when a kernel run overflows. *)
 
+val delta_runs : counters -> int
+(** Warm delta analyses ({!Engine.analyze_delta}) that were planned and
+    started — the previous converged point was carried across and only
+    the dirty frontier iterated. *)
+
+val delta_fallbacks : counters -> int
+(** Warm delta runs that did not converge cleanly and were rerun on the
+    cold path.  Always [<= delta_runs]. *)
+
+val record_delta_run : counters -> unit
+(** Bumped by {!Engine.analyze_delta} when a warm plan is executed. *)
+
+val record_delta_fallback : counters -> unit
+(** Bumped by {!Engine.analyze_delta} when a warm run falls back. *)
+
 val response_time_site :
   ?pool:Parallel.Pool.t ->
   ?memo:Memo.t ->

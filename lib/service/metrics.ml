@@ -14,6 +14,10 @@ type t = {
   mutable sessions_created : int;
   mutable sessions_rebound : int;
   mutable ir_warm : int;
+  mutable delta_warm : int;
+  mutable delta_cold : int;
+  mutable delta_dirty_tasks : int;
+  mutable delta_carried_tasks : int;
   mutable batches : int;
   mutable latency_total_ms : float;
   mutable latency_max_ms : float;
@@ -36,6 +40,10 @@ let create () =
     sessions_created = 0;
     sessions_rebound = 0;
     ir_warm = 0;
+    delta_warm = 0;
+    delta_cold = 0;
+    delta_dirty_tasks = 0;
+    delta_carried_tasks = 0;
     batches = 0;
     latency_total_ms = 0.;
     latency_max_ms = 0.;
@@ -93,6 +101,14 @@ let to_json t ~seq ~admitted ~hash ~workers ~entries ~kernel_sessions
             ("created", Json.Int t.sessions_created);
             ("rebound", Json.Int t.sessions_rebound);
             ("ir_warm", Json.Int t.ir_warm);
+          ] );
+      ( "delta",
+        Json.Obj
+          [
+            ("warm", Json.Int t.delta_warm);
+            ("cold", Json.Int t.delta_cold);
+            ("dirty_tasks", Json.Int t.delta_dirty_tasks);
+            ("carried_tasks", Json.Int t.delta_carried_tasks);
           ] );
       ("kernel_sessions", Json.Int kernel_sessions);
       ("fallback_count", Json.Int fallback_count);

@@ -23,6 +23,18 @@ type t = {
   mutable sessions_rebound : int;  (** [Engine.with_model] reuses *)
   mutable ir_warm : int;
       (** rebinds whose compiled IR survived (only demands moved) *)
+  mutable delta_warm : int;
+      (** analyses served by a warm delta fixed point
+          ({!Analysis.Engine.analyze_delta}: previous converged
+          responses carried, only the dirty frontier iterated) *)
+  mutable delta_cold : int;
+      (** delta attempts that planned or fell back cold (model too
+          different, all transactions dirty, warm run not converged) *)
+  mutable delta_dirty_tasks : int;
+      (** tasks iterated across all warm delta analyses *)
+  mutable delta_carried_tasks : int;
+      (** tasks carried without recomputation across all warm delta
+          analyses — the O(affected) saving, observable on the wire *)
   mutable batches : int;
   mutable latency_total_ms : float;
   mutable latency_max_ms : float;

@@ -17,6 +17,12 @@ type eval =
       summary : P.summary;
       cache_hit : bool;
       kind : session_kind option;  (* None on a cache hit *)
+      delta : Analysis.Engine.delta_outcome option;
+          (* how the delta layer served the analysis (None: cache hit
+             or no baseline yet) *)
+      fresh : (Analysis.Model.t * Analysis.Report.t) option;
+          (* the analysis actually run, for the baseline update the
+             finalizer performs on the main domain *)
     }
 
 type t = {
@@ -24,6 +30,12 @@ type t = {
   pool : Parallel.Pool.t;
   slots : slot array;
   mutable store : Store.t;
+  mutable baseline : (Analysis.Model.t * Analysis.Report.t) option;
+      (* most recent converged analysis, in arrival order — the warm
+         start Engine.analyze_delta carries clean rows from.  Written
+         only by the main domain between parallel groups (request
+         finalization runs in arrival order there), read by the worker
+         domains during a group; the pool's barrier orders the two. *)
   cache : (string, P.summary) Hashtbl.t;
   cache_mu : Mutex.t;
   metrics : Metrics.t;
@@ -50,6 +62,7 @@ let create ?(workers = 1) ?(params = default_params) ?(max_batch = 64) ?trace
           pool;
           slots = Array.init jobs (fun _ -> { session = None });
           store;
+          baseline = None;
           cache = Hashtbl.create 64;
           cache_mu = Mutex.create ();
           metrics = Metrics.create ();
@@ -96,10 +109,15 @@ let cache_add t (s : P.summary) =
 
 (* Analyze a snapshot on [slot]'s session: result cache first, then the
    slot's engine session, created cold or rebound via [with_model] (the
-   IR stays warm when only demands moved — [Ir.compatible]). *)
+   IR stays warm when only demands moved — [Ir.compatible]).  When a
+   baseline exists, the analysis runs through [Engine.analyze_delta]:
+   the previous converged responses are carried across the snapshot
+   change and only the affected tasks iterate, with a transparent cold
+   fallback — the report is bit-identical either way, which is what
+   keeps responses deterministic across worker counts and baselines. *)
 let analyze_snapshot t slot (snap : Store.t) =
   match cache_find t snap.Store.hash with
-  | Some s -> (s, true, None)
+  | Some s -> (s, true, None, None, None)
   | None ->
       let model = Analysis.Model.of_system snap.Store.sys in
       let session, kind =
@@ -114,22 +132,37 @@ let analyze_snapshot t slot (snap : Store.t) =
               if warm then Warm else Rebound )
       in
       slot.session <- Some session;
-      let report = Analysis.Engine.analyze session in
-      (P.summarize ~store:snap ~model report, false, Some kind)
+      let report, delta =
+        match t.baseline with
+        | Some (prev_model, prev_report) ->
+            let report, outcome =
+              Analysis.Engine.analyze_delta session ~prev_model ~prev_report
+            in
+            (report, Some outcome)
+        | None -> (Analysis.Engine.analyze session, None)
+      in
+      ( P.summarize ~store:snap ~model report,
+        false,
+        Some kind,
+        delta,
+        Some (model, report) )
 
 (* Evaluate one read-only request against the frozen [snap]; runs on a
    worker domain. *)
 let evaluate t slot snap req =
   match req with
   | P.Query ->
-      let summary, cache_hit, kind = analyze_snapshot t slot snap in
-      Evaluated { candidate = None; summary; cache_hit; kind }
+      let summary, cache_hit, kind, delta, fresh = analyze_snapshot t slot snap in
+      Evaluated { candidate = None; summary; cache_hit; kind; delta; fresh }
   | P.What_if { uid; spec } -> (
       match Store.admit snap ~uid ~spec with
       | Error es -> Invalid es
       | Ok cand ->
-          let summary, cache_hit, kind = analyze_snapshot t slot cand in
-          Evaluated { candidate = Some cand; summary; cache_hit; kind })
+          let summary, cache_hit, kind, delta, fresh =
+            analyze_snapshot t slot cand
+          in
+          Evaluated
+            { candidate = Some cand; summary; cache_hit; kind; delta; fresh })
   | P.Admit _ | P.Revoke _ | P.Stats -> assert false
 
 let session_label = function
@@ -153,6 +186,27 @@ let record_kind t = function
 let record_cache t hit =
   if hit then t.metrics.Metrics.cache_hits <- t.metrics.Metrics.cache_hits + 1
   else t.metrics.Metrics.cache_misses <- t.metrics.Metrics.cache_misses + 1
+
+let record_delta t = function
+  | None -> ()
+  | Some (Analysis.Engine.Delta_warm { dirty; total = _; carried }) ->
+      t.metrics.Metrics.delta_warm <- t.metrics.Metrics.delta_warm + 1;
+      t.metrics.Metrics.delta_dirty_tasks <-
+        t.metrics.Metrics.delta_dirty_tasks + dirty;
+      t.metrics.Metrics.delta_carried_tasks <-
+        t.metrics.Metrics.delta_carried_tasks + carried
+  | Some (Analysis.Engine.Delta_cold _) ->
+      t.metrics.Metrics.delta_cold <- t.metrics.Metrics.delta_cold + 1
+
+(* Any converged (model, report) pair is a valid warm-start source —
+   what_if candidates included: the delta planner aligns by transaction
+   name and verifies every carried equation itself.  Runs on the main
+   domain only, in arrival order, so the baseline a batch's parallel
+   group reads is deterministic. *)
+let update_baseline t = function
+  | Some ((_, report) as pair) when report.Analysis.Report.converged ->
+      t.baseline <- Some pair
+  | Some _ | None -> ()
 
 let process_batch t envs =
   let arr = Array.of_list envs in
@@ -221,9 +275,11 @@ let process_batch t envs =
             finish i ~status:"rejected" ~cache_hit:false ~session:None
               (P.rejected ~seq ~op:(P.op_name env.P.req) ~uid ~reason:"invalid"
                  ~errors ~hash:t.store.Store.hash ())
-        | Evaluated { candidate; summary; cache_hit; kind } -> (
+        | Evaluated { candidate; summary; cache_hit; kind; delta; fresh } -> (
             record_kind t kind;
             record_cache t cache_hit;
+            record_delta t delta;
+            update_baseline t fresh;
             cache_add t summary;
             let session = Option.map session_label kind in
             match env.P.req with
@@ -269,9 +325,13 @@ let process_batch t envs =
   in
   let commit_barrier i uid ~op cand =
     let seq = arr.(i).P.seq in
-    let summary, cache_hit, kind = analyze_snapshot t t.slots.(0) cand in
+    let summary, cache_hit, kind, delta, fresh =
+      analyze_snapshot t t.slots.(0) cand
+    in
     record_kind t kind;
     record_cache t cache_hit;
+    record_delta t delta;
+    update_baseline t fresh;
     cache_add t summary;
     let session = Option.map session_label kind in
     let commit status response =

@@ -56,3 +56,73 @@ let unit_instances t uid =
 let n_transactions t = Transaction.System.n_transactions t.sys
 
 let origin t name = List.assoc_opt name t.origins
+
+(* --- snapshot diffs ------------------------------------------------ *)
+
+type diff = {
+  added : string list;
+  removed : string list;
+  changed : string list;
+  unchanged : string list;
+}
+
+(* Analysis-relevant equality of one task across two snapshots: the
+   resource is compared by name and linear bound, not by index — the
+   derivation may renumber platforms between snapshots — and
+   [Task.source] is ignored, it records provenance, not demand. *)
+let task_equal (ra : Platform.Resource.t array) (rb : Platform.Resource.t array)
+    (x : Transaction.Task.t) (y : Transaction.Task.t) =
+  let open Transaction.Task in
+  String.equal x.name y.name
+  && Rational.equal x.wcet y.wcet
+  && Rational.equal x.bcet y.bcet
+  && x.priority = y.priority
+  && Rational.equal x.blocking y.blocking
+  &&
+  let rx = ra.(x.resource) and ry = rb.(y.resource) in
+  String.equal rx.Platform.Resource.name ry.Platform.Resource.name
+  && Platform.Linear_bound.equal rx.Platform.Resource.bound
+       ry.Platform.Resource.bound
+
+let txn_equal ra rb (x : Transaction.Txn.t) (y : Transaction.Txn.t) =
+  let open Transaction.Txn in
+  Rational.equal x.period y.period
+  && Rational.equal x.deadline y.deadline
+  && Rational.equal x.release_jitter y.release_jitter
+  && Array.length x.tasks = Array.length y.tasks
+  && Array.for_all2 (task_equal ra rb) x.tasks y.tasks
+
+let diff before after =
+  let bsys = before.sys and asys = after.sys in
+  let btx = bsys.Transaction.System.transactions in
+  let atx = asys.Transaction.System.transactions in
+  let bres = bsys.Transaction.System.resources in
+  let ares = asys.Transaction.System.resources in
+  let find arr name =
+    Array.find_opt
+      (fun (tx : Transaction.Txn.t) ->
+        String.equal tx.Transaction.Txn.name name)
+      arr
+  in
+  let added = ref [] and changed = ref [] and unchanged = ref [] in
+  Array.iter
+    (fun (tx : Transaction.Txn.t) ->
+      let name = tx.Transaction.Txn.name in
+      match find btx name with
+      | None -> added := name :: !added
+      | Some old ->
+          if txn_equal bres ares old tx then unchanged := name :: !unchanged
+          else changed := name :: !changed)
+    atx;
+  let removed = ref [] in
+  Array.iter
+    (fun (tx : Transaction.Txn.t) ->
+      let name = tx.Transaction.Txn.name in
+      if Option.is_none (find atx name) then removed := name :: !removed)
+    btx;
+  {
+    added = List.rev !added;
+    removed = List.rev !removed;
+    changed = List.rev !changed;
+    unchanged = List.rev !unchanged;
+  }

@@ -56,3 +56,28 @@ val n_transactions : t -> int
 
 val origin : t -> string -> string option
 (** Originating instance of the named transaction. *)
+
+type diff = {
+  added : string list;  (** transactions only in the second snapshot *)
+  removed : string list;  (** transactions only in the first *)
+  changed : string list;
+      (** present in both under the same name, with different
+          analysis-relevant content *)
+  unchanged : string list;  (** present in both, bit-identical inputs *)
+}
+(** A snapshot-to-snapshot difference over derived transactions, keyed
+    by transaction name — which is itself keyed by the originating
+    instance ({!origin} maps each name back to the admitted unit), so an
+    admit/revoke of one unit surfaces as exactly that unit's
+    transactions.  Each list preserves derivation order. *)
+
+val diff : t -> t -> diff
+(** [diff before after] compares the derived transaction systems
+    structurally: period, deadline, release jitter and the task chains
+    (demand, priority, blocking, and the platform {e by name and linear
+    bound}, so platform renumbering between snapshots does not count as
+    a change).  [diff t t] has everything [unchanged]; an
+    admit→revoke→admit round trip restoring the snapshot hash yields an
+    empty [added]/[removed]/[changed] (asserted by the test suite).
+    This is the store-level view of what {!Analysis.Engine.analyze_delta}
+    seeds its dirty frontier from. *)

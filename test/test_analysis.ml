@@ -799,6 +799,183 @@ let kernel_identity_prop =
          && agrees m P.exact && agrees m P.default
          && agrees with_gadget P.exact && agrees with_gadget P.default))
 
+(* --- delta re-analysis --- *)
+
+(* The server's configuration: no history (a warm plan refuses to
+   reconstruct per-iteration history) and otherwise the defaults. *)
+let delta_params = { P.default with P.keep_history = false }
+
+let same_verdict (a : Report.t) (b : Report.t) =
+  a.Report.results = b.Report.results
+  && a.Report.converged = b.Report.converged
+  && a.Report.schedulable = b.Report.schedulable
+
+(* Admit-like and revoke-like perturbations of a model: append one
+   small transaction on the first platform, or drop the last
+   transaction.  Both reuse the platform array so only the transaction
+   set moves — exactly what Store snapshots feed the server. *)
+let delta_perturbations (m : Model.t) =
+  let admitted =
+    qtxn "delta.admitted" (Q.of_int 60)
+      [ qtask "delta.admitted.t" Q.one Q.one 0 1 ]
+  in
+  let admit_like =
+    {
+      m with
+      Model.txns = Array.append m.Model.txns [| admitted |];
+      blocking = Array.append m.Model.blocking [| [| Q.zero |] |];
+      release_jitter = Array.append m.Model.release_jitter [| Q.zero |];
+    }
+  in
+  let n = Array.length m.Model.txns in
+  let revoke_like =
+    {
+      m with
+      Model.txns = Array.sub m.Model.txns 0 (n - 1);
+      blocking = Array.sub m.Model.blocking 0 (n - 1);
+      release_jitter = Array.sub m.Model.release_jitter 0 (n - 1);
+    }
+  in
+  [ admit_like; revoke_like ]
+
+(* The tentpole identity: a warm delta fixed point seeded from the
+   previous converged report reproduces the cold analysis bit for bit
+   on results, convergence and verdict — for admit-like and revoke-like
+   perturbations, both variants, sequential and 4-domain pools, and the
+   integer kernel on or off.  Plans that fall back cold (previous run
+   not converged, everything dirty, …) are exercised by the same
+   property: analyze_delta must agree with the cold reference either
+   way.  Only the outer iteration count may differ — the warm
+   trajectory is shorter by construction. *)
+let delta_identity_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:
+         "warm delta = cold analysis, exact and reduced, jobs 1 and 4, kernel \
+          on and off"
+       ~count:10
+       (QCheck.int_range 1 1000)
+       (fun seed ->
+         let spec =
+           {
+             Workload.Gen.default_spec with
+             Workload.Gen.n_txns = 3;
+             max_tasks_per_txn = 3;
+           }
+         in
+         let sys = Workload.Gen.system ~seed spec in
+         let prev = Model.of_system sys in
+         QCheck.assume (scenario_total prev < 20_000);
+         let agrees base next =
+           let params = { base with P.keep_history = false } in
+           let prev_report = Holistic.analyze ~params prev in
+           let reference = Holistic.analyze ~params next in
+           List.for_all
+             (fun jobs ->
+               Parallel.Pool.with_pool ~jobs (fun pool ->
+                   let e = Engine.create ~params ~pool next in
+                   let r, _ =
+                     Engine.analyze_delta e ~prev_model:prev ~prev_report
+                   in
+                   same_verdict r reference))
+             [ 1; 4 ]
+         in
+         List.for_all
+           (fun next ->
+             List.for_all
+               (fun kernel ->
+                 agrees { P.exact with P.int_kernel = kernel } next
+                 && agrees { P.default with P.int_kernel = kernel } next)
+               [ true; false ])
+           (delta_perturbations prev)))
+
+(* Two independent platforms, so an admission on the second can only
+   dirty transactions whose interference set intersects it. *)
+let two_platform_model ?(extra = false) () =
+  Model.make
+    ~bounds:[ LB.full; LB.full ]
+    ([
+       txn "A" "10" [ task "A.t" "2" "1" 0 2 ];
+       txn "B" "12" [ task "B.t" "3" "2" 1 2 ];
+     ]
+    @ if extra then [ txn "C" "20" [ task "C.t" "1" "1" 1 3 ] ] else [])
+
+let test_delta_localized_admit () =
+  let prev = two_platform_model () in
+  let next = two_platform_model ~extra:true () in
+  let prev_report = Holistic.analyze ~params:delta_params prev in
+  let e = Engine.create ~params:delta_params next in
+  (* C (priority 3, platform 1) interferes with B but not with A: the
+     dirty closure is {B, C} and A's converged row is carried. *)
+  (match Engine.Delta.plan e ~prev_model:prev ~prev_report with
+  | Error r -> Alcotest.failf "expected a warm plan, got %s" r
+  | Ok p ->
+      Alcotest.(check int) "total tasks" 3 (Engine.Delta.total_tasks p);
+      Alcotest.(check int) "dirty tasks" 2 (Engine.Delta.dirty_tasks p));
+  let r, outcome = Engine.analyze_delta e ~prev_model:prev ~prev_report in
+  (match outcome with
+  | Engine.Delta_warm { dirty; total; carried } ->
+      Alcotest.(check int) "dirty" 2 dirty;
+      Alcotest.(check int) "total" 3 total;
+      Alcotest.(check int) "carried" 1 carried
+  | Engine.Delta_cold { reason } -> Alcotest.failf "fell back cold: %s" reason);
+  Alcotest.(check bool) "bit-identical results" true
+    (same_verdict r (Holistic.analyze ~params:delta_params next))
+
+let test_delta_revoke () =
+  (* revoking C must re-iterate B (its interference shrank — responses
+     can decrease, which is exactly why the plan seeds every survivor
+     sharing a platform with the removed transaction) and carry A *)
+  let prev = two_platform_model ~extra:true () in
+  let next = two_platform_model () in
+  let prev_report = Holistic.analyze ~params:delta_params prev in
+  let e = Engine.create ~params:delta_params next in
+  let r, outcome = Engine.analyze_delta e ~prev_model:prev ~prev_report in
+  (match outcome with
+  | Engine.Delta_warm { dirty; total; carried } ->
+      Alcotest.(check int) "dirty" 1 dirty;
+      Alcotest.(check int) "total" 2 total;
+      Alcotest.(check int) "carried" 1 carried
+  | Engine.Delta_cold { reason } -> Alcotest.failf "fell back cold: %s" reason);
+  Alcotest.(check bool) "bit-identical results" true
+    (same_verdict r (Holistic.analyze ~params:delta_params next))
+
+let test_delta_plan_gates () =
+  let m = two_platform_model () in
+  let converged = Holistic.analyze ~params:delta_params m in
+  let expect_reason want = function
+    | Error got -> Alcotest.(check string) want want got
+    | Ok _ -> Alcotest.failf "expected cold reason %s" want
+  in
+  (* a non-converged previous report cannot seed anything *)
+  let hopeless =
+    Holistic.analyze ~params:delta_params
+      (Model.make
+         ~bounds:[ LB.make ~alpha:(q "0.1") ~delta:Q.zero ~beta:Q.zero ]
+         [ txn "g" "10" [ task "t" "2" "1" 0 1 ] ])
+  in
+  let e = Engine.create ~params:delta_params m in
+  expect_reason "previous-not-converged"
+    (Engine.Delta.plan e ~prev_model:m ~prev_report:hopeless);
+  (* history reconstruction is refused, not approximated *)
+  let e_hist =
+    Engine.create ~params:{ delta_params with P.keep_history = true } m
+  in
+  expect_reason "history-requested"
+    (Engine.Delta.plan e_hist ~prev_model:m ~prev_report:converged);
+  (* identical models leave nothing dirty on the admit side, but a
+     whole-model change dirties everything *)
+  let far =
+    Model.make ~bounds:[ LB.full; LB.full ]
+      [
+        txn "A" "11" [ task "A.t" "2" "1" 0 2 ];
+        txn "B" "13" [ task "B.t" "3" "2" 1 2 ];
+      ]
+  in
+  expect_reason "all-dirty"
+    (Engine.Delta.plan (Engine.create ~params:delta_params far)
+       ~prev_model:m ~prev_report:converged)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -873,5 +1050,14 @@ let () =
             test_kernel_unrepresentable;
           Alcotest.test_case "mid-analysis overflow falls back" `Quick
             test_kernel_runtime_fallback;
+        ] );
+      ( "delta",
+        [
+          delta_identity_prop;
+          Alcotest.test_case "localized admit dirties the intersection" `Quick
+            test_delta_localized_admit;
+          Alcotest.test_case "revoke re-iterates the survivors" `Quick
+            test_delta_revoke;
+          Alcotest.test_case "plan gates" `Quick test_delta_plan_gates;
         ] );
     ]

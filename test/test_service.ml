@@ -306,6 +306,93 @@ let test_store_candidates () =
   | Ok back -> Alcotest.(check string) "revoke returns" store.Store.hash back.Store.hash
   | Error es -> Alcotest.failf "revoke: %s" (String.concat "; " es)
 
+(* --- snapshot diffs --- *)
+
+let boot_store () =
+  match Store.boot base_items with
+  | Ok s -> s
+  | Error es -> Alcotest.failf "boot: %s" (String.concat "; " es)
+
+let admit_exn store i =
+  match Store.admit store ~uid:(Printf.sprintf "u%d" i) ~spec:(unit_spec i) with
+  | Ok s -> s
+  | Error es -> Alcotest.failf "admit u%d: %s" i (String.concat "; " es)
+
+let test_diff_identity () =
+  let s = admit_exn (admit_exn (boot_store ()) 1) 2 in
+  let d = Store.diff s s in
+  Alcotest.(check (list string)) "nothing added" [] d.Store.added;
+  Alcotest.(check (list string)) "nothing removed" [] d.Store.removed;
+  Alcotest.(check (list string)) "nothing changed" [] d.Store.changed;
+  Alcotest.(check int) "everything unchanged" (Store.n_transactions s)
+    (List.length d.Store.unchanged)
+
+let test_diff_round_trip () =
+  let s1 = admit_exn (boot_store ()) 1 in
+  let s2 = admit_exn s1 2 in
+  let d12 = Store.diff s1 s2 in
+  (* the admit surfaces as exactly the unit's transactions *)
+  Alcotest.(check (list string)) "removed" [] d12.Store.removed;
+  Alcotest.(check (list string)) "changed" [] d12.Store.changed;
+  (match d12.Store.added with
+  | [ name ] ->
+      Alcotest.(check (option string))
+        "attributed to the admitted instance" (Some "I2")
+        (Store.origin s2 name)
+  | names -> Alcotest.failf "added %d transactions" (List.length names));
+  (* revoking restores the snapshot hash, and the diff against the
+     original is exact: empty added/removed/changed *)
+  let s3 =
+    match Store.revoke s2 ~uid:"u2" with
+    | Ok s -> s
+    | Error es -> Alcotest.failf "revoke: %s" (String.concat "; " es)
+  in
+  Alcotest.(check string) "hash restored" s1.Store.hash s3.Store.hash;
+  let d13 = Store.diff s1 s3 in
+  Alcotest.(check (list string)) "round trip adds nothing" [] d13.Store.added;
+  Alcotest.(check (list string)) "removes nothing" [] d13.Store.removed;
+  Alcotest.(check (list string)) "changes nothing" [] d13.Store.changed;
+  Alcotest.(check int) "everything carried" (Store.n_transactions s1)
+    (List.length d13.Store.unchanged);
+  (* the reverse diff sees the same admission as a removal *)
+  let d21 = Store.diff s2 s1 in
+  Alcotest.(check int) "one removed" 1 (List.length d21.Store.removed);
+  Alcotest.(check (list string)) "nothing added back" [] d21.Store.added
+
+let test_diff_dirties_only_intersection () =
+  (* units 1 and 3 sit on P2 and P1; unit 2 lands alone on P3, so the
+     one-transaction diff must dirty exactly the admitted task and
+     carry the other two platforms' converged rows *)
+  let s1 = admit_exn (admit_exn (boot_store ()) 1) 3 in
+  let s2 = admit_exn s1 2 in
+  let d = Store.diff s1 s2 in
+  Alcotest.(check int) "one added" 1 (List.length d.Store.added);
+  Alcotest.(check int) "rest unchanged" 2 (List.length d.Store.unchanged);
+  let prev_model = Analysis.Model.of_system s1.Store.sys in
+  let model = Analysis.Model.of_system s2.Store.sys in
+  let prev_report =
+    Analysis.Engine.analyze (Analysis.Engine.create ~params prev_model)
+  in
+  let e = Analysis.Engine.create ~params model in
+  match Analysis.Engine.Delta.plan e ~prev_model ~prev_report with
+  | Error r -> Alcotest.failf "expected a warm plan, got %s" r
+  | Ok p ->
+      Alcotest.(check int) "total" 3 (Analysis.Engine.Delta.total_tasks p);
+      Alcotest.(check int) "dirty only the admitted task" 1
+        (Analysis.Engine.Delta.dirty_tasks p)
+
+let test_delta_metrics () =
+  with_server @@ fun srv ->
+  ignore (Server.handle srv (P.Admit { uid = "u1"; spec = unit_spec 1 }));
+  ignore (Server.handle srv (P.Admit { uid = "u2"; spec = unit_spec 2 }));
+  let m = Server.metrics srv in
+  (* the first admission is necessarily cold (no baseline); the second
+     analyzes warm against it and carries the first unit's task *)
+  Alcotest.(check bool) "warm deltas observed" true
+    (m.Service.Metrics.delta_warm >= 1);
+  Alcotest.(check bool) "tasks carried" true
+    (m.Service.Metrics.delta_carried_tasks >= 1)
+
 let () =
   Alcotest.run "service"
     [
@@ -333,6 +420,16 @@ let () =
         [
           Alcotest.test_case "kernel telemetry fields" `Quick
             test_stats_kernel_fields;
+          Alcotest.test_case "delta counters" `Quick test_delta_metrics;
+        ] );
+      ( "diffs",
+        [
+          Alcotest.test_case "diff t t is all-unchanged" `Quick
+            test_diff_identity;
+          Alcotest.test_case "admit-revoke-admit round trip is exact" `Quick
+            test_diff_round_trip;
+          Alcotest.test_case "one-unit diff dirties only the intersection"
+            `Quick test_diff_dirties_only_intersection;
         ] );
       ("purity", [ test_what_if_pure ]);
     ]
