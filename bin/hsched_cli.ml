@@ -91,6 +91,16 @@ let no_history_flag =
           "Do not record the per-iteration history matrices (ignored when \
            $(b,--history) asks to print them).")
 
+let no_steal_flag =
+  Arg.(
+    value & flag
+    & info [ "no-steal" ]
+        ~doc:
+          "Give every pool slot a static contiguous chunk of the scenario \
+           space instead of letting drained slots steal from loaded ones.  \
+           Reports are identical either way; this only trades speed for a \
+           reference measurement.")
+
 (* Domains are heavyweight OS threads: a job count beyond any plausible
    machine is a typo, not a request, so reject it at parse time along
    with negatives and non-integers (cmdliner parse errors exit 124). *)
@@ -208,7 +218,7 @@ let csv_flag =
 
 let analyze_cmd =
   let run file exact history csv jobs trace no_prune no_incremental
-      no_int_kernel no_history =
+      no_int_kernel no_history no_steal =
     let sys = or_die (load_system file) in
     let m = Analysis.Model.of_system sys in
     let params =
@@ -218,6 +228,7 @@ let analyze_cmd =
         Analysis.Params.prune = not no_prune;
         incremental = not no_incremental;
         int_kernel = not no_int_kernel;
+        steal = not no_steal;
         (* --history needs the matrices; printing wins over --no-history *)
         keep_history = (not no_history) || history <> None;
       }
@@ -278,7 +289,7 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ exact_flag $ history_arg $ csv_flag $ jobs_arg
       $ engine_trace_arg $ no_prune_flag $ no_incremental_flag
-      $ no_int_kernel_flag $ no_history_flag)
+      $ no_int_kernel_flag $ no_history_flag $ no_steal_flag)
 
 (* --- simulate --- *)
 
@@ -523,7 +534,7 @@ let accept_limit_arg =
         ~doc:"With $(b,--socket): exit after serving $(docv) connections.")
 
 let serve_cmd =
-  let run file workers exact max_batch trace socket accept_limit =
+  let run file workers exact max_batch trace socket accept_limit no_steal =
     let src =
       try Ok (In_channel.with_open_bin file In_channel.input_all)
       with Sys_error e -> Error e
@@ -542,6 +553,7 @@ let serve_cmd =
           {
             (params_of_exact exact) with
             Analysis.Params.keep_history = false;
+            steal = not no_steal;
           }
         in
         match
@@ -569,7 +581,7 @@ let serve_cmd =
           one response per line.  Protocol reference in docs/SERVICE.md.")
     Term.(
       const run $ file_arg $ workers_arg $ exact_flag $ max_batch_arg
-      $ engine_trace_arg $ socket_arg $ accept_limit_arg)
+      $ engine_trace_arg $ socket_arg $ accept_limit_arg $ no_steal_flag)
 
 (* --- format --- *)
 

@@ -12,6 +12,7 @@ type event =
   | Delta of { dirty : int; total : int; carried : int }
   | Sweep of { iteration : int; recomputed : int; carried : int }
   | Finished of { iterations : int; converged : bool; schedulable : bool }
+  | Pool_stats of { steals : int; splits : int; idle : int }
 
 type sink = event -> unit
 
@@ -42,6 +43,9 @@ let event_to_json = function
       Printf.sprintf
         {|{"event":"finished","iterations":%d,"converged":%b,"schedulable":%b}|}
         iterations converged schedulable
+  | Pool_stats { steals; splits; idle } ->
+      Printf.sprintf {|{"event":"pool","steals":%d,"splits":%d,"idle":%d}|}
+        steals splits idle
 
 (* ------------------------------------------------------------------ *)
 (* Sessions                                                            *)
@@ -59,6 +63,10 @@ type t = {
       (* the integer timeline, when [params.int_kernel] and the model
          admits one — the value-dependent half of compilation, rebuilt
          whenever the model or the horizon factor changes *)
+  kernels : Kernels.t option;
+      (* the structure-of-arrays skeleton tables of the int kernels;
+         always present exactly when [timebase] is, and rebuilt with
+         it — skeletons embed the timebase's scaled constants *)
   kernel_poisoned : bool ref;
       (* set after a mid-analysis overflow: this model will overflow
          again, so later analyze calls skip straight to the rational
@@ -77,6 +85,9 @@ let timebase_for model params =
     Ir.timebase model ~horizon_factor:params.Params.horizon_factor
   else None
 
+let kernels_for model ir timebase =
+  Option.map (fun tb -> Kernels.compile model ir tb) timebase
+
 let emit_kernel_verdict t =
   if t.params.Params.int_kernel then
     match t.timebase with
@@ -87,6 +98,7 @@ let create ?(params = Params.default) ?pool ?counters ?sink m =
   let pool = Option.value pool ~default:Parallel.Pool.sequential in
   let counters = match counters with Some c -> c | None -> Rta.counters () in
   let ir = Ir.compile m in
+  let timebase = timebase_for m params in
   let t =
     {
       ir;
@@ -96,7 +108,8 @@ let create ?(params = Params.default) ?pool ?counters ?sink m =
       counters;
       memo = memo_for m params pool;
       sink;
-      timebase = timebase_for m params;
+      timebase;
+      kernels = kernels_for m ir timebase;
       kernel_poisoned = ref false;
     }
   in
@@ -149,14 +162,16 @@ let with_overrides ?params ?keep_history ?pool ?counters ?sink t =
   (* The timebase depends on the model and on the scaled horizon only;
      keep it — and the poison verdict, which is a property of the same
      pair — unless the kernel switch or the horizon factor changed. *)
-  let timebase, kernel_poisoned =
+  let timebase, kernels, kernel_poisoned =
     if
       params.Params.int_kernel = t.params.Params.int_kernel
       && params.Params.horizon_factor = t.params.Params.horizon_factor
-    then (t.timebase, t.kernel_poisoned)
-    else (timebase_for t.model params, ref false)
+    then (t.timebase, t.kernels, t.kernel_poisoned)
+    else
+      let timebase = timebase_for t.model params in
+      (timebase, kernels_for t.model t.ir timebase, ref false)
   in
-  { t with params; pool; counters; sink; memo; timebase; kernel_poisoned }
+  { t with params; pool; counters; sink; memo; timebase; kernels; kernel_poisoned }
 
 let with_model t m =
   let ir = if Ir.compatible t.ir m then t.ir else Ir.compile m in
@@ -164,12 +179,14 @@ let with_model t m =
      rates; a rebound model always starts from a fresh memo.  Likewise
      the timebase embeds every numeric constant, so it is recompiled —
      cheap next to the IR — and the overflow verdict reset. *)
+  let timebase = timebase_for m t.params in
   {
     t with
     ir;
     model = m;
     memo = memo_for m t.params t.pool;
-    timebase = timebase_for m t.params;
+    timebase;
+    kernels = kernels_for m ir timebase;
     kernel_poisoned = ref false;
   }
 
@@ -474,7 +491,10 @@ let analyze_int t tb ~warm =
               | _ ->
                   incr recomputed;
                   Rta.response_time_site_int tb ~pool:t.pool ?memo:t.memo
-                    ~counters:t.counters site params ~sphi:!phi ~sjit:jit))
+                    ~counters:t.counters
+                    ?kernels:
+                      (Option.map (fun kt -> Kernels.site kt ~a ~b) t.kernels)
+                    site params ~sphi:!phi ~sjit:jit))
     in
     emit t
       (Sweep
@@ -591,7 +611,7 @@ let iwarm_of tb w =
       }
   with Q.Overflow -> None
 
-let analyze_with t warm =
+let analyze_dispatch t warm =
   match t.timebase with
   | Some tb when not !(t.kernel_poisoned) -> (
       let iwarm = match warm with None -> Some None | Some w -> (
@@ -612,6 +632,20 @@ let analyze_with t warm =
             emit t (Kernel_fallback { reason = "overflow" });
             analyze_rational t ~warm))
   | _ -> analyze_rational t ~warm
+
+(* Wrap every full analysis with the pool's scheduler accounting: the
+   counter deltas over the run are emitted as one [Pool_stats] event
+   when the work-stealing machinery engaged at all. *)
+let analyze_with t warm =
+  let before = Parallel.Pool.stats t.pool in
+  let report = analyze_dispatch t warm in
+  let after = Parallel.Pool.stats t.pool in
+  let steals = after.Parallel.Pool.steals - before.Parallel.Pool.steals
+  and splits = after.Parallel.Pool.splits - before.Parallel.Pool.splits
+  and idle = after.Parallel.Pool.idle_slots - before.Parallel.Pool.idle_slots in
+  if steals > 0 || splits > 0 || idle > 0 then
+    emit t (Pool_stats { steals; splits; idle });
+  report
 
 let analyze t = analyze_with t None
 

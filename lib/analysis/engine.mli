@@ -63,6 +63,13 @@ type event =
           dirty dependency row, [carried] reused their previous response
           (incremental mode). *)
   | Finished of { iterations : int; converged : bool; schedulable : bool }
+  | Pool_stats of { steals : int; splits : int; idle : int }
+      (** Emitted after an analysis during which the pool's work-stealing
+          scheduler engaged: counter deltas over that one analysis —
+          ranges stolen by idle slots, ranges split off a slot's own
+          deque, and slots that finished a region without claiming any
+          work.  Never emitted when the run stayed sequential (the
+          counts would all be zero). *)
 
 type sink = event -> unit
 

@@ -93,35 +93,72 @@ let jobs_int ~jitter ~phase ~period ~t =
   let inside = Stdlib.max 0 (iceil_div (t - phase) period) in
   Stdlib.max 0 (delayed + inside)
 
-(* A compiled int demand curve is a flat array of (jitter, phase,
-   period, scaled_c) quadruples — one cache line per couple of terms,
-   no boxing anywhere on the busy-period hot path. *)
-type ikernel = int array
+(* The value-independent skeleton of an int demand curve: everything
+   about transaction [i]'s interfering set that survives jitter/offset
+   sweeps — the task indices, the shared period and the scaled costs —
+   flattened into plain int arrays once per engine compile
+   (see Kernels), so per-sweep kernel compilation only computes phases
+   and never chases a per-task record again. *)
+type iskeleton = {
+  sk_txn : int;
+  sk_js : int array;
+  sk_period : int;
+  sk_costs : int array;
+}
+
+let iskeleton (tb : Timebase.t) ~i ~hp_list =
+  let js = Array.of_list hp_list in
+  {
+    sk_txn = i;
+    sk_js = js;
+    sk_period = tb.Timebase.speriod.(i);
+    sk_costs = Array.map (fun j -> tb.Timebase.sc.(i).(j)) js;
+  }
+
+(* A compiled int demand curve in structure-of-arrays layout: the inner
+   busy-period loop walks three flat int arrays (phase, delayed jobs,
+   cost) plus one shared period — contiguous memory, no boxing, and
+   the t-independent ⌊(J + ϕ)/T⌋ term of Eq. 8 hoisted to compile
+   time, so each term costs one division instead of two. *)
+type ikernel = {
+  ik_period : int;
+  ik_phase : int array;
+  ik_delayed : int array;
+  ik_cost : int array;
+}
+
+let compile_skeleton sk ~sphi ~sjit ~k =
+  let i = sk.sk_txn in
+  let ti = sk.sk_period in
+  let n = Array.length sk.sk_js in
+  let phase = Array.make n 0 and delayed = Array.make n 0 in
+  let jrow = sjit.(i) and prow = sphi.(i) in
+  let pk = imod prow.(k) ti in
+  let jk = jrow.(k) in
+  for idx = 0 to n - 1 do
+    let j = sk.sk_js.(idx) in
+    let pj = imod prow.(j) ti in
+    let ph = Q.Checked.(ti - imod (pk + jk - pj) ti) in
+    phase.(idx) <- ph;
+    (* (jitter + phase) / period, exactly [jobs_int]'s unchecked
+       delayed-jobs term — both operands fit the timebase headroom *)
+    delayed.(idx) <- (jrow.(j) + ph) / ti
+  done;
+  { ik_period = ti; ik_phase = phase; ik_delayed = delayed; ik_cost = sk.sk_costs }
 
 let compile_int (tb : Timebase.t) ~hp_list ~sphi ~sjit ~i ~k =
-  let terms = Array.of_list hp_list in
-  let n = Array.length terms in
-  let out = Array.make (4 * n) 0 in
-  Array.iteri
-    (fun idx j ->
-      let o = 4 * idx in
-      out.(o) <- sjit.(i).(j);
-      out.(o + 1) <- phase_int tb ~sphi ~sjit ~i ~k ~j;
-      out.(o + 2) <- tb.Timebase.speriod.(i);
-      out.(o + 3) <- tb.Timebase.sc.(i).(j))
-    terms;
-  out
+  compile_skeleton (iskeleton tb ~i ~hp_list) ~sphi ~sjit ~k
 
 let eval_int (kernel : ikernel) ~t =
   let acc = ref 0 in
-  let n = Array.length kernel / 4 in
-  for idx = 0 to n - 1 do
-    let o = 4 * idx in
-    let jobs =
-      jobs_int ~jitter:kernel.(o) ~phase:kernel.(o + 1) ~period:kernel.(o + 2)
-        ~t
-    in
-    acc := Q.Checked.(!acc + (jobs * kernel.(o + 3)))
+  let ti = kernel.ik_period in
+  let phase = kernel.ik_phase
+  and delayed = kernel.ik_delayed
+  and cost = kernel.ik_cost in
+  for idx = 0 to Array.length phase - 1 do
+    let inside = Stdlib.max 0 (iceil_div (t - phase.(idx)) ti) in
+    let jobs = Stdlib.max 0 (delayed.(idx) + inside) in
+    acc := Q.Checked.(!acc + (jobs * cost.(idx)))
   done;
   !acc
 

@@ -105,10 +105,32 @@ val jobs_int : jitter:int -> phase:int -> period:int -> t:int -> int
 (** {!jobs} on scaled arguments — identical result (job counts are
     dimensionless). *)
 
+type iskeleton = {
+  sk_txn : int;  (** transaction index [i] *)
+  sk_js : int array;  (** interfering task indices, {!hp} order *)
+  sk_period : int;  (** scaled period of [i], shared by every term *)
+  sk_costs : int array;  (** scaled platform-time cost per term *)
+}
+(** The value-independent half of an int demand curve: what survives
+    every jitter/offset sweep, flattened to contiguous int arrays.
+    Compiled once per engine session ({!Kernels}); per-sweep kernel
+    compilation then only computes phases. *)
+
+val iskeleton : Timebase.t -> i:int -> hp_list:int list -> iskeleton
+(** Flatten transaction [i]'s interfering set against the timebase. *)
+
 type ikernel
-(** A compiled int demand curve: flat array of (jitter, phase, period,
-    scaled cost) quadruples, no boxed values on the busy-period hot
-    path. *)
+(** A compiled int demand curve in structure-of-arrays layout: flat
+    phase, delayed-jobs and cost arrays sharing one period — the
+    busy-period hot path walks contiguous memory, and the t-independent
+    ⌊(J + ϕ)/T⌋ term of Eq. 8 is precomputed per term. *)
+
+val compile_skeleton :
+  iskeleton -> sphi:int array array -> sjit:int array array -> k:int -> ikernel
+(** Compile the scenario where τ{_i,k} initiates against the current
+    scaled jitter/offset matrices: only the phases (and their hoisted
+    delayed-jobs terms) are computed; indices, period and costs come
+    from the skeleton. *)
 
 val compile_int :
   Timebase.t ->
@@ -118,10 +140,11 @@ val compile_int :
   i:int ->
   k:int ->
   ikernel
-(** Scaled {!compile}.  [hp_list] is mandatory: the callers always hold
-    the compiled {!Ir} participant sets, and the scaled costs of the
-    timebase are already platform-transformed, so no task under analysis
-    is needed. *)
+(** Scaled {!compile}: {!iskeleton} followed by {!compile_skeleton},
+    for callers without a precompiled skeleton.  [hp_list] is
+    mandatory: the callers always hold the compiled {!Ir} participant
+    sets, and the scaled costs of the timebase are already
+    platform-transformed, so no task under analysis is needed. *)
 
 val eval_int : ikernel -> t:int -> int
 (** Scaled {!eval}: [eval_int (compile_int …) ~t:(v·L)] is exactly

@@ -56,6 +56,14 @@ type t = {
 
 type stats = { hits : int; misses : int; invalidations : int }
 
+(* Below this many interfering tasks, a demand curve is cheaper to
+   evaluate directly than to look up: a hit still pays a hashtable probe
+   on a boxed rational (or an int probe on the scaled path), which costs
+   about as much as walking a handful of hoisted terms.  The fixed-point
+   drivers skip the memo for such kernels — bench X9 measures the
+   crossover. *)
+let min_terms = 4
+
 let fresh () =
   {
     entries = Hashtbl.create 16;
@@ -133,7 +141,8 @@ let evaluator c m ~phi ~jit ~i ~k ~hp_list ~a ~b =
 
 (* --- integer timeline twins --- *)
 
-let entry_for_int c tb ~sphi ~sjit ~i ~k ~hp_list =
+let entry_for_int c (sk : Interference.iskeleton) ~sphi ~sjit ~k =
+  let i = sk.Interference.sk_txn in
   let jit_row = sjit.(i) and phi_row = sphi.(i) in
   match Hashtbl.find_opt c.ientries (i, k) with
   | Some e ->
@@ -141,7 +150,7 @@ let entry_for_int c tb ~sphi ~sjit ~i ~k ~hp_list =
         Hashtbl.reset e.ivalues;
         e.ijit_sig <- Array.copy jit_row;
         e.iphi_sig <- Array.copy phi_row;
-        e.ikernel <- Interference.compile_int tb ~hp_list ~sphi ~sjit ~i ~k;
+        e.ikernel <- Interference.compile_skeleton sk ~sphi ~sjit ~k;
         c.invalidations <- c.invalidations + 1
       end;
       e
@@ -150,7 +159,7 @@ let entry_for_int c tb ~sphi ~sjit ~i ~k ~hp_list =
         {
           ijit_sig = Array.copy jit_row;
           iphi_sig = Array.copy phi_row;
-          ikernel = Interference.compile_int tb ~hp_list ~sphi ~sjit ~i ~k;
+          ikernel = Interference.compile_skeleton sk ~sphi ~sjit ~k;
           ivalues = Hashtbl.create 32;
         }
       in
@@ -168,8 +177,8 @@ let lookup_int (c : cache) e t =
       Hashtbl.add e.ivalues t v;
       v
 
-let evaluator_int c tb ~sphi ~sjit ~i ~k ~hp_list =
-  let e = entry_for_int c tb ~sphi ~sjit ~i ~k ~hp_list in
+let evaluator_int c sk ~sphi ~sjit ~k =
+  let e = entry_for_int c sk ~sphi ~sjit ~k in
   fun t -> lookup_int c e t
 
 let contribution c m ~phi ~jit ~i ~k ~hp_list ~a ~b ~t =

@@ -62,20 +62,26 @@ val evaluator :
 
 val evaluator_int :
   cache ->
-  Timebase.t ->
+  Interference.iskeleton ->
   sphi:int array array ->
   sjit:int array array ->
-  i:int ->
   k:int ->
-  hp_list:int list ->
   int ->
   int
-(** Integer-timeline twin of {!evaluator}: entries are keyed by the same
-    [(i, k)] pairs, signed with the scaled jitter/offset rows, and map
-    scaled evaluation points to scaled demands.  Rational and int
-    entries live side by side in one cache (the hit/miss/invalidation
-    statistics are shared), so a session that alternates between the
-    kernel and the rational path keeps both warm. *)
+(** Integer-timeline twin of {!evaluator}, fed by a precompiled
+    {!Interference.iskeleton} (the transaction index and interfering set
+    come from the skeleton): entries are keyed by the same [(i, k)]
+    pairs, signed with the scaled jitter/offset rows, and map scaled
+    evaluation points to scaled demands.  Rational and int entries live
+    side by side in one cache (the hit/miss/invalidation statistics are
+    shared), so a session that alternates between the kernel and the
+    rational path keeps both warm. *)
+
+val min_terms : int
+(** Smallest interfering-set size worth memoising.  Kernels with fewer
+    terms are evaluated directly by the fixed-point drivers: a cache
+    probe costs about as much as the evaluation itself, so memoising
+    them is a net loss (the X9 bench measures the crossover). *)
 
 val contribution :
   cache ->

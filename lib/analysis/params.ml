@@ -13,6 +13,7 @@ type t = {
   incremental : bool;
   keep_history : bool;
   int_kernel : bool;
+  steal : bool;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     incremental = true;
     keep_history = true;
     int_kernel = true;
+    steal = true;
   }
 
 let exact = { default with variant = Exact }

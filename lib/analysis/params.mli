@@ -79,12 +79,22 @@ type t = {
           the rational path instead ({!Rta.kernel_fallbacks} counts the
           mid-analysis case).  Disable only to benchmark the kernel
           itself. *)
+  steal : bool;
+      (** Let the domain pool's range scheduler steal blocks of the
+          exact scenario enumeration between slots
+          ({!Parallel.Pool.run_ranges}): a slot whose chunk was pruned
+          away takes half of the largest remaining chunk instead of
+          idling.  The enumeration joins scenario maxima commutatively
+          over exact values, so the block geometry never changes the
+          report — reports are bit-identical with stealing on or off
+          (asserted by the test suite and bench X14).  Disable only to
+          benchmark the scheduler itself. *)
 }
 
 val default : t
 (** [Reduced], [Simple], horizon factor 64, at most 256 outer
     iterations, early exit on, memoisation on, pruning on, incremental
-    sweeps on, history kept, integer kernel on. *)
+    sweeps on, history kept, integer kernel on, work stealing on. *)
 
 val exact : t
 (** [default] with [variant = Exact]. *)

@@ -139,10 +139,16 @@ let response_time_site ?pool ?memo ?counters (site : Ir.site) m params ~phi ~jit
      kernel (phases, scaled costs) is compiled — or the memo entry
      resolved — once per response-time computation instead of inside
      every busy-period evaluation. *)
+  (* Tiny kernels are cheaper to evaluate than to look up (a hashtable
+     probe on a boxed rational costs about as much as folding a couple
+     of hoisted terms), so the memo is bypassed below [Memo.min_terms];
+     memoised values are bit-identical to recomputation, so mixing the
+     two paths cannot change the response. *)
   let eval_of cache ~i ~k ~hp_list =
     match cache with
-    | Some c -> Memo.evaluator c m ~phi ~jit ~i ~k ~hp_list ~a ~b
-    | None ->
+    | Some c when List.compare_length_with hp_list Memo.min_terms >= 0 ->
+        Memo.evaluator c m ~phi ~jit ~i ~k ~hp_list ~a ~b
+    | _ ->
         let kernel = Interference.compile ~hp_list m ~phi ~jit ~i ~k ~a ~b in
         fun t -> Interference.eval kernel ~t
   in
@@ -224,17 +230,21 @@ let response_time_site ?pool ?memo ?counters (site : Ir.site) m params ~phi ~jit
         in
         (* [slots_for] applies the sequential cutoff: scenario spaces
            too small to amortise the domain wake-up run inline on slot
-           0.  The chunk maxima join commutatively, so the chunk count
-           never changes the response. *)
-        let slots = Parallel.Pool.slots_for pool total in
+           0; the own-choice count weights each index since every unit
+           evaluates all own initiators.  Ranges migrate between slots
+           under stealing, but every index runs exactly once and the
+           range maxima join commutatively, so neither the chunk count
+           nor the steal schedule changes the response. *)
+        let slots =
+          Parallel.Pool.slots_for ~weight:(List.length own) pool total
+        in
         if jobs = 1 || slots = 1 then best_in ~slot:0 ~lo:0 ~hi:total
         else begin
           let results = Array.make jobs (Report.Finite Q.zero) in
-          Parallel.Pool.run pool (fun slot ->
-              if slot < slots then
-                let lo = slot * total / slots
-                and hi = (slot + 1) * total / slots in
-                results.(slot) <- best_in ~slot ~lo ~hi);
+          Parallel.Pool.run_ranges pool ~steal:params.Params.steal ~slots
+            ~n:total (fun ~slot ~lo ~hi ->
+              results.(slot) <-
+                Report.bound_max results.(slot) (best_in ~slot ~lo ~hi));
           Array.fold_left Report.bound_max (Report.Finite Q.zero) results
         end
       end
@@ -379,14 +389,13 @@ let response_time_site ?pool ?memo ?counters (site : Ir.site) m params ~phi ~jit
             visit n_rem 0 []
           end
         in
-        (let slots = Parallel.Pool.slots_for pool total in
+        (let slots =
+           Parallel.Pool.slots_for ~weight:(List.length own) pool total
+         in
          if jobs = 1 || slots = 1 then run_slot ~slot:0 ~lo:0 ~hi:total
          else
-           Parallel.Pool.run pool (fun slot ->
-               if slot < slots then
-                 let lo = slot * total / slots
-                 and hi = (slot + 1) * total / slots in
-                 run_slot ~slot ~lo ~hi));
+           Parallel.Pool.run_ranges pool ~steal:params.Params.steal ~slots
+             ~n:total (fun ~slot ~lo ~hi -> run_slot ~slot ~lo ~hi));
         Parallel.Pool.Cell.get incumbent
       end
 
@@ -449,27 +458,33 @@ let scenario_response_int (tb : Timebase.t) ~sphi ~sjit ~a ~b ~c
       done;
       !best
 
-let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
+let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters ?kernels
     (site : Ir.site) params ~sphi ~sjit =
   let a = site.Ir.a and b = site.Ir.b in
   let pool = Option.value pool ~default:Parallel.Pool.sequential in
-  let own_hp = site.Ir.own_hp in
   let own = site.Ir.own in
+  let kern =
+    match kernels with Some k -> k | None -> Kernels.of_site tb site
+  in
+  let own_sk = kern.Kernels.own and remote_sks = kern.Kernels.remotes in
   let cache_of slot = Option.map (fun t -> Memo.cache t ~a ~b ~slot) memo in
   let bump field n =
     match counters with
     | Some c -> ignore (Atomic.fetch_and_add (field c) n)
     | None -> ()
   in
-  let eval_of cache ~i ~k ~hp_list =
+  (* Same memo cutoff as the rational path: kernels with fewer than
+     [Memo.min_terms] hoisted terms are evaluated directly. *)
+  let eval_of cache (sk : Interference.iskeleton) ~k =
     match cache with
-    | Some c -> Memo.evaluator_int c tb ~sphi ~sjit ~i ~k ~hp_list
-    | None ->
-        let kernel = Interference.compile_int tb ~hp_list ~sphi ~sjit ~i ~k in
+    | Some c when Array.length sk.Interference.sk_js >= Memo.min_terms ->
+        Memo.evaluator_int c sk ~sphi ~sjit ~k
+    | _ ->
+        let kernel = Interference.compile_skeleton sk ~sphi ~sjit ~k in
         fun t -> Interference.eval_int kernel ~t
   in
   let own_evals cache =
-    List.map (fun c -> (c, eval_of cache ~i:a ~k:c ~hp_list:own_hp)) own
+    List.map (fun c -> (c, eval_of cache own_sk ~k:c)) own
   in
   let best_over_own own_evals ~remote_interference acc =
     List.fold_left
@@ -485,12 +500,11 @@ let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
       let cache = cache_of 0 in
       let remote_ws =
         Array.to_list
-          (Array.map
-             (fun (r : Ir.remote) ->
+          (Array.mapi
+             (fun ri (r : Ir.remote) ->
+               let sk = remote_sks.(ri) in
                let evals =
-                 List.map
-                   (fun k -> eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
-                   r.Ir.hp_list
+                 List.map (fun k -> eval_of cache sk ~k) r.Ir.hp_list
                in
                fun t ->
                  List.fold_left (fun acc f -> Stdlib.max acc (f t)) 0 evals)
@@ -513,11 +527,10 @@ let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
         let best_in ~slot ~lo ~hi =
           let cache = cache_of slot in
           let contrib =
-            Array.map
-              (fun (r : Ir.remote) ->
-                Array.map
-                  (fun k -> eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
-                  r.Ir.choices)
+            Array.mapi
+              (fun ri (r : Ir.remote) ->
+                let sk = remote_sks.(ri) in
+                Array.map (fun k -> eval_of cache sk ~k) r.Ir.choices)
               remotes
           in
           let own_evals = own_evals cache in
@@ -537,15 +550,16 @@ let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
           done;
           !best
         in
-        let slots = Parallel.Pool.slots_for pool total in
+        let slots =
+          Parallel.Pool.slots_for ~weight:(List.length own) pool total
+        in
         if jobs = 1 || slots = 1 then best_in ~slot:0 ~lo:0 ~hi:total
         else begin
           let results = Array.make jobs (IFinite 0) in
-          Parallel.Pool.run pool (fun slot ->
-              if slot < slots then
-                let lo = slot * total / slots
-                and hi = (slot + 1) * total / slots in
-                results.(slot) <- best_in ~slot ~lo ~hi);
+          Parallel.Pool.run_ranges pool ~steal:params.Params.steal ~slots
+            ~n:total (fun ~slot ~lo ~hi ->
+              results.(slot) <-
+                iresponse_max results.(slot) (best_in ~slot ~lo ~hi));
           Array.fold_left iresponse_max (IFinite 0) results
         end
       end
@@ -560,7 +574,7 @@ let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
                  (fun ri (r : Ir.remote) ->
                    let s = Array.length r.Ir.choices in
                    let k = r.Ir.choices.(v / stride.(ri) mod s) in
-                   eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
+                   eval_of cache remote_sks.(ri) ~k)
                  remotes)
           in
           let remote_interference t =
@@ -573,12 +587,12 @@ let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
           let cache = cache_of 0 in
           Array.iteri
             (fun ri (r : Ir.remote) ->
-              let ks = r.Ir.choices and hp_list = r.Ir.hp_list in
-              let i = r.Ir.txn in
+              let ks = r.Ir.choices in
+              let sk = remote_sks.(ri) in
               let best_ci = ref 0
-              and best_w = ref ((eval_of cache ~i ~k:ks.(0) ~hp_list) horizon) in
+              and best_w = ref ((eval_of cache sk ~k:ks.(0)) horizon) in
               for ci = 1 to Array.length ks - 1 do
-                let w = (eval_of cache ~i ~k:ks.(ci) ~hp_list) horizon in
+                let w = (eval_of cache sk ~k:ks.(ci)) horizon in
                 if w > !best_w then begin
                   best_w := w;
                   best_ci := ci
@@ -600,12 +614,10 @@ let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
           if lo < hi then begin
             let cache = cache_of slot in
             let contrib =
-              Array.map
-                (fun (r : Ir.remote) ->
-                  Array.map
-                    (fun k ->
-                      eval_of cache ~i:r.Ir.txn ~k ~hp_list:r.Ir.hp_list)
-                    r.Ir.choices)
+              Array.mapi
+                (fun ri (r : Ir.remote) ->
+                  let sk = remote_sks.(ri) in
+                  Array.map (fun k -> eval_of cache sk ~k) r.Ir.choices)
                 remotes
             in
             let wstar =
@@ -662,13 +674,12 @@ let response_time_site_int (tb : Timebase.t) ?pool ?memo ?counters
             visit n_rem 0 []
           end
         in
-        (let slots = Parallel.Pool.slots_for pool total in
+        (let slots =
+           Parallel.Pool.slots_for ~weight:(List.length own) pool total
+         in
          if jobs = 1 || slots = 1 then run_slot ~slot:0 ~lo:0 ~hi:total
          else
-           Parallel.Pool.run pool (fun slot ->
-               if slot < slots then
-                 let lo = slot * total / slots
-                 and hi = (slot + 1) * total / slots in
-                 run_slot ~slot ~lo ~hi));
+           Parallel.Pool.run_ranges pool ~steal:params.Params.steal ~slots
+             ~n:total (fun ~slot ~lo ~hi -> run_slot ~slot ~lo ~hi));
         Parallel.Pool.Cell.get incumbent
       end

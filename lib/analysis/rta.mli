@@ -99,11 +99,14 @@ val response_time_site :
     {!Ir.compatible} with [m].
 
     [pool] splits the exact scenario enumeration (Eq. 12) into
-    contiguous index chunks across the pool's domains; chunks share the
+    contiguous index ranges across the pool's domains
+    ({!Parallel.Pool.run_ranges}); with [params.steal] (the default)
+    idle domains steal ranges from loaded ones.  Ranges share the
     branch-and-bound incumbent through a {!Parallel.Pool.Cell}, and the
     final bound is read from the cell, so the result is bit-identical to
-    the sequential enumeration for every job count (the reduced
-    variant's handful of scenarios is never parallelised).
+    the sequential enumeration for every job count and steal schedule
+    (the reduced variant's handful of scenarios is never
+    parallelised).
     [memo] caches interference evaluations across calls — see {!Memo};
     when both are given, slot [s] of the pool only touches cache slot
     [s], so no synchronisation is needed.  [counters], when given, is
@@ -126,6 +129,7 @@ val response_time_site_int :
   ?pool:Parallel.Pool.t ->
   ?memo:Memo.t ->
   ?counters:counters ->
+  ?kernels:Kernels.site ->
   Ir.site ->
   Params.t ->
   sphi:int array array ->
@@ -139,7 +143,10 @@ val response_time_site_int :
     overflow raises [Rational.Overflow], which {!Engine.analyze} turns
     into a rational-path fallback.  [counters] accounting (total /
     visited / pruned / bounds) is bumped exactly as the rational path
-    would. *)
+    would.  [kernels] supplies the site's precompiled
+    {!Kernels.site} skeleton table (an {!Engine} session compiles one
+    per timebase); without it the skeletons are flattened on the fly —
+    same result, more allocation. *)
 
 val response_time :
   ?pool:Parallel.Pool.t ->

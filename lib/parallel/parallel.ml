@@ -1,6 +1,6 @@
-(** Parallel execution substrate for the analysis engine: a simple
-    chunked domain pool with a static slot→chunk mapping, deterministic
-    reduction order and reentrancy fallback.  See {!Pool} and
-    docs/PERFORMANCE.md for the design. *)
+(** Parallel execution substrate for the analysis engine: a domain pool
+    with static slot identity, a work-stealing range scheduler
+    ({!Pool.run_ranges}), deterministic reductions and reentrancy
+    fallback.  See {!Pool} and docs/PERFORMANCE.md for the design. *)
 
 module Pool = Pool

@@ -1,18 +1,25 @@
-(** A chunked pool of OCaml 5 domains for the analysis engine.
+(** A pool of OCaml 5 domains for the analysis engine, with a
+    work-stealing range scheduler.
 
-    Deliberately work-stealing-free: a parallel region over [n] items is
-    split into at most [jobs] {e contiguous} chunks, chunk [s] always
-    covers the index range [\[s·n/jobs, (s+1)·n/jobs)], and chunk [s] is
-    always executed by the same participant (the caller plus the
-    resident worker domains, slots strided across them statically).  The
-    static slot→chunk mapping keeps per-slot caches (the interference
-    memo of [Analysis.Memo]) valid across successive regions, and makes
-    reductions deterministic: results land at their index, and folds are
-    performed in slot order by the caller.  Combined with the exact
-    rational arithmetic of the analysis, a computation run with any job
-    count returns results bit-identical to the sequential run — the
-    property the determinism tests assert (see docs/PERFORMANCE.md and
-    the memoization section of docs/THEORY.md).
+    Slot {e identity} is static: slot [s] of a region always executes in
+    participant [s mod participants] (the caller plus the resident
+    worker domains), which keeps per-slot caches (the interference memo
+    of [Analysis.Memo]) single-owner across successive regions.  Index
+    {e ranges}, however, migrate: {!run_ranges} seeds one atomic deque
+    per slot with the contiguous chunk [\[s·n/slots, (s+1)·n/slots)],
+    owners claim halving blocks off the front, and a slot that drains
+    its own deque steals the back half of the largest remaining deque
+    instead of idling — so a slot whose branch-and-bound chunk was
+    pruned away keeps contributing.  Determinism survives because the
+    analysis only ever {e joins} range results with associative,
+    commutative, idempotent operations (maxima over exact rationals or
+    scaled ints) or writes them at their index: the set of indices
+    executed is always exactly [\[0, n)], so the join is a pure function
+    of the inputs whatever the block geometry.  A computation run with
+    any job count — stealing on or off — returns results bit-identical
+    to the sequential run, the property the determinism tests assert
+    (see docs/PERFORMANCE.md and the memoization section of
+    docs/THEORY.md).
 
     A pool is {e reentrant}: calling {!run} (or anything built on it)
     from inside a worker of the same pool degrades to executing every
@@ -57,18 +64,63 @@ val run : t -> (int -> unit) -> unit
     slots raise, the exception of the lowest slot is re-raised in the
     caller (deterministically), after every slot has completed. *)
 
-val slots_for : ?min_chunk:int -> t -> int -> int
+val slots_for : ?min_chunk:int -> ?weight:int -> t -> int -> int
 (** [slots_for t n] is the number of slots a region of [n] items should
     be split over: at most [jobs t], at most the host's recommended
     domain count (extra slots cannot run in parallel and only pay
-    dispatch), and no more than [n / min_chunk] (default 8) so each
-    woken domain amortises the dispatch cost over at least [min_chunk]
-    items.  [1] means: run the whole range inline on slot 0 — small
-    regions then never pay the domain wake-up, which is what keeps many
-    tiny scenario spaces from making [jobs 4] slower than [jobs 1].
-    Reductions joined over chunks are associative and commutative in
-    the analysis, so the chunk count never changes results (asserted by
-    the identity tests and bench X9). *)
+    dispatch), and no more than [n·weight / min_chunk] so each woken
+    domain amortises the dispatch cost over at least [min_chunk] units
+    of work.  [weight] (default 1) is the caller's per-item cost hint in
+    units of the cheapest item worth dispatching for — one scenario's
+    busy fixpoints; a region of 3 whole-analysis items (weight in the
+    hundreds) parallelises even though [3 < min_chunk], while 7 unit
+    items stay inline.  [1] means: run the whole range inline on slot
+    0 — small regions then never pay the domain wake-up, which is what
+    keeps many tiny scenario spaces from making [jobs 4] slower than
+    [jobs 1].  Reductions joined over chunks are associative and
+    commutative in the analysis, so the slot count never changes
+    results (asserted by the identity tests and bench X9). *)
+
+val run_ranges :
+  ?steal:bool ->
+  ?min_block:int ->
+  t ->
+  slots:int ->
+  n:int ->
+  (slot:int -> lo:int -> hi:int -> unit) ->
+  unit
+(** [run_ranges t ~slots ~n f] covers the index range [\[0, n)] with
+    calls [f ~slot ~lo ~hi], each a half-open sub-range executed on
+    [slot]'s loop: every index is covered exactly once, and all calls
+    with the same [slot] run sequentially in one domain (so per-slot
+    caches need no locks).  Slot [s]'s deque is seeded with the
+    contiguous chunk [\[s·n/slots, (s+1)·n/slots)]; with [steal] (the
+    default) its owner claims halving blocks — never smaller than
+    [min_block] (default 1) — off the front, leaving the back
+    stealable, and a slot whose deque drains steals the back half of
+    the largest remaining deque, re-exposing the loot on its own deque
+    for further splitting.  Which slot executes which index therefore
+    depends on timing; results must be joined commutatively or written
+    at their index (see the determinism argument above).  With
+    [steal = false] the geometry degenerates to exactly one static
+    contiguous chunk per slot — the pre-stealing reference the
+    determinism tests compare against.  The pool's {!stats} counters
+    record the region's steals, splits and idle slots.
+    [slots <= 1] (or [n] of 0) runs inline on slot 0 without touching
+    the pool. *)
+
+type stats = { steals : int; splits : int; idle_slots : int }
+(** Cumulative scheduler accounting since pool creation: ranges stolen
+    from another slot's deque, owner claims that split a range rather
+    than exhausting it, and region loops that finished without
+    executing a single block ([idle_slots] — on a host with fewer
+    cores than slots the surplus loops usually find the deques already
+    drained).  Diagnostics only — surfaced as the engine's [pool]
+    event and the service's [stats.pool] object — never part of a
+    result. *)
+
+val stats : t -> stats
+(** Read the counters; safe at any time, exact between regions. *)
 
 val tabulate : t -> int -> (int -> 'a) -> 'a array
 (** [tabulate t n f] is [Array.init n f] with the index range chunked

@@ -61,7 +61,7 @@ let record_latency t ms =
   if ms > t.latency_max_ms then t.latency_max_ms <- ms
 
 let to_json t ~seq ~admitted ~hash ~workers ~entries ~kernel_sessions
-    ~fallback_count =
+    ~fallback_count ~pool =
   Json.Obj
     [
       ("seq", Json.Int seq);
@@ -112,6 +112,13 @@ let to_json t ~seq ~admitted ~hash ~workers ~entries ~kernel_sessions
           ] );
       ("kernel_sessions", Json.Int kernel_sessions);
       ("fallback_count", Json.Int fallback_count);
+      ( "pool",
+        Json.Obj
+          [
+            ("steals", Json.Int pool.Parallel.Pool.steals);
+            ("splits", Json.Int pool.Parallel.Pool.splits);
+            ("idle_slots", Json.Int pool.Parallel.Pool.idle_slots);
+          ] );
       ("batches", Json.Int t.batches);
       ( "latency_ms",
         Json.Obj

@@ -55,9 +55,11 @@ val to_json :
   entries:int ->
   kernel_sessions:int ->
   fallback_count:int ->
+  pool:Parallel.Pool.stats ->
   Json.t
 (** The [stats] response body; [entries] is the result-cache size,
     [kernel_sessions] the live worker sessions currently running on the
     integer timeline kernel, [fallback_count] the total kernel-overflow
-    fallbacks those sessions recorded (both snapshots taken at the stats
-    barrier, not counters of this record). *)
+    fallbacks those sessions recorded, [pool] the pool's cumulative
+    work-stealing counters (all snapshots taken at the stats barrier,
+    not counters of this record). *)

@@ -311,23 +311,25 @@ let process_batch t envs =
         let idxs = Array.of_list idxs in
         let m = Array.length idxs in
         parallel_count := !parallel_count + m;
-        let jobs = Array.length t.slots in
         let snap = t.store in
-        Parallel.Pool.run t.pool (fun s ->
-            let lo = s * m / jobs and hi = (s + 1) * m / jobs in
+        (* One item is a whole analysis — orders of magnitude above the
+           pool's wake-up cost, hence the large weight: any group of two
+           or more parallelises.  Stealing rebalances the group when
+           snapshots differ wildly in analysis cost; slot identity still
+           routes each item to the session owned by its executor. *)
+        let slots = Parallel.Pool.slots_for ~weight:1024 t.pool m in
+        Parallel.Pool.run_ranges t.pool ~steal:t.params.Analysis.Params.steal
+          ~slots ~n:m (fun ~slot ~lo ~hi ->
             for k = lo to hi - 1 do
               let i = idxs.(k) in
-              results.(i) <- evaluate t t.slots.(s) snap arr.(i).P.req
+              results.(i) <- evaluate t t.slots.(slot) snap arr.(i).P.req
             done));
     List.iter finalize (List.rev !pending);
     pending := [];
     to_run := []
   in
-  let commit_barrier i uid ~op cand =
+  let commit_with i uid ~op cand (summary, cache_hit, kind, delta, fresh) =
     let seq = arr.(i).P.seq in
-    let summary, cache_hit, kind, delta, fresh =
-      analyze_snapshot t t.slots.(0) cand
-    in
     record_kind t kind;
     record_cache t cache_hit;
     record_delta t delta;
@@ -361,6 +363,9 @@ let process_batch t envs =
         commit "revoked"
           (P.revoked ~seq ~uid ~txns:(Store.n_transactions cand)
              ~cached:cache_hit summary)
+  in
+  let commit_barrier i uid ~op cand =
+    commit_with i uid ~op cand (analyze_snapshot t t.slots.(0) cand)
   in
   let barrier i =
     let env = arr.(i) in
@@ -396,7 +401,8 @@ let process_batch t envs =
              ~workers:(Array.length t.slots)
              ~entries:(Hashtbl.length t.cache)
              ~kernel_sessions:!kernel_sessions
-             ~fallback_count:!fallback_count)
+             ~fallback_count:!fallback_count
+             ~pool:(Parallel.Pool.stats t.pool))
     | P.Admit { uid; spec } -> (
         match Store.admit t.store ~uid ~spec with
         | Error errors -> invalid ~op:"admit" ~uid errors
@@ -407,9 +413,94 @@ let process_batch t envs =
         | Ok cand -> commit_barrier i uid ~op:`Revoke cand)
     | P.Query | P.What_if _ -> assert false
   in
+  (* Pending admission/revocation group: consecutive commit requests are
+     speculatively analyzed in parallel against the store as of the
+     group start, then finalized in arrival order.  A finalized commit
+     changes the store and invalidates the remaining speculations —
+     those rerun inline against the current store, exactly as the
+     sequential barrier would — while rejections and invalid specs
+     leave the store, and with it every later speculation, intact.
+     Responses are therefore bit-identical to fully sequential
+     processing for any worker count or steal schedule; only the
+     wall-clock changes (one parallel round per run of rejections and
+     what-if-style probes instead of one analysis each). *)
+  let admits = ref [] in
+  let flush_admits () =
+    (match List.rev !admits with
+    | [] -> ()
+    | [ i ] -> barrier i
+    | idxs ->
+        let idxs = Array.of_list idxs in
+        let m = Array.length idxs in
+        let snap = t.store in
+        let cands =
+          Array.map
+            (fun i ->
+              match arr.(i).P.req with
+              | P.Admit { uid; spec } -> (
+                  match Store.admit snap ~uid ~spec with
+                  | Error es -> `Invalid (uid, "admit", es)
+                  | Ok c -> `Cand (uid, `Admit, c))
+              | P.Revoke { uid } -> (
+                  match Store.revoke snap ~uid with
+                  | Error es -> `Invalid (uid, "revoke", es)
+                  | Ok c -> `Cand (uid, `Revoke, c))
+              | P.Query | P.What_if _ | P.Stats -> assert false)
+            idxs
+        in
+        let spec_results = Array.make m None in
+        let work =
+          Array.of_list
+            (List.filter
+               (fun j -> match cands.(j) with `Cand _ -> true | _ -> false)
+               (List.init m Fun.id))
+        in
+        let w = Array.length work in
+        if w > 1 then begin
+          parallel_count := !parallel_count + w;
+          let slots = Parallel.Pool.slots_for ~weight:1024 t.pool w in
+          Parallel.Pool.run_ranges t.pool
+            ~steal:t.params.Analysis.Params.steal ~slots ~n:w
+            (fun ~slot ~lo ~hi ->
+              for k = lo to hi - 1 do
+                let j = work.(k) in
+                match cands.(j) with
+                | `Cand (_, _, c) ->
+                    spec_results.(j) <-
+                      Some (analyze_snapshot t t.slots.(slot) c)
+                | `Invalid _ -> ()
+              done)
+        end;
+        Array.iteri
+          (fun j i ->
+            if t.store != snap then
+              (* An earlier member committed: the speculation no longer
+                 describes the store these requests apply to. *)
+              barrier i
+            else begin
+              Metrics.count_request t.metrics arr.(i).P.req;
+              match cands.(j) with
+              | `Invalid (uid, op, errors) ->
+                  t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
+                  finish i ~status:"rejected" ~cache_hit:false ~session:None
+                    (P.rejected ~seq:arr.(i).P.seq ~op ~uid ~reason:"invalid"
+                       ~errors ~hash:t.store.Store.hash ())
+              | `Cand (uid, op, cand) ->
+                  let pre =
+                    match spec_results.(j) with
+                    | Some pre -> pre
+                    | None -> analyze_snapshot t t.slots.(0) cand
+                  in
+                  commit_with i uid ~op cand pre
+            end)
+          idxs);
+    admits := []
+  in
   for i = 0 to n - 1 do
     let env = arr.(i) in
-    if shed_reason.(i) <> None then pending := i :: !pending
+    if shed_reason.(i) <> None then (
+      flush_admits ();
+      pending := i :: !pending)
     else
       let expired =
         match env.P.deadline_ms with
@@ -418,17 +509,24 @@ let process_batch t envs =
       in
       if expired then (
         shed_reason.(i) <- Some "deadline";
+        flush_admits ();
         pending := i :: !pending)
       else
         match env.P.req with
         | P.Query | P.What_if _ ->
+            flush_admits ();
             pending := i :: !pending;
             to_run := i :: !to_run
-        | P.Admit _ | P.Revoke _ | P.Stats ->
+        | P.Admit _ | P.Revoke _ ->
             flush ();
+            admits := i :: !admits
+        | P.Stats ->
+            flush ();
+            flush_admits ();
             barrier i
   done;
   flush ();
+  flush_admits ();
   let shed =
     Array.fold_left
       (fun acc r -> if r = None then acc else acc + 1)

@@ -90,6 +90,76 @@ let test_shutdown () =
     Alcotest.fail "ran on a shut-down pool"
   with Invalid_argument _ -> ()
 
+(* --- work-stealing ranges --- *)
+
+(* Whatever the block geometry — static chunks, owner splits, steals —
+   every index of [0, n) must be executed exactly once.  Ranges never
+   overlap, so the counting writes touch distinct cells and need no
+   lock. *)
+let test_ranges_cover_exactly_once () =
+  List.iter
+    (fun jobs ->
+      P.with_pool ~jobs @@ fun pool ->
+      List.iter
+        (fun steal ->
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              P.run_ranges pool ~steal ~slots:(P.jobs pool) ~n
+                (fun ~slot:_ ~lo ~hi ->
+                  for i = lo to hi - 1 do
+                    hits.(i) <- hits.(i) + 1
+                  done);
+              for i = 0 to n - 1 do
+                Alcotest.(check int)
+                  (Printf.sprintf "jobs %d steal %b n %d index %d" jobs steal
+                     n i)
+                  1 hits.(i)
+              done)
+            [ 0; 1; 2; 3; 7; 64; 257 ])
+        [ true; false ])
+    [ 1; 2; 4; 5 ]
+
+(* With stealing off the scheduler must degenerate to the pre-stealing
+   reference: exactly one contiguous chunk [s*n/slots, (s+1)*n/slots)
+   per slot, empty chunks never delivered. *)
+let test_ranges_static_geometry () =
+  P.with_pool ~jobs:4 @@ fun pool ->
+  let slots = 4 and n = 10 in
+  let calls = Array.make slots [] in
+  P.run_ranges pool ~steal:false ~slots ~n (fun ~slot ~lo ~hi ->
+      calls.(slot) <- (lo, hi) :: calls.(slot));
+  Array.iteri
+    (fun s got ->
+      let lo = s * n / slots and hi = (s + 1) * n / slots in
+      let expected = if lo < hi then [ (lo, hi) ] else [] in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "slot %d chunk" s)
+        expected got)
+    calls
+
+(* A deliberately skewed region: the first quarter of the index space
+   carries all the work, so the slots owning the light chunks drain
+   their deques and must raid the heavy one.  This holds on any host —
+   a single-core pool runs the slot loops inline, and the inline loop
+   claims and steals through the same deques. *)
+let test_ranges_steal_skewed () =
+  P.with_pool ~jobs:4 @@ fun pool ->
+  let before = (P.stats pool).P.steals in
+  P.run_ranges pool ~slots:4 ~n:256 (fun ~slot:_ ~lo ~hi ->
+      for i = lo to hi - 1 do
+        if i < 64 then begin
+          let acc = ref i in
+          for k = 1 to 5_000 do
+            acc := (!acc + k) land 0xFFFF
+          done;
+          ignore (Sys.opaque_identity !acc)
+        end
+      done);
+  Alcotest.(check bool)
+    "skewed region records steals" true
+    ((P.stats pool).P.steals > before)
+
 (* --- memoised interference --- *)
 
 let zeros (m : Model.t) =
@@ -224,6 +294,33 @@ let determinism_prop =
          in
          agrees Params.exact && agrees Params.default))
 
+(* The full stealing matrix: a random workload analysed under every
+   jobs x stealing combination must yield one report, bit for bit —
+   stealing only changes which slot executes which index range, and the
+   analysis joins range results commutatively over exact values. *)
+let steal_determinism_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"jobs {1,2,4} x stealing on/off bit-identical"
+       ~count:8 (QCheck.int_range 1 1000)
+       (fun seed ->
+         let sys = G.system ~seed small_spec in
+         let m = Model.of_system sys in
+         QCheck.assume (scenario_total m < 20_000);
+         let agrees base =
+           let reports steal =
+             List.map
+               (fun jobs ->
+                 P.with_pool ~jobs (fun pool ->
+                     Analysis.Holistic.analyze
+                       ~params:{ base with Params.steal } ~pool m))
+               [ 1; 2; 4 ]
+           in
+           match reports true @ reports false with
+           | r :: rest -> List.for_all (fun r' -> r' = r) rest
+           | [] -> false
+         in
+         agrees Params.exact && agrees Params.default))
+
 let () =
   Alcotest.run "parallel"
     [
@@ -239,6 +336,15 @@ let () =
           Alcotest.test_case "reentrancy" `Quick test_reentrant;
           Alcotest.test_case "shutdown" `Quick test_shutdown;
         ] );
+      ( "ranges",
+        [
+          Alcotest.test_case "cover every index exactly once" `Quick
+            test_ranges_cover_exactly_once;
+          Alcotest.test_case "static geometry without stealing" `Quick
+            test_ranges_static_geometry;
+          Alcotest.test_case "skewed region records steals" `Quick
+            test_ranges_steal_skewed;
+        ] );
       ( "memo",
         [
           Alcotest.test_case "values and stats" `Quick test_memo_values_and_stats;
@@ -251,5 +357,6 @@ let () =
             test_paper_example_determinism;
           Alcotest.test_case "design searches" `Quick test_design_determinism;
           determinism_prop;
+          steal_determinism_prop;
         ] );
     ]
