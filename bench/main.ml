@@ -943,6 +943,7 @@ let service_throughput () =
               Service.Protocol.seq = i + 1;
               arrival = Unix.gettimeofday ();
               deadline_ms = None;
+              tenant = None;
               req = what_if i;
             })
       in
@@ -1473,6 +1474,7 @@ let parallel_speedup () =
                 Service.Protocol.seq = i + 1;
                 arrival = Unix.gettimeofday ();
                 deadline_ms = None;
+              tenant = None;
                 req =
                   Service.Protocol.What_if
                     { uid = "probe"; spec = probe_spec i };
@@ -1510,6 +1512,127 @@ let parallel_speedup () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* X15: sharded fleet — cross-shard identity, durable replay, speedup  *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_sharding () =
+  header "X15 — sharded fleet: identity across shard counts, durable replay";
+  let host_cores = Domain.recommended_domain_count () in
+  metric "x15/host_cores" (float_of_int host_cores);
+  let params =
+    { Analysis.Params.default with Analysis.Params.keep_history = false }
+  in
+  let items =
+    match Spec.Parser.parse service_base with
+    | Ok items -> items
+    | Error e -> failwith e
+  in
+  let tenants =
+    [| "acme"; "globex"; "initech"; "umbrella"; "stark"; "wayne"; "tyrell"; "hooli" |]
+  in
+  let n_tenants = Array.length tenants in
+  let per_tenant = if !quick then 5 else 8 in
+  (* per-tenant unit k: all on P3, so admission k re-analyzes the
+     tenant's whole assembly — the work sharding parallelizes *)
+  let t_unit k =
+    Printf.sprintf
+      "component S%d { implementation: scheduler fixed_priority; thread T \
+       periodic(period = %d, deadline = %d) priority %d { task work(wcet = \
+       0.2, bcet = 0.1); } } instance SI%d : S%d on P3;"
+      k (30 + k) (30 + k) (k + 2) k k
+  in
+  (* round-robin across tenants: admissions of different tenants
+     commute, so a 4-shard fleet runs up to 4 tenants' streams
+     concurrently; each admit is followed by a query for read coverage *)
+  let envs =
+    let seq = ref 0 in
+    List.concat_map
+      (fun k ->
+        Array.to_list tenants
+        |> List.concat_map (fun tenant ->
+               List.map
+                 (fun req ->
+                   incr seq;
+                   {
+                     Service.Protocol.seq = !seq;
+                     arrival = 0.;
+                     deadline_ms = None;
+                     tenant = Some tenant;
+                     req;
+                   })
+                 [
+                   Service.Protocol.Admit
+                     { uid = Printf.sprintf "s%d" k; spec = t_unit k };
+                   Service.Protocol.Query;
+                 ]))
+      (List.init per_tenant (fun k -> k))
+  in
+  let n_admits = n_tenants * per_tenant in
+  let tenant_hashes srv =
+    Array.to_list tenants
+    |> List.map (fun t ->
+           match Service.Server.tenant_store srv t with
+           | Some s -> s.Service.Store.hash
+           | None -> "missing")
+  in
+  let run shards log =
+    match
+      Service.Server.create ~workers:1 ~shards ~params
+        ~max_batch:(List.length envs) ?log items
+    with
+    | Error es -> failwith (String.concat "; " es)
+    | Ok srv ->
+        let ms, resps =
+          wall (fun () -> Service.Server.process_batch srv envs)
+        in
+        let hashes = tenant_hashes srv in
+        Service.Server.shutdown srv;
+        (ms, List.map Service.Json.to_string resps, hashes)
+  in
+  let t1, r1, h1 = run 1 None in
+  let t2, r2, _ = run 2 None in
+  let t4, r4, _ = run 4 None in
+  metric "x15/admit_batch_s1_ms" t1;
+  metric "x15/admit_batch_s2_ms" t2;
+  metric "x15/admit_batch_s4_ms" t4;
+  metric "x15/admissions_per_sec_s1" (float_of_int n_admits /. (t1 /. 1000.));
+  metric "x15/admissions_per_sec_s4" (float_of_int n_admits /. (t4 /. 1000.));
+  Format.printf
+    "%d tenants x %d admissions: s1 %.1f ms, s2 %.1f ms, s4 %.1f ms (s4 \
+     speedup %.2fx)@."
+    n_tenants per_tenant t1 t2 t4 (t1 /. t4);
+  check "x15/responses identical across shard counts" (r1 = r2 && r2 = r4);
+  (* durable replay: the same session through a write-ahead log, then a
+     restart at a different shard count must reach identical hashes *)
+  let log = Filename.temp_file "hsched_x15" ".wal" in
+  Sys.remove log;
+  let _, _, logged = run 2 (Some log) in
+  let replayed =
+    match Service.Server.create ~workers:1 ~shards:4 ~params ~log items with
+    | Error es -> failwith (String.concat "; " es)
+    | Ok srv ->
+        let hs = tenant_hashes srv in
+        Service.Server.shutdown srv;
+        hs
+  in
+  Sys.remove log;
+  check "x15/live hashes match the single-shard run" (logged = h1);
+  check "x15/replayed hashes identical after restart" (replayed = logged);
+  if host_cores >= 4 then begin
+    metric "x15/speedup_gate_skipped" 0.;
+    metric "x15/speedup_s4" (t1 /. t4);
+    check "x15/4 shards at least 1.5x the single-shard admission rate"
+      (t4 *. 1.5 <= t1)
+  end
+  else begin
+    Format.printf
+      "SKIPPED: x15/4 shards at least 1.5x the single-shard admission rate \
+       (needs >= 4 cores, host offers %d)@."
+      host_cores;
+    metric "x15/speedup_gate_skipped" 1.
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1532,6 +1655,7 @@ let sections =
     ("service_throughput", service_throughput);
     ("delta_admit", delta_admit);
     ("parallel_speedup", parallel_speedup);
+    ("fleet_sharding", fleet_sharding);
     ("timings", timings);
   ]
 

@@ -508,14 +508,49 @@ let workers_arg =
            ($(b,0) = all cores).  Read-only requests of a batch run on the \
            workers in parallel; verdicts are identical for every count.")
 
+(* Like jobs_conv, but for counts that must be at least one (shards,
+   batch sizes, accept limits): garbage, zero and negatives are typos
+   rejected at parse time, not values to serve with. *)
+let positive_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %s" s))
+    | Some n when n < 1 -> Error (`Msg (Printf.sprintf "must be >= 1, got %d" n))
+    | Some n when n > max_jobs ->
+        Error (`Msg (Printf.sprintf "must be <= %d, got %d" max_jobs n))
+    | Some n -> Ok n
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let shards_arg =
+  Arg.(
+    value & opt positive_conv 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition tenants onto $(docv) shards by consistent hashing, \
+           each with its own worker pool and engine sessions, pinned to \
+           its own domain.  Per-tenant responses are bit-identical for \
+           every shard count.")
+
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Durable write-ahead log: committed admissions/revocations are \
+           appended to $(docv) as JSON lines and replayed on restart \
+           (refusing to start if the replay diverges from the recorded \
+           hashes).  Compacted periodically into per-tenant snapshots.")
+
 let max_batch_arg =
   Arg.(
-    value & opt int 64
+    value & opt positive_conv 64
     & info [ "max-batch" ] ~docv:"N"
         ~doc:
           "Overload threshold: when a drained batch exceeds $(docv) \
            requests, $(b,what_if) probes are shed first, then queries, \
-           then admissions — never $(b,stats).")
+           then admissions — never $(b,stats).  Applied per shard batch.")
 
 let socket_arg =
   Arg.(
@@ -529,12 +564,13 @@ let socket_arg =
 let accept_limit_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some positive_conv) None
     & info [ "accept-limit" ] ~docv:"N"
         ~doc:"With $(b,--socket): exit after serving $(docv) connections.")
 
 let serve_cmd =
-  let run file workers exact max_batch trace socket accept_limit no_steal =
+  let run file workers shards log exact max_batch trace socket accept_limit
+      no_steal =
     let src =
       try Ok (In_channel.with_open_bin file In_channel.input_all)
       with Sys_error e -> Error e
@@ -557,7 +593,8 @@ let serve_cmd =
           }
         in
         match
-          Service.Server.create ~workers ~params ~max_batch ?trace items
+          Service.Server.create ~workers ~shards ~params ~max_batch ?trace
+            ?log items
         with
         | Error es ->
             List.iter prerr_endline es;
@@ -580,8 +617,9 @@ let serve_cmd =
           $(b,query), $(b,what_if), $(b,stats)) on stdin or a Unix socket, \
           one response per line.  Protocol reference in docs/SERVICE.md.")
     Term.(
-      const run $ file_arg $ workers_arg $ exact_flag $ max_batch_arg
-      $ engine_trace_arg $ socket_arg $ accept_limit_arg $ no_steal_flag)
+      const run $ file_arg $ workers_arg $ shards_arg $ log_arg $ exact_flag
+      $ max_batch_arg $ engine_trace_arg $ socket_arg $ accept_limit_arg
+      $ no_steal_flag)
 
 (* --- format --- *)
 

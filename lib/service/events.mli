@@ -19,10 +19,19 @@ type event =
       session : string option;
           (** ["cold"], ["rebound"] or ["warm-ir"]; [None] when no
               analysis ran (cache hit, shed, invalid) *)
+      tenant : string option;
+          (** the request's wire tenant; rendered only when present, so
+              default-tenant trace lines keep their historical bytes *)
     }
   | Batch of { size : int; parallel : int; shed : int }
-      (** One server round: [size] requests drained, [parallel] of them
+      (** One shard batch: [size] requests drained, [parallel] of them
           executed on worker domains, [shed] dropped. *)
+  | Replay of { records : int; tenants : int }
+      (** Startup replayed [records] WAL records into [tenants] tenant
+          stores, all hashes verified. *)
+  | Compaction of { records : int; tenants : int }
+      (** The WAL's [records] mutations were compacted into [tenants]
+          snapshot records. *)
 
 val to_json : event -> string
 (** One line, no trailing newline. *)

@@ -1,0 +1,81 @@
+(** The multi-tenant fleet: tenants consistent-hashed onto N
+    {!Shard}s, with an optional durable {!Wal} of committed mutations.
+
+    With one shard (the default) the shard runs on the caller's domain
+    and every batch is handed to it whole — byte-for-byte the original
+    single-store server.  With more, each shard is pinned to its own
+    domain behind a mailbox: a batch is split into maximal stats-free
+    segments, each segment partitioned by shard and dispatched
+    concurrently, and responses are scattered back into envelope order.
+    [stats] is a fleet barrier — outstanding sub-batches are awaited,
+    then the owning shard renders the merged fleet view.
+
+    When a log is attached, committed admits/revokes append to it
+    inside the commit, startup replays it (hard error on any hash
+    divergence) and the fleet compacts it into per-tenant snapshot
+    records once the mutation count passes the threshold. *)
+
+type t
+
+val default_params : Analysis.Params.t
+(** The serving default: the reduced analysis without history. *)
+
+val create :
+  ?workers:int ->
+  ?shards:int ->
+  ?params:Analysis.Params.t ->
+  ?max_batch:int ->
+  ?trace:(Events.event -> unit) ->
+  ?now:(unit -> float) ->
+  ?log:string ->
+  ?wal_compact:int ->
+  Spec.Ast.t ->
+  (t, string list) result
+(** [workers] (default 1; 0 = all cores) sizes {e each} shard's pool;
+    [shards] (default 1) the shard count; [max_batch] (default 64) the
+    per-shard overload threshold; [log] attaches (and replays) the
+    write-ahead log; [wal_compact] (default 256) is the mutation-record
+    count that triggers snapshot compaction.  Fails with the base
+    description's diagnostics, or with the replay divergence report. *)
+
+val process_batch : t -> Protocol.envelope list -> Json.t list
+(** Responses in envelope order.  Must be called from the domain that
+    created the fleet. *)
+
+val handle :
+  t -> ?deadline_ms:float -> ?tenant:string -> Protocol.request -> Json.t
+(** One-request convenience over {!process_batch} (assigns the next
+    sequence number). *)
+
+val route : t -> string -> int
+(** The shard a tenant id routes to (first ring point at or after the
+    tenant's hash). *)
+
+val shards : t -> int
+
+val workers : t -> int
+(** Total workers across shards. *)
+
+val metrics : t -> Metrics.t
+(** A fresh merged copy of the per-shard records; call only between
+    batches. *)
+
+val cache_entries : t -> int
+
+val tenant_store : t -> string -> Store.t option
+(** The tenant's current committed snapshot, if it exists. *)
+
+val default_store : t -> Store.t
+
+val clock : t -> unit -> float
+
+val fresh_seq : t -> int
+(** The next request sequence number (the IO loops assign these). *)
+
+val count_error : t -> unit
+(** Count one unparseable request line (attributed to shard 0, merged
+    into the fleet aggregate). *)
+
+val shutdown : t -> unit
+(** Quit and join the shard domains and their pools, then close the
+    WAL.  The fleet must not be used afterwards. *)

@@ -60,16 +60,41 @@ let record_latency t ms =
   t.latency_total_ms <- t.latency_total_ms +. ms;
   if ms > t.latency_max_ms then t.latency_max_ms <- ms
 
-let to_json t ~seq ~admitted ~hash ~workers ~entries ~kernel_sessions
-    ~fallback_count ~pool =
-  Json.Obj
-    [
-      ("seq", Json.Int seq);
-      ("op", Json.String "stats");
-      ("status", Json.String "ok");
-      ("admitted", Json.Int admitted);
-      ("hash", Json.String hash);
-      ("workers", Json.Int workers);
+(* Sum per-shard records into a fresh one at the stats barrier.  Every
+   counter is additive except the latency maximum. *)
+let merged ms =
+  let a = create () in
+  List.iter
+    (fun m ->
+      a.admits <- a.admits + m.admits;
+      a.revokes <- a.revokes + m.revokes;
+      a.queries <- a.queries + m.queries;
+      a.what_ifs <- a.what_ifs + m.what_ifs;
+      a.stats_reqs <- a.stats_reqs + m.stats_reqs;
+      a.errors <- a.errors + m.errors;
+      a.committed <- a.committed + m.committed;
+      a.rejected <- a.rejected + m.rejected;
+      a.shed_deadline <- a.shed_deadline + m.shed_deadline;
+      a.shed_overload <- a.shed_overload + m.shed_overload;
+      a.cache_hits <- a.cache_hits + m.cache_hits;
+      a.cache_misses <- a.cache_misses + m.cache_misses;
+      a.sessions_created <- a.sessions_created + m.sessions_created;
+      a.sessions_rebound <- a.sessions_rebound + m.sessions_rebound;
+      a.ir_warm <- a.ir_warm + m.ir_warm;
+      a.delta_warm <- a.delta_warm + m.delta_warm;
+      a.delta_cold <- a.delta_cold + m.delta_cold;
+      a.delta_dirty_tasks <- a.delta_dirty_tasks + m.delta_dirty_tasks;
+      a.delta_carried_tasks <- a.delta_carried_tasks + m.delta_carried_tasks;
+      a.batches <- a.batches + m.batches;
+      a.latency_total_ms <- a.latency_total_ms +. m.latency_total_ms;
+      if m.latency_max_ms > a.latency_max_ms then
+        a.latency_max_ms <- m.latency_max_ms)
+    ms;
+  a
+
+let fields t ~workers ~entries ~kernel_sessions ~fallback_count ~pool =
+  [
+    ("workers", Json.Int workers);
       ( "requests",
         Json.Obj
           [

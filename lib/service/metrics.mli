@@ -1,10 +1,12 @@
 (** Service counters.
 
-    All counters are updated from the server's main domain only — worker
-    domains report what happened and the batch finalizer (which runs
-    requests' bookkeeping in arrival order) does the writes — so plain
-    mutable fields suffice and a scripted session always reproduces the
-    same counts. *)
+    One record per shard, updated from that shard's driving domain
+    only — worker domains report what happened and the batch finalizer
+    (which runs requests' bookkeeping in arrival order) does the
+    writes — so plain mutable fields suffice and a scripted session
+    always reproduces the same counts.  The [stats] barrier reads the
+    records while every shard is quiescent and merges them with
+    {!merged}. *)
 
 type t = {
   mutable admits : int;
@@ -46,20 +48,26 @@ val count_request : t -> Protocol.request -> unit
 
 val record_latency : t -> float -> unit
 
-val to_json :
+val merged : t list -> t
+(** A fresh record summing the given ones — the fleet's stats barrier
+    folds the per-shard records through this.  Every counter is
+    additive except [latency_max_ms], which takes the maximum. *)
+
+val fields :
   t ->
-  seq:int ->
-  admitted:int ->
-  hash:string ->
   workers:int ->
   entries:int ->
   kernel_sessions:int ->
   fallback_count:int ->
   pool:Parallel.Pool.stats ->
-  Json.t
-(** The [stats] response body; [entries] is the result-cache size,
-    [kernel_sessions] the live worker sessions currently running on the
-    integer timeline kernel, [fallback_count] the total kernel-overflow
-    fallbacks those sessions recorded, [pool] the pool's cumulative
-    work-stealing counters (all snapshots taken at the stats barrier,
-    not counters of this record). *)
+  (string * Json.t) list
+(** The [stats] response body from ["workers"] through ["latency_ms"],
+    in the stable wire order; the caller prepends the response head and
+    the [admitted]/[hash] fields of the tenant being reported.
+    [entries] is the result-cache size, [kernel_sessions] the live
+    worker sessions currently running on the integer timeline kernel,
+    [fallback_count] the total kernel-overflow fallbacks those sessions
+    recorded, [pool] the pool's cumulative work-stealing counters (all
+    snapshots taken at the stats barrier, not counters of this
+    record).  Used both for the fleet aggregate and for each per-shard
+    object under sharding. *)

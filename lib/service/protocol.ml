@@ -17,6 +17,9 @@ type envelope = {
   seq : int;
   arrival : float;
   deadline_ms : float option;
+  tenant : string option;
+      (* as received on the wire; [None] is the default tenant and keeps
+         the response byte-identical to the pre-tenant protocol *)
   req : request;
 }
 
@@ -36,6 +39,12 @@ let parse line =
         match deadline with
         | Some d when d < 0. -> None (* a negative deadline is no deadline *)
         | d -> d
+      in
+      let tenant =
+        match Json.member "tenant" j with
+        | None -> Ok None
+        | Some (Json.String s) -> Ok (Some s)
+        | Some _ -> Error "field \"tenant\" must be a string"
       in
       let field name =
         match Json.string_field name j with
@@ -58,7 +67,9 @@ let parse line =
         | Some "stats" -> Ok Stats
         | Some op -> Error (Printf.sprintf "unknown op %S" op)
       in
-      match req with Error e -> Error e | Ok r -> Ok (r, deadline))
+      match (req, tenant) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok r, Ok tenant -> Ok (r, deadline, tenant))
 
 (* ------------------------------------------------------------------ *)
 (* Summaries                                                           *)
@@ -138,7 +149,11 @@ let summarize ~(store : Store.t) ~(model : Model.t) (report : Report.t) =
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let head seq op = [ ("seq", Json.Int seq); ("op", Json.String op) ]
+(* The tenant field, when the request carried one, sits right after
+   [op]; requests without it keep the exact pre-tenant response bytes. *)
+let head ?tenant seq op =
+  [ ("seq", Json.Int seq); ("op", Json.String op) ]
+  @ match tenant with None -> [] | Some t -> [ ("tenant", Json.String t) ]
 
 let bound_json b = Json.String (bound_to_string b)
 
@@ -195,20 +210,22 @@ let committed_body ~status ~uid ~txns ~cached s =
     if s.s_violations = [] then []
     else [ ("violations", violations_json s.s_violations) ])
 
-let with_head seq op = function
-  | Json.Obj fields -> Json.Obj (head seq op @ fields)
+let with_head ?tenant seq op = function
+  | Json.Obj fields -> Json.Obj (head ?tenant seq op @ fields)
   | j -> j
 
-let admitted ~seq ~uid ~txns ~cached s =
-  with_head seq "admit" (committed_body ~status:"admitted" ~uid ~txns ~cached s)
+let admitted ?tenant ~seq ~uid ~txns ~cached s =
+  with_head ?tenant seq "admit"
+    (committed_body ~status:"admitted" ~uid ~txns ~cached s)
 
-let revoked ~seq ~uid ~txns ~cached s =
-  with_head seq "revoke" (committed_body ~status:"revoked" ~uid ~txns ~cached s)
+let revoked ?tenant ~seq ~uid ~txns ~cached s =
+  with_head ?tenant seq "revoke"
+    (committed_body ~status:"revoked" ~uid ~txns ~cached s)
 
-let rejected ~seq ~op ~uid ~reason ?errors ?violations ?candidate_instances
-    ~hash () =
+let rejected ?tenant ~seq ~op ~uid ~reason ?errors ?violations
+    ?candidate_instances ~hash () =
   Json.Obj
-    (head seq op
+    (head ?tenant seq op
     @ [
         ("id", Json.String uid);
         ("status", Json.String "rejected");
@@ -224,9 +241,9 @@ let rejected ~seq ~op ~uid ~reason ?errors ?violations ?candidate_instances
     | None -> []
     | Some vs -> [ ("violations", violations_json ?candidate_instances vs) ])
 
-let query_ok ~seq ~cached s =
+let query_ok ?tenant ~seq ~cached s =
   Json.Obj
-    (head seq "query"
+    (head ?tenant seq "query"
     @ [
         ("status", Json.String "ok");
         ("hash", Json.String s.s_hash);
@@ -240,9 +257,9 @@ let query_ok ~seq ~cached s =
     if s.s_violations = [] then []
     else [ ("violations", violations_json s.s_violations) ])
 
-let what_if_ok ~seq ~uid ~cached ~candidate_instances s =
+let what_if_ok ?tenant ~seq ~uid ~cached ~candidate_instances s =
   Json.Obj
-    (head seq "what_if"
+    (head ?tenant seq "what_if"
     @ [
         ("id", Json.String uid);
         ("status", Json.String "ok");
@@ -256,9 +273,9 @@ let what_if_ok ~seq ~uid ~cached ~candidate_instances s =
     else
       [ ("violations", violations_json ~candidate_instances s.s_violations) ])
 
-let shed ~seq ~op ~reason =
+let shed ?tenant ~seq ~op ~reason () =
   Json.Obj
-    (head seq op
+    (head ?tenant seq op
     @ [ ("status", Json.String "shed"); ("reason", Json.String reason) ])
 
 let error ~seq ~op ~msg =

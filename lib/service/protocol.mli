@@ -28,14 +28,18 @@ type envelope = {
   deadline_ms : float option;
       (** optional per-request deadline, relative to [arrival]; an
           expired request is shed instead of processed *)
+  tenant : string option;
+      (** optional [tenant] wire field; [None] (or the empty string) is
+          the default tenant and leaves the response byte-identical to
+          the pre-tenant protocol *)
   req : request;
 }
 
 val op_name : request -> string
 
-val parse : string -> (request * float option, string) result
-(** Parse one request line into the request and its optional
-    [deadline_ms]. *)
+val parse : string -> (request * float option * string option, string) result
+(** Parse one request line into the request, its optional [deadline_ms]
+    and its optional [tenant]. *)
 
 (** {1 Analysis summaries}
 
@@ -79,15 +83,34 @@ val summarize : store:Store.t -> model:Analysis.Model.t -> Analysis.Report.t -> 
 
     Builders for every response shape.  [candidate_instances] marks
     which violations originate from the unit under admission
-    ([from_candidate] in the JSON). *)
+    ([from_candidate] in the JSON).  [tenant] echoes the request's
+    tenant field right after [op]; omitted when the request carried
+    none, so default-tenant traffic keeps its exact historical bytes. *)
+
+val head : ?tenant:string -> int -> string -> (string * Json.t) list
+(** [head ?tenant seq op] — the common response prefix, exposed for the
+    fleet's [stats] renderer. *)
 
 val admitted :
-  seq:int -> uid:string -> txns:int -> cached:bool -> summary -> Json.t
+  ?tenant:string ->
+  seq:int ->
+  uid:string ->
+  txns:int ->
+  cached:bool ->
+  summary ->
+  Json.t
 
 val revoked :
-  seq:int -> uid:string -> txns:int -> cached:bool -> summary -> Json.t
+  ?tenant:string ->
+  seq:int ->
+  uid:string ->
+  txns:int ->
+  cached:bool ->
+  summary ->
+  Json.t
 
 val rejected :
+  ?tenant:string ->
   seq:int ->
   op:string ->
   uid:string ->
@@ -99,9 +122,10 @@ val rejected :
   unit ->
   Json.t
 
-val query_ok : seq:int -> cached:bool -> summary -> Json.t
+val query_ok : ?tenant:string -> seq:int -> cached:bool -> summary -> Json.t
 
 val what_if_ok :
+  ?tenant:string ->
   seq:int ->
   uid:string ->
   cached:bool ->
@@ -109,7 +133,8 @@ val what_if_ok :
   summary ->
   Json.t
 
-val shed : seq:int -> op:string -> reason:string -> Json.t
+val shed :
+  ?tenant:string -> seq:int -> op:string -> reason:string -> unit -> Json.t
 
 val error : seq:int -> op:string -> msg:string -> Json.t
 

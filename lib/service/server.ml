@@ -1,546 +1,32 @@
 module P = Protocol
 
-type session_kind = Cold | Rebound | Warm
+(* The server is the fleet plus the JSON-lines IO loops.  The batching
+   core lives in {!Shard} (per-tenant stores, caches and baselines;
+   parallel read-only groups; speculative commit groups) and the
+   topology in {!Fleet} (consistent-hash routing, shard domains, stats
+   merging, WAL replay and compaction); this module keeps the
+   historical single-server API on top. *)
 
-(* One engine session per pool slot.  A slot's session is only ever
-   touched by the domain the pool statically assigns that slot to, so
-   the field needs no lock. *)
-type slot = { mutable session : Analysis.Engine.t option }
+type t = Fleet.t
 
-(* Outcome of evaluating one read-only request on a worker, or of the
-   inline analysis a barrier request runs on slot 0. *)
-type eval =
-  | Not_run
-  | Invalid of string list
-  | Evaluated of {
-      candidate : Store.t option;  (* what_if candidate snapshot *)
-      summary : P.summary;
-      cache_hit : bool;
-      kind : session_kind option;  (* None on a cache hit *)
-      delta : Analysis.Engine.delta_outcome option;
-          (* how the delta layer served the analysis (None: cache hit
-             or no baseline yet) *)
-      fresh : (Analysis.Model.t * Analysis.Report.t) option;
-          (* the analysis actually run, for the baseline update the
-             finalizer performs on the main domain *)
-    }
+let create ?workers ?shards ?params ?max_batch ?trace ?now ?log ?wal_compact
+    base =
+  Fleet.create ?workers ?shards ?params ?max_batch ?trace ?now ?log
+    ?wal_compact base
 
-type t = {
-  params : Analysis.Params.t;
-  pool : Parallel.Pool.t;
-  slots : slot array;
-  mutable store : Store.t;
-  mutable baseline : (Analysis.Model.t * Analysis.Report.t) option;
-      (* most recent converged analysis, in arrival order — the warm
-         start Engine.analyze_delta carries clean rows from.  Written
-         only by the main domain between parallel groups (request
-         finalization runs in arrival order there), read by the worker
-         domains during a group; the pool's barrier orders the two. *)
-  cache : (string, P.summary) Hashtbl.t;
-  cache_mu : Mutex.t;
-  metrics : Metrics.t;
-  trace : (Events.event -> unit) option;
-  trace_mu : Mutex.t;
-  max_batch : int;
-  now : unit -> float;
-  mutable next_seq : int;
-}
+let store = Fleet.default_store
+let tenant_store = Fleet.tenant_store
+let workers = Fleet.workers
+let shards = Fleet.shards
+let metrics = Fleet.metrics
+let cache_entries = Fleet.cache_entries
+let shutdown = Fleet.shutdown
+let process_batch = Fleet.process_batch
 
-let default_params =
-  { Analysis.Params.default with Analysis.Params.keep_history = false }
-
-let create ?(workers = 1) ?(params = default_params) ?(max_batch = 64) ?trace
-    ?(now = Unix.gettimeofday) base =
-  match Store.boot base with
-  | Error es -> Error es
-  | Ok store ->
-      let pool = Parallel.Pool.create ~jobs:workers in
-      let jobs = Parallel.Pool.jobs pool in
-      Ok
-        {
-          params;
-          pool;
-          slots = Array.init jobs (fun _ -> { session = None });
-          store;
-          baseline = None;
-          cache = Hashtbl.create 64;
-          cache_mu = Mutex.create ();
-          metrics = Metrics.create ();
-          trace;
-          trace_mu = Mutex.create ();
-          max_batch;
-          now;
-          next_seq = 0;
-        }
-
-let store t = t.store
-let workers t = Array.length t.slots
-let metrics t = t.metrics
-let cache_entries t = Hashtbl.length t.cache
-let shutdown t = Parallel.Pool.shutdown t.pool
-
-let emit t e =
-  match t.trace with
-  | None -> ()
-  | Some f ->
-      Mutex.lock t.trace_mu;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.trace_mu)
-        (fun () -> f e)
-
-let engine_sink t =
-  match t.trace with
-  | None -> None
-  | Some _ -> Some (fun e -> emit t (Events.Engine_event e))
-
-(* The cache is read concurrently by worker domains during a parallel
-   group and written only by the main domain between groups, but the
-   mutex costs nothing and keeps the invariant local. *)
-let cache_find t hash =
-  Mutex.lock t.cache_mu;
-  let r = Hashtbl.find_opt t.cache hash in
-  Mutex.unlock t.cache_mu;
-  r
-
-let cache_add t (s : P.summary) =
-  Mutex.lock t.cache_mu;
-  if not (Hashtbl.mem t.cache s.P.s_hash) then Hashtbl.add t.cache s.P.s_hash s;
-  Mutex.unlock t.cache_mu
-
-(* Analyze a snapshot on [slot]'s session: result cache first, then the
-   slot's engine session, created cold or rebound via [with_model] (the
-   IR stays warm when only demands moved — [Ir.compatible]).  When a
-   baseline exists, the analysis runs through [Engine.analyze_delta]:
-   the previous converged responses are carried across the snapshot
-   change and only the affected tasks iterate, with a transparent cold
-   fallback — the report is bit-identical either way, which is what
-   keeps responses deterministic across worker counts and baselines. *)
-let analyze_snapshot t slot (snap : Store.t) =
-  match cache_find t snap.Store.hash with
-  | Some s -> (s, true, None, None, None)
-  | None ->
-      let model = Analysis.Model.of_system snap.Store.sys in
-      let session, kind =
-        match slot.session with
-        | None ->
-            ( Analysis.Engine.create ~params:t.params ?sink:(engine_sink t)
-                model,
-              Cold )
-        | Some s ->
-            let warm = Analysis.Ir.compatible (Analysis.Engine.ir s) model in
-            ( Analysis.Engine.with_model s model,
-              if warm then Warm else Rebound )
-      in
-      slot.session <- Some session;
-      let report, delta =
-        match t.baseline with
-        | Some (prev_model, prev_report) ->
-            let report, outcome =
-              Analysis.Engine.analyze_delta session ~prev_model ~prev_report
-            in
-            (report, Some outcome)
-        | None -> (Analysis.Engine.analyze session, None)
-      in
-      ( P.summarize ~store:snap ~model report,
-        false,
-        Some kind,
-        delta,
-        Some (model, report) )
-
-(* Evaluate one read-only request against the frozen [snap]; runs on a
-   worker domain. *)
-let evaluate t slot snap req =
-  match req with
-  | P.Query ->
-      let summary, cache_hit, kind, delta, fresh = analyze_snapshot t slot snap in
-      Evaluated { candidate = None; summary; cache_hit; kind; delta; fresh }
-  | P.What_if { uid; spec } -> (
-      match Store.admit snap ~uid ~spec with
-      | Error es -> Invalid es
-      | Ok cand ->
-          let summary, cache_hit, kind, delta, fresh =
-            analyze_snapshot t slot cand
-          in
-          Evaluated
-            { candidate = Some cand; summary; cache_hit; kind; delta; fresh })
-  | P.Admit _ | P.Revoke _ | P.Stats -> assert false
-
-let session_label = function
-  | Cold -> "cold"
-  | Rebound -> "rebound"
-  | Warm -> "warm-ir"
-
-let record_kind t = function
-  | None -> ()
-  | Some Cold ->
-      t.metrics.Metrics.sessions_created <-
-        t.metrics.Metrics.sessions_created + 1
-  | Some Rebound ->
-      t.metrics.Metrics.sessions_rebound <-
-        t.metrics.Metrics.sessions_rebound + 1
-  | Some Warm ->
-      t.metrics.Metrics.sessions_rebound <-
-        t.metrics.Metrics.sessions_rebound + 1;
-      t.metrics.Metrics.ir_warm <- t.metrics.Metrics.ir_warm + 1
-
-let record_cache t hit =
-  if hit then t.metrics.Metrics.cache_hits <- t.metrics.Metrics.cache_hits + 1
-  else t.metrics.Metrics.cache_misses <- t.metrics.Metrics.cache_misses + 1
-
-let record_delta t = function
-  | None -> ()
-  | Some (Analysis.Engine.Delta_warm { dirty; total = _; carried }) ->
-      t.metrics.Metrics.delta_warm <- t.metrics.Metrics.delta_warm + 1;
-      t.metrics.Metrics.delta_dirty_tasks <-
-        t.metrics.Metrics.delta_dirty_tasks + dirty;
-      t.metrics.Metrics.delta_carried_tasks <-
-        t.metrics.Metrics.delta_carried_tasks + carried
-  | Some (Analysis.Engine.Delta_cold _) ->
-      t.metrics.Metrics.delta_cold <- t.metrics.Metrics.delta_cold + 1
-
-(* Any converged (model, report) pair is a valid warm-start source —
-   what_if candidates included: the delta planner aligns by transaction
-   name and verifies every carried equation itself.  Runs on the main
-   domain only, in arrival order, so the baseline a batch's parallel
-   group reads is deterministic. *)
-let update_baseline t = function
-  | Some ((_, report) as pair) when report.Analysis.Report.converged ->
-      t.baseline <- Some pair
-  | Some _ | None -> ()
-
-let process_batch t envs =
-  let arr = Array.of_list envs in
-  let n = Array.length arr in
-  (* Counted up front so a [stats] request in this very batch sees it. *)
-  t.metrics.Metrics.batches <- t.metrics.Metrics.batches + 1;
-  let responses = Array.make n Json.Null in
-  let shed_reason = Array.make n None in
-  (* Overload policy: beyond [max_batch], shed the newest what_if probes
-     first, then queries, then admissions/revocations; stats never. *)
-  let over = ref (n - t.max_batch) in
-  let shed_class is_class =
-    for i = n - 1 downto 0 do
-      if !over > 0 && shed_reason.(i) = None && is_class arr.(i).P.req then (
-        shed_reason.(i) <- Some "overload";
-        decr over)
-    done
-  in
-  if !over > 0 then (
-    shed_class (function P.What_if _ -> true | _ -> false);
-    shed_class (function P.Query -> true | _ -> false);
-    shed_class (function P.Admit _ | P.Revoke _ -> true | _ -> false));
-  let results = Array.make n Not_run in
-  let parallel_count = ref 0 in
-  (* Requests are finalized (responses, cache inserts, metrics, trace)
-     on this domain in arrival order — that is what makes a scripted
-     session deterministic regardless of the worker count. *)
-  let finish i ~status ~cache_hit ~session response =
-    let env = arr.(i) in
-    responses.(i) <- response;
-    let ms = (t.now () -. env.P.arrival) *. 1000. in
-    Metrics.record_latency t.metrics ms;
-    emit t
-      (Events.Request
-         {
-           seq = env.P.seq;
-           op = P.op_name env.P.req;
-           status;
-           latency_ms = ms;
-           cache_hit;
-           session;
-         })
-  in
-  let finalize i =
-    let env = arr.(i) in
-    let seq = env.P.seq in
-    Metrics.count_request t.metrics env.P.req;
-    match shed_reason.(i) with
-    | Some reason ->
-        (if reason = "deadline" then
-           t.metrics.Metrics.shed_deadline <-
-             t.metrics.Metrics.shed_deadline + 1
-         else
-           t.metrics.Metrics.shed_overload <-
-             t.metrics.Metrics.shed_overload + 1);
-        finish i ~status:"shed" ~cache_hit:false ~session:None
-          (P.shed ~seq ~op:(P.op_name env.P.req) ~reason)
-    | None -> (
-        match results.(i) with
-        | Not_run -> assert false
-        | Invalid errors ->
-            t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
-            let uid =
-              match env.P.req with P.What_if { uid; _ } -> uid | _ -> "?"
-            in
-            finish i ~status:"rejected" ~cache_hit:false ~session:None
-              (P.rejected ~seq ~op:(P.op_name env.P.req) ~uid ~reason:"invalid"
-                 ~errors ~hash:t.store.Store.hash ())
-        | Evaluated { candidate; summary; cache_hit; kind; delta; fresh } -> (
-            record_kind t kind;
-            record_cache t cache_hit;
-            record_delta t delta;
-            update_baseline t fresh;
-            cache_add t summary;
-            let session = Option.map session_label kind in
-            match env.P.req with
-            | P.Query ->
-                finish i ~status:"ok" ~cache_hit ~session
-                  (P.query_ok ~seq ~cached:cache_hit summary)
-            | P.What_if { uid; _ } ->
-                let candidate_instances =
-                  match candidate with
-                  | Some c -> Store.unit_instances c uid
-                  | None -> []
-                in
-                finish i ~status:"ok" ~cache_hit ~session
-                  (P.what_if_ok ~seq ~uid ~cached:cache_hit
-                     ~candidate_instances summary)
-            | P.Admit _ | P.Revoke _ | P.Stats -> assert false))
-  in
-  (* Pending read-only group: [to_run] are the indices to execute on the
-     workers, [pending] additionally carries the shed ones so they are
-     finalized in order with their neighbours. *)
-  let pending = ref [] and to_run = ref [] in
-  let flush () =
-    (match List.rev !to_run with
-    | [] -> ()
-    | [ i ] ->
-        (* A singleton is not worth a pool dispatch. *)
-        results.(i) <- evaluate t t.slots.(0) t.store arr.(i).P.req
-    | idxs ->
-        let idxs = Array.of_list idxs in
-        let m = Array.length idxs in
-        parallel_count := !parallel_count + m;
-        let snap = t.store in
-        (* One item is a whole analysis — orders of magnitude above the
-           pool's wake-up cost, hence the large weight: any group of two
-           or more parallelises.  Stealing rebalances the group when
-           snapshots differ wildly in analysis cost; slot identity still
-           routes each item to the session owned by its executor. *)
-        let slots = Parallel.Pool.slots_for ~weight:1024 t.pool m in
-        Parallel.Pool.run_ranges t.pool ~steal:t.params.Analysis.Params.steal
-          ~slots ~n:m (fun ~slot ~lo ~hi ->
-            for k = lo to hi - 1 do
-              let i = idxs.(k) in
-              results.(i) <- evaluate t t.slots.(slot) snap arr.(i).P.req
-            done));
-    List.iter finalize (List.rev !pending);
-    pending := [];
-    to_run := []
-  in
-  let commit_with i uid ~op cand (summary, cache_hit, kind, delta, fresh) =
-    let seq = arr.(i).P.seq in
-    record_kind t kind;
-    record_cache t cache_hit;
-    record_delta t delta;
-    update_baseline t fresh;
-    cache_add t summary;
-    let session = Option.map session_label kind in
-    let commit status response =
-      t.store <- cand;
-      t.metrics.Metrics.committed <- t.metrics.Metrics.committed + 1;
-      finish i ~status ~cache_hit ~session response
-    in
-    match op with
-    | `Admit ->
-        if summary.P.s_schedulable then
-          commit "admitted"
-            (P.admitted ~seq ~uid ~txns:(Store.n_transactions cand)
-               ~cached:cache_hit summary)
-        else (
-          (* Rollback: the candidate is dropped, [t.store] was never
-             touched. *)
-          t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
-          finish i ~status:"rejected" ~cache_hit ~session
-            (P.rejected ~seq ~op:"admit" ~uid ~reason:"unschedulable"
-               ~violations:summary.P.s_violations
-               ~candidate_instances:(Store.unit_instances cand uid)
-               ~hash:t.store.Store.hash ()))
-    | `Revoke ->
-        (* Revocation commits whenever the remaining assembly is valid:
-           shrinking the admitted set must not be refusable on analysis
-           grounds, but the response still reports the verdict. *)
-        commit "revoked"
-          (P.revoked ~seq ~uid ~txns:(Store.n_transactions cand)
-             ~cached:cache_hit summary)
-  in
-  let commit_barrier i uid ~op cand =
-    commit_with i uid ~op cand (analyze_snapshot t t.slots.(0) cand)
-  in
-  let barrier i =
-    let env = arr.(i) in
-    let seq = env.P.seq in
-    Metrics.count_request t.metrics env.P.req;
-    let invalid ~op ~uid errors =
-      t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
-      finish i ~status:"rejected" ~cache_hit:false ~session:None
-        (P.rejected ~seq ~op ~uid ~reason:"invalid" ~errors
-           ~hash:t.store.Store.hash ())
-    in
-    match env.P.req with
-    | P.Stats ->
-        (* Snapshot of the worker sessions at the barrier: the main
-           domain is alone here, and the fallback counters are atomics,
-           so reading across slots is safe. *)
-        let kernel_sessions = ref 0 and fallback_count = ref 0 in
-        Array.iter
-          (fun s ->
-            match s.session with
-            | None -> ()
-            | Some e ->
-                if Analysis.Engine.kernel_scale e <> None then
-                  incr kernel_sessions;
-                fallback_count :=
-                  !fallback_count
-                  + Analysis.Rta.kernel_fallbacks (Analysis.Engine.counters e))
-          t.slots;
-        finish i ~status:"ok" ~cache_hit:false ~session:None
-          (Metrics.to_json t.metrics ~seq
-             ~admitted:(List.length t.store.Store.units)
-             ~hash:t.store.Store.hash
-             ~workers:(Array.length t.slots)
-             ~entries:(Hashtbl.length t.cache)
-             ~kernel_sessions:!kernel_sessions
-             ~fallback_count:!fallback_count
-             ~pool:(Parallel.Pool.stats t.pool))
-    | P.Admit { uid; spec } -> (
-        match Store.admit t.store ~uid ~spec with
-        | Error errors -> invalid ~op:"admit" ~uid errors
-        | Ok cand -> commit_barrier i uid ~op:`Admit cand)
-    | P.Revoke { uid } -> (
-        match Store.revoke t.store ~uid with
-        | Error errors -> invalid ~op:"revoke" ~uid errors
-        | Ok cand -> commit_barrier i uid ~op:`Revoke cand)
-    | P.Query | P.What_if _ -> assert false
-  in
-  (* Pending admission/revocation group: consecutive commit requests are
-     speculatively analyzed in parallel against the store as of the
-     group start, then finalized in arrival order.  A finalized commit
-     changes the store and invalidates the remaining speculations —
-     those rerun inline against the current store, exactly as the
-     sequential barrier would — while rejections and invalid specs
-     leave the store, and with it every later speculation, intact.
-     Responses are therefore bit-identical to fully sequential
-     processing for any worker count or steal schedule; only the
-     wall-clock changes (one parallel round per run of rejections and
-     what-if-style probes instead of one analysis each). *)
-  let admits = ref [] in
-  let flush_admits () =
-    (match List.rev !admits with
-    | [] -> ()
-    | [ i ] -> barrier i
-    | idxs ->
-        let idxs = Array.of_list idxs in
-        let m = Array.length idxs in
-        let snap = t.store in
-        let cands =
-          Array.map
-            (fun i ->
-              match arr.(i).P.req with
-              | P.Admit { uid; spec } -> (
-                  match Store.admit snap ~uid ~spec with
-                  | Error es -> `Invalid (uid, "admit", es)
-                  | Ok c -> `Cand (uid, `Admit, c))
-              | P.Revoke { uid } -> (
-                  match Store.revoke snap ~uid with
-                  | Error es -> `Invalid (uid, "revoke", es)
-                  | Ok c -> `Cand (uid, `Revoke, c))
-              | P.Query | P.What_if _ | P.Stats -> assert false)
-            idxs
-        in
-        let spec_results = Array.make m None in
-        let work =
-          Array.of_list
-            (List.filter
-               (fun j -> match cands.(j) with `Cand _ -> true | _ -> false)
-               (List.init m Fun.id))
-        in
-        let w = Array.length work in
-        if w > 1 then begin
-          parallel_count := !parallel_count + w;
-          let slots = Parallel.Pool.slots_for ~weight:1024 t.pool w in
-          Parallel.Pool.run_ranges t.pool
-            ~steal:t.params.Analysis.Params.steal ~slots ~n:w
-            (fun ~slot ~lo ~hi ->
-              for k = lo to hi - 1 do
-                let j = work.(k) in
-                match cands.(j) with
-                | `Cand (_, _, c) ->
-                    spec_results.(j) <-
-                      Some (analyze_snapshot t t.slots.(slot) c)
-                | `Invalid _ -> ()
-              done)
-        end;
-        Array.iteri
-          (fun j i ->
-            if t.store != snap then
-              (* An earlier member committed: the speculation no longer
-                 describes the store these requests apply to. *)
-              barrier i
-            else begin
-              Metrics.count_request t.metrics arr.(i).P.req;
-              match cands.(j) with
-              | `Invalid (uid, op, errors) ->
-                  t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
-                  finish i ~status:"rejected" ~cache_hit:false ~session:None
-                    (P.rejected ~seq:arr.(i).P.seq ~op ~uid ~reason:"invalid"
-                       ~errors ~hash:t.store.Store.hash ())
-              | `Cand (uid, op, cand) ->
-                  let pre =
-                    match spec_results.(j) with
-                    | Some pre -> pre
-                    | None -> analyze_snapshot t t.slots.(0) cand
-                  in
-                  commit_with i uid ~op cand pre
-            end)
-          idxs);
-    admits := []
-  in
-  for i = 0 to n - 1 do
-    let env = arr.(i) in
-    if shed_reason.(i) <> None then (
-      flush_admits ();
-      pending := i :: !pending)
-    else
-      let expired =
-        match env.P.deadline_ms with
-        | None -> false
-        | Some d -> (t.now () -. env.P.arrival) *. 1000. >= d
-      in
-      if expired then (
-        shed_reason.(i) <- Some "deadline";
-        flush_admits ();
-        pending := i :: !pending)
-      else
-        match env.P.req with
-        | P.Query | P.What_if _ ->
-            flush_admits ();
-            pending := i :: !pending;
-            to_run := i :: !to_run
-        | P.Admit _ | P.Revoke _ ->
-            flush ();
-            admits := i :: !admits
-        | P.Stats ->
-            flush ();
-            flush_admits ();
-            barrier i
-  done;
-  flush ();
-  flush_admits ();
-  let shed =
-    Array.fold_left
-      (fun acc r -> if r = None then acc else acc + 1)
-      0 shed_reason
-  in
-  emit t (Events.Batch { size = n; parallel = !parallel_count; shed });
-  Array.to_list responses
-
-let handle t ?deadline_ms req =
-  t.next_seq <- t.next_seq + 1;
-  let env = { P.seq = t.next_seq; arrival = t.now (); deadline_ms; req } in
-  match process_batch t [ env ] with [ r ] -> r | _ -> assert false
+let handle t ?deadline_ms ?tenant req = Fleet.handle t ?deadline_ms ?tenant req
 
 let run t ic oc =
+  let now = Fleet.clock t in
   let mu = Mutex.create () in
   let cv = Condition.create () in
   let q = Queue.create () in
@@ -553,7 +39,7 @@ let run t ic oc =
         (try
            while true do
              let line = input_line ic in
-             let arrival = t.now () in
+             let arrival = now () in
              Mutex.lock mu;
              Queue.add (line, arrival) q;
              Condition.signal cv;
@@ -592,17 +78,16 @@ let run t ic oc =
       List.filter_map
         (fun (line, arrival) ->
           if String.trim line = "" then None
-          else (
-            t.next_seq <- t.next_seq + 1;
-            let seq = t.next_seq in
+          else
+            let seq = Fleet.fresh_seq t in
             match P.parse line with
-            | Ok (req, deadline_ms) ->
-                Some (`Env { P.seq; arrival; deadline_ms; req })
+            | Ok (req, deadline_ms, tenant) ->
+                Some (`Env { P.seq; arrival; deadline_ms; tenant; req })
             | Error msg ->
                 (* Counted here, not at response time, so a [stats] in
                    the same batch already sees the error. *)
-                t.metrics.Metrics.errors <- t.metrics.Metrics.errors + 1;
-                Some (`Err (seq, msg))))
+                Fleet.count_error t;
+                Some (`Err (seq, msg)))
         lines
     in
     let envs = List.filter_map (function `Env e -> Some e | _ -> None) items in

@@ -1,53 +1,77 @@
-(** The long-lived admission-control server.
+(** The long-lived admission-control server: the {!Fleet} plus the
+    JSON-lines IO loops, keeping the historical single-server API.
 
-    One server owns the current admitted {!Store.t} snapshot, a result
-    cache keyed by snapshot hash, a pool of worker domains each driving
-    one rebindable {!Analysis.Engine} session, and the service metrics.
+    A server owns a fleet of {!Shard}s (one by default — then
+    everything runs on the calling domain exactly like the original
+    single-store server), each serving a consistent-hashed partition of
+    tenants with its own worker pool, engine sessions and metrics.
     Requests arrive as JSON lines ({!Protocol}); the {!run} loop drains
     whatever has arrived into a batch, sheds expired or overload-victim
     requests, executes maximal runs of read-only requests ([query],
     [what_if]) in parallel on the workers, and serializes the mutating
-    requests ([admit], [revoke]) and [stats] as barriers between them.
+    requests ([admit], [revoke]) per tenant and [stats] as a fleet
+    barrier.
 
     Admission is transactional: the candidate snapshot is built and
-    analyzed {e beside} the current one, and the store reference is
-    re-pointed only on a schedulable verdict — a rejection leaves the
-    committed snapshot untouched (it was never modified), with a
-    structured report of which transactions miss and by what margin.
+    analyzed {e beside} the tenant's current one, and the store
+    reference is re-pointed only on a schedulable verdict — a rejection
+    leaves the committed snapshot untouched (it was never modified),
+    with a structured report of which transactions miss and by what
+    margin.  With [log] attached, every commit appends to the
+    write-ahead log before the response is finalized, and a restart
+    replays the log to the exact recorded hashes (hard error on
+    divergence).
 
     Every response is deterministic for a scripted session (fixed
     requests, fixed worker count): request finalization runs in arrival
-    order on the main domain, worker assignment is the pool's static
-    chunking, and the analysis itself is bit-identical across sessions
-    and job counts.  Only latency values and the interleaving of engine
+    order on each shard's driving domain, per-tenant state (store,
+    result cache, delta baseline) evolves in that order, and the
+    analysis itself is bit-identical across sessions, job counts and
+    shard counts.  Only latency values and the interleaving of engine
     trace events vary. *)
 
 type t
 
 val create :
   ?workers:int ->
+  ?shards:int ->
   ?params:Analysis.Params.t ->
   ?max_batch:int ->
   ?trace:(Events.event -> unit) ->
   ?now:(unit -> float) ->
+  ?log:string ->
+  ?wal_compact:int ->
   Spec.Ast.t ->
   (t, string list) result
-(** [workers] (default 1; 0 = all cores) sizes the domain pool and the
-    per-worker session set.  [params] defaults to the reduced analysis
-    without history.  [max_batch] (default 64) is the overload
-    threshold: a drained batch beyond it sheds [what_if] probes first,
-    then [query], then admissions — never [stats].  [trace] receives
-    the service event stream ({!Events}); the caller serializes nothing,
-    the server already wraps the sink in a mutex.  [now] is the clock
-    (injectable for tests).  Fails with the base description's
-    diagnostics. *)
+(** [workers] (default 1; 0 = all cores) sizes each shard's domain pool
+    and per-worker session set.  [shards] (default 1) is the number of
+    shards; above 1 each shard runs pinned to its own domain.  [params]
+    defaults to the reduced analysis without history.  [max_batch]
+    (default 64) is the per-shard overload threshold: a drained batch
+    beyond it sheds [what_if] probes first, then [query], then
+    admissions — never [stats].  [trace] receives the service event
+    stream ({!Events}); the caller serializes nothing, the server
+    already wraps the sink in a mutex.  [now] is the clock (injectable
+    for tests).  [log] attaches the durable write-ahead log: existing
+    records are replayed first (failing with the divergence report),
+    then every commit appends.  [wal_compact] (default 256) is the
+    mutation count that triggers snapshot compaction.  Fails with the
+    base description's diagnostics. *)
 
 val store : t -> Store.t
-(** The current committed snapshot. *)
+(** The default tenant's current committed snapshot. *)
+
+val tenant_store : t -> string -> Store.t option
+(** A tenant's current committed snapshot, if the tenant exists. *)
 
 val workers : t -> int
+(** Total workers across shards. *)
+
+val shards : t -> int
 
 val metrics : t -> Metrics.t
+(** A fresh merged copy of the per-shard records; call between
+    batches. *)
 
 val cache_entries : t -> int
 
@@ -56,7 +80,7 @@ val process_batch : t -> Protocol.envelope list -> Json.t list
     envelope order.  Must be called from the domain that created the
     server. *)
 
-val handle : t -> ?deadline_ms:float -> Protocol.request -> Json.t
+val handle : t -> ?deadline_ms:float -> ?tenant:string -> Protocol.request -> Json.t
 (** One-request convenience over {!process_batch} (assigns the next
     sequence number). *)
 
@@ -69,8 +93,9 @@ val run : t -> in_channel -> out_channel -> unit
 
 val run_unix_socket : ?accept_limit:int -> t -> path:string -> unit
 (** Serve connections on a Unix-domain socket, one client at a time,
-    against the same long-lived store.  [accept_limit] bounds the
+    against the same long-lived fleet.  [accept_limit] bounds the
     number of connections served (default: loop forever). *)
 
 val shutdown : t -> unit
-(** Join the worker domains.  The server must not be used afterwards. *)
+(** Join the shard domains and their pools and close the WAL.  The
+    server must not be used afterwards. *)

@@ -1,15 +1,24 @@
-(** The online admission-control service: a long-lived server that
-    admits and revokes component fragments over reusable analysis
-    engine sessions.  {!Store} holds the admitted system as immutable
-    content-hashed snapshots, {!Protocol} defines the JSON-lines wire
-    format (docs/SERVICE.md is the field-by-field reference),
-    {!Server} batches requests onto worker domains, {!Metrics} and
-    {!Events} are the observability surface, and {!Json} is the
-    dependency-free JSON reader/writer underneath it all. *)
+(** The online admission-control service: a long-lived multi-tenant
+    fleet that admits and revokes component fragments over reusable
+    analysis engine sessions.  {!Store} holds an admitted system as an
+    immutable content-hashed snapshot, {!Tenant} scopes store, result
+    cache and delta baseline to one tenant id, {!Wal} is the durable
+    replay log of committed mutations, {!Protocol} defines the
+    JSON-lines wire format (docs/SERVICE.md is the field-by-field
+    reference), {!Shard} batches a tenant partition onto worker
+    domains, {!Fleet} consistent-hashes tenants across shards and
+    merges their [stats], {!Server} keeps the single-server API plus
+    the IO loops on top, {!Metrics} and {!Events} are the
+    observability surface, and {!Json} is the dependency-free JSON
+    reader/writer underneath it all. *)
 
 module Json = Json
 module Store = Store
+module Tenant = Tenant
+module Wal = Wal
 module Protocol = Protocol
 module Metrics = Metrics
 module Events = Events
+module Shard = Shard
+module Fleet = Fleet
 module Server = Server

@@ -1,0 +1,78 @@
+(** One shard of the fleet: a partition of tenants served by its own
+    {!Parallel.Pool}, engine sessions (with their memos and integer
+    kernels) and {!Metrics} record.
+
+    The batching core is the original single-store server generalized
+    over tenants: maximal runs of read-only requests execute in
+    parallel on the shard's workers against each item's own tenant
+    snapshot, consecutive admissions/revocations are speculated in
+    parallel and finalized in arrival order (a commit only invalidates
+    the {e same} tenant's later speculations — different tenants
+    commute), and [stats] is a barrier the fleet renders.  Committed
+    mutations append to the WAL inside the commit.
+
+    A shard must only be driven from one domain (the fleet pins each
+    shard to its own domain when running more than one); per-tenant
+    responses are bit-identical for any worker count, steal schedule or
+    shard count. *)
+
+type t
+
+type view = {
+  v_metrics : Metrics.t;
+  v_workers : int;
+  v_entries : int;  (** result-cache entries summed over tenants *)
+  v_kernel_sessions : int;
+      (** live sessions currently on the integer timeline kernel *)
+  v_fallback_count : int;  (** kernel-overflow fallbacks recorded *)
+  v_pool : Parallel.Pool.stats;
+  v_tenants : (string * Store.t) list;  (** sorted by tenant id *)
+}
+(** Snapshot for the fleet's stats barrier; only taken while the shard
+    is quiescent. *)
+
+val create :
+  id:int ->
+  workers:int ->
+  params:Analysis.Params.t ->
+  max_batch:int ->
+  emit:(Events.event -> unit) option ->
+  now:(unit -> float) ->
+  ?wal:Wal.t ->
+  boot:Store.t ->
+  tenants:(string * Store.t) list ->
+  unit ->
+  t
+(** Must be called on the domain that will drive the shard (the pool it
+    creates is owned by that domain).  [emit] is the fleet's already
+    serialized trace sink; [tenants] seeds the partition (typically
+    from WAL replay), every other tenant starts from [boot] on first
+    contact. *)
+
+val set_stats_view : t -> (seq:int -> tenant:string option -> Json.t) -> unit
+(** Install the fleet's [stats] renderer (called back at the stats
+    barrier, when every shard is quiescent). *)
+
+val process_batch : t -> Protocol.envelope list -> Json.t list
+(** Responses in envelope order.  Must be called from the shard's
+    driving domain. *)
+
+val tenant : t -> string -> Tenant.t
+(** Find or create (from the boot snapshot) the tenant. *)
+
+val tenant_find : t -> string -> Tenant.t option
+
+val tenant_stores : t -> (string * Store.t) list
+(** Current committed snapshots of this shard's tenants, sorted by id. *)
+
+val view : t -> view
+
+val metrics : t -> Metrics.t
+
+val workers : t -> int
+
+val cache_entries : t -> int
+
+val shutdown : t -> unit
+(** Join the shard's worker domains.  The shard must not be used
+    afterwards. *)

@@ -1,0 +1,34 @@
+(** Per-tenant serving state: the committed {!Store.t} snapshot, the
+    delta-analysis baseline and the result cache, all scoped to one
+    tenant id so interleaved traffic from different assemblies cannot
+    disturb each other's warm fixed points or [cached] flags.  Engine
+    sessions, memos and worker pools remain per-shard resources shared
+    across the shard's tenants.
+
+    Mutable fields are written only by the owning shard's driving
+    domain in request-arrival order; the cache additionally tolerates
+    concurrent reads from that shard's workers. *)
+
+type t = {
+  id : string;
+  mutable store : Store.t;  (** current committed snapshot *)
+  mutable baseline : (Analysis.Model.t * Analysis.Report.t) option;
+      (** warm-start source for {!Analysis.Engine.analyze_delta} *)
+  cache : (string, Protocol.summary) Hashtbl.t;
+  cache_mu : Mutex.t;
+}
+
+val default_id : string
+(** [""] — the tenant requests without a [tenant] field resolve to. *)
+
+val create : id:string -> Store.t -> t
+
+val cache_find : t -> string -> Protocol.summary option
+
+val cache_add : t -> Protocol.summary -> unit
+
+val cache_entries : t -> int
+
+val update_baseline : t -> (Analysis.Model.t * Analysis.Report.t) option -> unit
+(** Adopt a freshly computed (model, report) pair as the new baseline
+    iff the report converged. *)

@@ -10,7 +10,16 @@
       system admitted at that point — for every worker count.
    4. Overload: beyond max_batch, what_if probes are shed first.
    5. qcheck: interleaved what_if probes (valid or not) never mutate
-      the store. *)
+      the store.
+   6. Tenancy: per-tenant stores are isolated, default-tenant traffic
+      keeps the pre-tenant wire bytes, stats reports the shard map.
+   7. Sharding: a scripted multi-tenant session is bit-identical at
+      every shard count.
+   8. Durability: restarts replay the write-ahead log to the exact
+      recorded hashes, tampered logs are refused, compaction keeps
+      replay exact; qcheck kills a random session at a random commit
+      boundary and checks the restart against the uninterrupted run.
+   9. qcheck: Json print-then-parse is the identity. *)
 
 module Q = Rational
 module Store = Service.Store
@@ -43,13 +52,16 @@ let unit_spec ?(wcet = "0.2") i =
 let params =
   { Analysis.Params.default with Analysis.Params.keep_history = false }
 
-let mk_server ?(workers = 1) ?max_batch ?now () =
-  match Server.create ~workers ~params ?max_batch ?now base_items with
+let mk_server ?(workers = 1) ?shards ?max_batch ?now ?log ?wal_compact () =
+  match
+    Server.create ~workers ?shards ~params ?max_batch ?now ?log ?wal_compact
+      base_items
+  with
   | Ok s -> s
   | Error es -> Alcotest.failf "server boot: %s" (String.concat "; " es)
 
-let with_server ?workers ?max_batch ?now f =
-  let srv = mk_server ?workers ?max_batch ?now () in
+let with_server ?workers ?shards ?max_batch ?now ?log ?wal_compact f =
+  let srv = mk_server ?workers ?shards ?max_batch ?now ?log ?wal_compact () in
   Fun.protect ~finally:(fun () -> Server.shutdown srv) (fun () -> f srv)
 
 let str_field name j =
@@ -127,7 +139,7 @@ let test_deadline_shedding () =
 
 let test_overload_sheds_probes_first () =
   with_server ~max_batch:2 @@ fun srv ->
-  let env seq req = { P.seq; arrival = Unix.gettimeofday (); deadline_ms = None; req } in
+  let env seq req = { P.seq; arrival = Unix.gettimeofday (); deadline_ms = None; tenant = None; req } in
   let batch =
     [
       env 1 (P.Admit { uid = "a"; spec = unit_spec 1 });
@@ -265,6 +277,7 @@ let prop_what_if_pure specs =
           P.seq = i + 2;
           arrival = Unix.gettimeofday ();
           deadline_ms = None;
+          tenant = None;
           req = P.What_if { uid = Printf.sprintf "p%d" (i mod 3); spec };
         })
       specs
@@ -393,6 +406,390 @@ let test_delta_metrics () =
   Alcotest.(check bool) "tasks carried" true
     (m.Service.Metrics.delta_carried_tasks >= 1)
 
+(* --- json: print-then-parse is the identity --- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_json_escapes () =
+  let s = "a\"b\\c\nd\re\tf\x01g" in
+  let printed = Json.to_string (Json.String s) in
+  Alcotest.(check string)
+    "escaped form" "\"a\\\"b\\\\c\\nd\\re\\tf\\u0001g\"" printed;
+  match Json.parse printed with
+  | Ok (Json.String s') -> Alcotest.(check string) "round trip" s s'
+  | _ -> Alcotest.fail "escaped string does not parse back"
+
+let json_gen =
+  let open QCheck.Gen in
+  (* arbitrary bytes: the printer \u-escapes control characters and the
+     parser folds them back to the same bytes *)
+  let any_string =
+    string_size ~gen:(map Char.chr (int_bound 255)) (int_bound 12)
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map
+          (fun i -> Json.Int i)
+          (oneof [ small_signed_int; oneofl [ 0; 1; -1; max_int; min_int ] ]);
+        (* a dyadic grid: %.12g prints these exactly, and integer-valued
+           floats keep their ".0" so they parse back as floats *)
+        map (fun k -> Json.Float (float_of_int k /. 8.)) (int_range (-8000) 8000);
+        map (fun f -> Json.Float f) (oneofl [ 1e15; -1e15; 0.5; 1.5e300 ]);
+        map (fun s -> Json.String s) any_string;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then scalar
+         else
+           frequency
+             [
+               (3, scalar);
+               ( 1,
+                 map
+                   (fun vs -> Json.List vs)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun fs -> Json.Obj fs)
+                   (list_size (int_bound 4) (pair any_string (self (n / 2)))) );
+             ])
+
+let json_arbitrary = QCheck.make json_gen ~print:Json.to_string
+
+let prop_json_round_trip v =
+  match Json.parse (Json.to_string v) with Ok v' -> v' = v | Error _ -> false
+
+let test_json_round_trip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"print-then-parse is the identity" ~count:500
+       json_arbitrary prop_json_round_trip)
+
+(* --- tenancy --- *)
+
+let tenant_hash srv id =
+  match Server.tenant_store srv id with
+  | Some s -> s.Store.hash
+  | None -> Alcotest.failf "tenant %S has no store" id
+
+let test_tenant_isolation () =
+  with_server @@ fun srv ->
+  let boot = (Server.store srv).Store.hash in
+  let r1 =
+    Server.handle srv ~tenant:"acme" (P.Admit { uid = "u"; spec = unit_spec 1 })
+  in
+  let r2 =
+    Server.handle srv ~tenant:"globex"
+      (P.Admit { uid = "u"; spec = unit_spec 2 })
+  in
+  (* the same uid lives independently under each tenant *)
+  Alcotest.(check string) "acme admitted" "admitted" (status r1);
+  Alcotest.(check string) "globex admitted" "admitted" (status r2);
+  Alcotest.(check string) "acme echoed" "acme" (str_field "tenant" r1);
+  Alcotest.(check string) "globex echoed" "globex" (str_field "tenant" r2);
+  Alcotest.(check bool) "stores differ" true
+    (tenant_hash srv "acme" <> tenant_hash srv "globex");
+  (* the default tenant is untouched, and its responses carry no tenant
+     field — the pre-tenant protocol byte for byte *)
+  Alcotest.(check string) "default untouched" boot (Server.store srv).Store.hash;
+  let q = Server.handle srv P.Query in
+  Alcotest.(check bool) "no tenant field" true (Json.member "tenant" q = None);
+  (* revoking under one tenant leaves the other's unit admitted *)
+  Alcotest.(check string) "acme revoke" "revoked"
+    (status (Server.handle srv ~tenant:"acme" (P.Revoke { uid = "u" })));
+  Alcotest.(check string) "acme back to boot" boot (tenant_hash srv "acme");
+  Alcotest.(check bool) "globex keeps its unit" true
+    (Store.mem (Option.get (Server.tenant_store srv "globex")) "u")
+
+let test_stats_shard_map () =
+  with_server ~shards:2 @@ fun srv ->
+  ignore
+    (Server.handle srv ~tenant:"acme" (P.Admit { uid = "u"; spec = unit_spec 1 }));
+  ignore
+    (Server.handle srv ~tenant:"globex"
+       (P.Admit { uid = "u"; spec = unit_spec 2 }));
+  let s = Server.handle srv P.Stats in
+  Alcotest.(check int) "workers summed across shards" 2 (int_field "workers" s);
+  (match Json.member "shards" s with
+  | Some (Json.List l) -> Alcotest.(check int) "per-shard records" 2 (List.length l)
+  | _ -> Alcotest.fail "stats lacks the shards array");
+  match Json.member "shard_map" s with
+  | None -> Alcotest.fail "stats lacks the shard map"
+  | Some m -> (
+      Alcotest.(check int) "shard count" 2 (int_field "shards" m);
+      match Json.member "tenants" m with
+      | Some (Json.Obj fields) ->
+          Alcotest.(check (list string))
+            "tenants mapped, sorted"
+            [ ""; "acme"; "globex" ]
+            (List.map fst fields);
+          List.iter
+            (fun (tid, v) ->
+              match v with
+              | Json.Int sh ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "tenant %S in range" tid)
+                    true (sh >= 0 && sh < 2)
+              | _ -> Alcotest.failf "tenant %S maps to a non-integer" tid)
+            fields
+      | _ -> Alcotest.fail "shard map lacks tenants")
+
+(* --- sharding: bit-identical responses at every shard count --- *)
+
+let scripted_envelopes () =
+  let tenants =
+    [ None; Some "acme"; Some "globex"; Some "initech"; Some "umbrella" ]
+  in
+  let ops =
+    List.concat_map
+      (fun round ->
+        List.concat
+          (List.mapi
+             (fun ti tenant ->
+               match round with
+               | 0 -> [ (tenant, P.Admit { uid = "a"; spec = unit_spec (ti + 1) }) ]
+               | 1 ->
+                   [
+                     (tenant, P.Query);
+                     (tenant, P.What_if { uid = "p"; spec = unit_spec (ti + 2) });
+                   ]
+               | 2 -> [ (tenant, P.Admit { uid = "b"; spec = unit_spec (ti + 3) }) ]
+               | _ -> [ (tenant, P.Revoke { uid = "a" }); (tenant, P.Query) ])
+             tenants))
+      [ 0; 1; 2; 3 ]
+  in
+  List.mapi
+    (fun i (tenant, req) ->
+      { P.seq = i + 1; arrival = 0.; deadline_ms = None; tenant; req })
+    ops
+
+let run_envs srv envs =
+  (* one envelope per batch keeps shedding out of the picture *)
+  List.concat_map
+    (fun e -> List.map Json.to_string (Server.process_batch srv [ e ]))
+    envs
+
+let test_shard_identity () =
+  let envs = scripted_envelopes () in
+  let base = with_server @@ fun srv -> run_envs srv envs in
+  List.iter
+    (fun shards ->
+      let got = with_server ~shards @@ fun srv -> run_envs srv envs in
+      Alcotest.(check (list string))
+        (Printf.sprintf "%d shards" shards)
+        base got)
+    [ 2; 4 ];
+  (* the whole script as one fleet-partitioned batch is identical too *)
+  let batched =
+    with_server ~shards:2 @@ fun srv ->
+    List.map Json.to_string (Server.process_batch srv envs)
+  in
+  Alcotest.(check (list string)) "one batch, 2 shards" base batched
+
+(* --- durability: the write-ahead log --- *)
+
+let with_wal f =
+  let path = Filename.temp_file "hsched_wal" ".jsonl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_wal_restart () =
+  with_wal @@ fun log ->
+  let finals =
+    with_server ~log @@ fun srv ->
+    ignore (Server.handle srv (P.Admit { uid = "d1"; spec = unit_spec 1 }));
+    ignore
+      (Server.handle srv ~tenant:"acme"
+         (P.Admit { uid = "a1"; spec = unit_spec 2 }));
+    ignore
+      (Server.handle srv ~tenant:"acme"
+         (P.Admit { uid = "a2"; spec = unit_spec 3 }));
+    ignore (Server.handle srv ~tenant:"acme" (P.Revoke { uid = "a1" }));
+    (* a rejected admission must not reach the log *)
+    Alcotest.(check string) "rejected" "rejected"
+      (status
+         (Server.handle srv (P.Admit { uid = "no"; spec = unit_spec ~wcet:"100" 4 })));
+    ((Server.store srv).Store.hash, tenant_hash srv "acme")
+  in
+  (* restart — at a different shard count: replay is placement-independent *)
+  with_server ~shards:2 ~log @@ fun srv ->
+  Alcotest.(check string) "default replayed" (fst finals)
+    (Server.store srv).Store.hash;
+  Alcotest.(check string) "acme replayed" (snd finals) (tenant_hash srv "acme");
+  (* the replayed server serves queries against the replayed stores *)
+  let q = Server.handle srv ~tenant:"acme" P.Query in
+  Alcotest.(check (list (triple string string string)))
+    "bounds match one-shot"
+    (fresh_bounds (Option.get (Server.tenant_store srv "acme")))
+    (query_bounds q)
+
+let test_wal_tamper () =
+  with_wal @@ fun log ->
+  (with_server ~log @@ fun srv ->
+   ignore (Server.handle srv (P.Admit { uid = "u"; spec = unit_spec 1 })));
+  (* flip the recorded hash: replay must refuse to serve *)
+  let lines = In_channel.with_open_text log In_channel.input_lines in
+  let patched =
+    List.map
+      (fun line ->
+        match Json.parse line with
+        | Ok (Json.Obj fields)
+          when List.assoc_opt "rec" fields = Some (Json.String "admit") ->
+            Json.to_string
+              (Json.Obj
+                 (List.map
+                    (fun (k, v) ->
+                      if k = "hash" then (k, Json.String (String.make 32 '0'))
+                      else (k, v))
+                    fields))
+        | _ -> line)
+      lines
+  in
+  Out_channel.with_open_text log (fun oc ->
+      List.iter
+        (fun l ->
+          output_string oc l;
+          output_char oc '\n')
+        patched);
+  match Server.create ~workers:1 ~params ~log base_items with
+  | Ok srv ->
+      Server.shutdown srv;
+      Alcotest.fail "tampered log accepted"
+  | Error es ->
+      Alcotest.(check bool) "reports the divergence" true
+        (List.exists (fun e -> contains e "wal replay diverged") es)
+
+let test_wal_compaction () =
+  with_wal @@ fun log ->
+  let finals =
+    with_server ~log ~wal_compact:4 @@ fun srv ->
+    for i = 1 to 6 do
+      let tenant = if i mod 2 = 0 then Some "acme" else None in
+      ignore
+        (Server.handle srv ?tenant
+           (P.Admit { uid = Printf.sprintf "u%d" i; spec = unit_spec i }))
+    done;
+    ((Server.store srv).Store.hash, tenant_hash srv "acme")
+  in
+  (* 6 admissions over a threshold of 4: the log was compacted into one
+     snapshot per tenant plus the post-compaction mutation tail *)
+  let lines = In_channel.with_open_text log In_channel.input_lines in
+  let count tag = List.length (List.filter (fun l -> contains l tag) lines) in
+  Alcotest.(check int) "snapshot per tenant" 2 (count "\"rec\":\"snapshot\"");
+  Alcotest.(check bool) "mutation tail bounded" true
+    (count "\"rec\":\"admit\"" <= 2);
+  (* replay from the compacted log reaches the same hashes *)
+  with_server ~log @@ fun srv ->
+  Alcotest.(check string) "default" (fst finals) (Server.store srv).Store.hash;
+  Alcotest.(check string) "acme" (snd finals) (tenant_hash srv "acme")
+
+(* --- qcheck: kill at a commit boundary, restart, compare --- *)
+
+let boot_hash = lazy (boot_store ()).Store.hash
+
+let tenant_hashes srv =
+  List.map
+    (fun id ->
+      match Server.tenant_store srv id with
+      | Some s -> s.Store.hash
+      | None -> Lazy.force boot_hash)
+    [ ""; "a"; "b" ]
+
+(* The [cached] flag is the one legitimate difference after a restart:
+   the log restores committed state, not cache warmth. *)
+let strip_cached line =
+  match Json.parse line with
+  | Ok (Json.Obj fields) ->
+      Json.to_string
+        (Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields))
+  | _ -> line
+
+type crash_op = { t_ix : int; kind : int }
+
+let crash_arbitrary =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 4 14)
+           (map2 (fun t_ix kind -> { t_ix; kind }) (int_bound 2) (int_bound 5)))
+        (int_bound 100))
+    ~print:(fun (ops, cut) ->
+      Printf.sprintf "cut=%d%% ops=[%s]" cut
+        (String.concat ";"
+           (List.map (fun o -> Printf.sprintf "%d/%d" o.t_ix o.kind) ops)))
+
+(* Materialize ops into envelopes deterministically: admits use a fresh
+   uid per position, revokes target the predicted latest admission of
+   the tenant (a stale prediction just yields a deterministic
+   rejection, which must never reach the log). *)
+let crash_envelopes ops =
+  let tenants = [| None; Some "a"; Some "b" |] in
+  let stacks = Array.make 3 [] in
+  List.mapi
+    (fun i op ->
+      let tenant = tenants.(op.t_ix) in
+      let req =
+        if op.kind <= 3 then begin
+          let uid = Printf.sprintf "w%d" i in
+          stacks.(op.t_ix) <- uid :: stacks.(op.t_ix);
+          P.Admit { uid; spec = unit_spec ((i mod 8) + 1) }
+        end
+        else if op.kind = 4 then
+          match stacks.(op.t_ix) with
+          | uid :: rest ->
+              stacks.(op.t_ix) <- rest;
+              P.Revoke { uid }
+          | [] -> P.Query
+        else P.Query
+      in
+      { P.seq = i + 1; arrival = 0.; deadline_ms = None; tenant; req })
+    ops
+
+let prop_crash_replay (ops, cut_pct) =
+  let envs = crash_envelopes ops in
+  let cut = cut_pct * List.length envs / 100 in
+  let prefix = List.filteri (fun i _ -> i < cut) envs
+  and suffix = List.filteri (fun i _ -> i >= cut) envs in
+  with_wal @@ fun log_u ->
+  with_wal @@ fun log_k ->
+  (* the uninterrupted control run *)
+  let full_resps, full_hashes =
+    with_server ~log:log_u @@ fun srv ->
+    let rs = run_envs srv envs in
+    (rs, tenant_hashes srv)
+  in
+  (* the killed run: process the prefix, then stop — every commit is
+     flushed before its response, so shutdown adds nothing a kill at
+     the boundary would lose *)
+  let kill_resps, kill_hashes =
+    with_server ~log:log_k @@ fun srv ->
+    let rs = run_envs srv prefix in
+    (rs, tenant_hashes srv)
+  in
+  (* restart from the killed log and finish the session *)
+  with_server ~log:log_k @@ fun srv ->
+  let replay_hashes = tenant_hashes srv in
+  let rest_resps = run_envs srv suffix in
+  kill_resps = List.filteri (fun i _ -> i < cut) full_resps
+  && replay_hashes = kill_hashes
+  && tenant_hashes srv = full_hashes
+  && List.map strip_cached rest_resps
+     = List.map strip_cached (List.filteri (fun i _ -> i >= cut) full_resps)
+
+let test_crash_replay =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"restart from the log is transparent at any commit boundary"
+       ~count:15 crash_arbitrary prop_crash_replay)
+
 let () =
   Alcotest.run "service"
     [
@@ -432,4 +829,29 @@ let () =
             `Quick test_diff_dirties_only_intersection;
         ] );
       ("purity", [ test_what_if_pure ]);
+      ( "json",
+        [
+          Alcotest.test_case "escape round trip" `Quick test_json_escapes;
+          test_json_round_trip;
+        ] );
+      ( "tenancy",
+        [
+          Alcotest.test_case "tenants are isolated" `Quick
+            test_tenant_isolation;
+          Alcotest.test_case "stats reports the shard map" `Quick
+            test_stats_shard_map;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "bit-identical across shard counts" `Quick
+            test_shard_identity;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "restart replays the log" `Quick test_wal_restart;
+          Alcotest.test_case "tampered log is refused" `Quick test_wal_tamper;
+          Alcotest.test_case "compaction keeps replay exact" `Quick
+            test_wal_compaction;
+          test_crash_replay;
+        ] );
     ]
