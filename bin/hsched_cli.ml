@@ -118,6 +118,20 @@ let jobs_conv =
   in
   Arg.conv ~docv:"N" (parse, Format.pp_print_int)
 
+(* Search-grid precisions are exponents (grids have 2^bits points), so
+   a typo like 1000 would hang the process for geological time; bound
+   them at parse time like the job counts. *)
+let precision_conv ~max_bits =
+  let parse s =
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "expected an integer, got %s" s))
+    | Some n when n < 1 -> Error (`Msg (Printf.sprintf "must be >= 1, got %d" n))
+    | Some n when n > max_bits ->
+        Error (`Msg (Printf.sprintf "must be <= %d, got %d" max_bits n))
+    | Some n -> Ok n
+  in
+  Arg.conv ~docv:"BITS" (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value & opt jobs_conv 1
@@ -413,7 +427,8 @@ let sensitivity_cmd =
   in
   let precision_arg =
     Arg.(
-      value & opt int 6
+      value
+      & opt (precision_conv ~max_bits:24) 6
       & info [ "precision" ] ~docv:"BITS" ~doc:"Search-grid precision.")
   in
   Cmd.v
@@ -425,7 +440,8 @@ let sensitivity_cmd =
 
 let precision_arg =
   Arg.(
-    value & opt int 7
+    value
+    & opt (precision_conv ~max_bits:24) 7
     & info [ "precision" ] ~docv:"BITS"
         ~doc:"Rates are searched on the grid k/2^$(docv).")
 
@@ -439,8 +455,83 @@ let server_period_arg =
            (rate and latency then trade off); default keeps each platform's \
            delay and burstiness fixed.")
 
+let region_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "region" ] ~docv:"PLATFORM"
+        ~doc:
+          "Instead of the rate search, compute platform $(docv)'s exact (α, \
+           Δ) schedulability region (rate and delay free, burstiness fixed) \
+           and print its cells, Pareto supply frontier and refined boundary \
+           vertices as JSON ($(b,--csv): one vertex per row).  Exits 0 when \
+           the platform's current parameters lie in the region, 2 when not.")
+
+let grid_arg =
+  Arg.(
+    value
+    & opt (precision_conv ~max_bits:10) 5
+    & info [ "grid" ] ~docv:"BITS"
+        ~doc:
+          "Region cell resolution: the (α, Δ) domain is subdivided down to \
+           2^$(docv) × 2^$(docv) cells (each extra bit up to doubles the \
+           probe analyses).  Only meaningful with $(b,--region).")
+
+(* The region report: one JSON object (or CSV vertex rows) with the
+   certified cell statistics, the Pareto staircase and the
+   affine-refined boundary vertices.  Exact rationals are printed as
+   "p/q" strings — decimals would lie about exactness. *)
+let print_region ~csv ~name ~grid rm current_alpha current_delta member =
+  let module D = Design.Param_search in
+  let module C = Regions.Cell in
+  let module S = Regions.Symbolic in
+  let module F = Regions.Frontier in
+  let frontier = F.points rm.D.frontier in
+  if csv then begin
+    print_endline "kind,alpha,delta";
+    List.iter
+      (fun (p : F.point) ->
+        Printf.printf "frontier,%s,%s\n"
+          (Q.to_string p.F.f_alpha)
+          (Q.to_string p.F.f_delta))
+      frontier;
+    List.iter
+      (fun (p : F.point) ->
+        Printf.printf "refined,%s,%s\n"
+          (Q.to_string p.F.f_alpha)
+          (Q.to_string p.F.f_delta))
+      rm.D.refined
+  end
+  else begin
+    let st = C.stats rm.D.cells in
+    let dom = C.domain rm.D.cells in
+    let vertices pts =
+      String.concat ","
+        (List.map
+           (fun (p : F.point) ->
+             Printf.sprintf {|{"alpha":"%s","delta":"%s"}|}
+               (Q.to_string p.F.f_alpha)
+               (Q.to_string p.F.f_delta))
+           pts)
+    in
+    Printf.printf
+      {|{"platform":"%s","grid":%d,"domain":{"alpha":["%s","%s"],"delta":["%s","%s"]},"cells":%d,"feasible":%d,"infeasible":%d,"boundary":%d,"refined":%d,"probes":%d,"probe_hits":%d,"current":{"alpha":"%s","delta":"%s","member":%b},"frontier":[%s],"refined_vertices":[%s]}|}
+      name grid
+      (Q.to_string dom.S.a_lo)
+      (Q.to_string dom.S.a_hi)
+      (Q.to_string dom.S.d_lo)
+      (Q.to_string dom.S.d_hi)
+      st.C.cells st.C.feasible st.C.infeasible st.C.boundary st.C.refined
+      st.C.probes st.C.probe_hits
+      (Q.to_string current_alpha)
+      (Q.to_string current_delta)
+      member (vertices frontier)
+      (vertices rm.D.refined);
+    print_newline ()
+  end
+
 let design_cmd =
-  let run file precision server_period jobs trace =
+  let run file precision server_period region grid csv jobs trace =
     let sys = or_die (load_system file) in
     with_jobs jobs @@ fun pool ->
     with_trace trace @@ fun writer ->
@@ -449,53 +540,83 @@ let design_cmd =
        and the breakdown sweep reuses the model compiled here. *)
     let engine = Analysis.Engine.create_system ~pool ?sink sys in
     let resources = sys.Transaction.System.resources in
-    let families =
-      match server_period with
-      | Some p ->
-          let period = Q.of_decimal_string p in
-          Array.map
-            (fun (_ : Platform.Resource.t) ->
-              Design.Param_search.periodic_server_family ~period)
-            resources
-      | None ->
-          Array.map
-            (fun (r : Platform.Resource.t) ->
-              let b = r.Platform.Resource.bound in
-              Design.Param_search.fixed_latency_family
-                ~delta:b.Platform.Linear_bound.delta
-                ~beta:b.Platform.Linear_bound.beta)
-            resources
-    in
-    (* Return the code instead of calling [exit] here: [exit] would not
-       unwind [with_trace]'s finalizer (see its comment). *)
-    match
-      Design.Param_search.balance_rates ~engine ~precision sys ~families
-    with
-    | None ->
-        print_endline "not schedulable even at full rates";
-        2
-    | Some rates ->
-        Format.printf "minimal balanced rates:@.";
+    match region with
+    | Some name -> (
+        let resource = ref (-1) in
         Array.iteri
-          (fun i a ->
-            Format.printf "  %-12s α = %a  (%s)@."
-              resources.(i).Platform.Resource.name Q.pp_decimal a
-              families.(i).Design.Param_search.describe)
-          rates;
-        Format.printf "  Σα = %a@." Q.pp_decimal
-          (Array.fold_left Q.add Q.zero rates);
-        Format.printf "breakdown utilization: %a@." Q.pp_decimal
-          (Design.Param_search.breakdown_utilization ~engine ~precision sys);
-        0
+          (fun i (r : Platform.Resource.t) ->
+            if r.Platform.Resource.name = name then resource := i)
+          resources;
+        match !resource with
+        | -1 ->
+            Printf.eprintf "no platform named %s\n" name;
+            1
+        | resource ->
+            let module D = Design.Param_search in
+            let region_sink =
+              Option.map
+                (fun w e -> w (Regions.Cell.event_to_json e))
+                writer
+            in
+            let rm =
+              D.region ~engine ~precision:grid ?sink:region_sink sys ~resource
+            in
+            let b = resources.(resource).Platform.Resource.bound in
+            let alpha = b.Platform.Linear_bound.alpha in
+            let delta = b.Platform.Linear_bound.delta in
+            let member = D.region_member rm ~alpha ~delta in
+            print_region ~csv ~name ~grid rm alpha delta member;
+            if member then 0 else 2)
+    | None -> (
+        let families =
+          match server_period with
+          | Some p ->
+              let period = Q.of_decimal_string p in
+              Array.map
+                (fun (_ : Platform.Resource.t) ->
+                  Design.Param_search.periodic_server_family ~period)
+                resources
+          | None ->
+              Array.map
+                (fun (r : Platform.Resource.t) ->
+                  let b = r.Platform.Resource.bound in
+                  Design.Param_search.fixed_latency_family
+                    ~delta:b.Platform.Linear_bound.delta
+                    ~beta:b.Platform.Linear_bound.beta)
+                resources
+        in
+        (* Return the code instead of calling [exit] here: [exit] would
+           not unwind [with_trace]'s finalizer (see its comment). *)
+        match
+          Design.Param_search.balance_rates ~engine ~precision sys ~families
+        with
+        | None ->
+            print_endline "not schedulable even at full rates";
+            2
+        | Some rates ->
+            Format.printf "minimal balanced rates:@.";
+            Array.iteri
+              (fun i a ->
+                Format.printf "  %-12s α = %a  (%s)@."
+                  resources.(i).Platform.Resource.name Q.pp_decimal a
+                  families.(i).Design.Param_search.describe)
+              rates;
+            Format.printf "  Σα = %a@." Q.pp_decimal
+              (Array.fold_left Q.add Q.zero rates);
+            Format.printf "breakdown utilization: %a@." Q.pp_decimal
+              (Design.Param_search.breakdown_utilization ~engine ~precision
+                 sys);
+            0)
   in
   Cmd.v
     (Cmd.info "design"
        ~doc:
          "Search minimal platform rates keeping the system schedulable (the \
-          optimisation of the paper's Section 5).")
+          optimisation of the paper's Section 5), or compute one platform's \
+          exact (α, Δ) schedulability region ($(b,--region)).")
     Term.(
-      const run $ file_arg $ precision_arg $ server_period_arg $ jobs_arg
-      $ engine_trace_arg)
+      const run $ file_arg $ precision_arg $ server_period_arg $ region_arg
+      $ grid_arg $ csv_flag $ jobs_arg $ engine_trace_arg)
 
 (* --- serve --- *)
 
@@ -549,8 +670,9 @@ let max_batch_arg =
     & info [ "max-batch" ] ~docv:"N"
         ~doc:
           "Overload threshold: when a drained batch exceeds $(docv) \
-           requests, $(b,what_if) probes are shed first, then queries, \
-           then admissions — never $(b,stats).  Applied per shard batch.")
+           requests, $(b,what_if)/$(b,region) probes are shed first, then \
+           queries, then admissions — never $(b,stats).  Applied per shard \
+           batch.")
 
 let socket_arg =
   Arg.(
@@ -614,8 +736,9 @@ let serve_cmd =
        ~doc:
          "Run the online admission-control service over the base system \
           $(b,FILE): JSON-lines requests ($(b,admit), $(b,revoke), \
-          $(b,query), $(b,what_if), $(b,stats)) on stdin or a Unix socket, \
-          one response per line.  Protocol reference in docs/SERVICE.md.")
+          $(b,query), $(b,what_if), $(b,region), $(b,stats)) on stdin or a \
+          Unix socket, one response per line.  Protocol reference in \
+          docs/SERVICE.md.")
     Term.(
       const run $ file_arg $ workers_arg $ shards_arg $ log_arg $ exact_flag
       $ max_batch_arg $ engine_trace_arg $ socket_arg $ accept_limit_arg

@@ -254,3 +254,55 @@ let max_delta ?engine ?params ?pool ?(precision = 10) ?limit sys ~resource =
   in
   if not (ok Q.zero) then None
   else Some (search_max ~pool:(Engine.pool probe) ~precision ~limit ok)
+
+(* --- region-backed mode -------------------------------------------- *)
+
+(* One region computation replaces a whole family of point searches:
+   the certified cell tree answers membership in O(tree depth) and the
+   Pareto staircase answers min-rate/max-delay questions in O(log),
+   where every multisection above pays [precision] analyses per
+   question.  Probes inside boundary slivers fall back to the shared
+   probe session, so region answers agree with a cold analysis at every
+   point (the qcheck identity in test_regions.ml). *)
+
+type region_mode = {
+  cells : Regions.Cell.t;
+  frontier : Regions.Frontier.t;
+  refined : Regions.Frontier.point list;
+  region_probe : alpha:Q.t -> delta:Q.t -> bool;
+}
+
+let default_delta_limit (sys : Transaction.System.t) =
+  Array.fold_left
+    (fun acc (x : Transaction.Txn.t) -> Q.max acc x.Transaction.Txn.deadline)
+    Q.one sys.Transaction.System.transactions
+
+let region ?engine ?params ?pool ?(precision = 6) ?limit ?sink sys ~resource =
+  let probe = probe_engine ?engine ?params ?pool sys in
+  let base = current_bounds sys in
+  let beta = base.(resource).LB.beta in
+  let limit = Option.value limit ~default:(default_delta_limit sys) in
+  let sample = Regions.Cell.sample_of_engine probe ~resource ~beta in
+  let cells =
+    Regions.Cell.build ?sink ~precision ~sample ~resource ~beta ~limit ()
+  in
+  let region_probe ~alpha ~delta =
+    let bounds = Array.copy base in
+    bounds.(resource) <- LB.make ~alpha ~delta ~beta;
+    probe_schedulable probe ~bounds
+  in
+  {
+    cells;
+    frontier = Regions.Frontier.of_region cells;
+    refined = Regions.Frontier.refined cells;
+    region_probe;
+  }
+
+let region_member rm ~alpha ~delta =
+  Regions.Cell.member rm.cells ~probe:rm.region_probe ~alpha ~delta
+
+let region_classify rm ~alpha ~delta =
+  Regions.Cell.classify rm.cells ~alpha ~delta
+
+let region_max_delta rm ~alpha = Regions.Frontier.max_delta rm.frontier ~alpha
+let region_min_alpha rm ~delta = Regions.Frontier.min_alpha rm.frontier ~delta

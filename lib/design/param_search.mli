@@ -115,3 +115,58 @@ val max_delta :
     unchanged) while the system stays schedulable; searched on the dyadic
     grid up to [limit] (default: the largest transaction deadline).
     [None] when the system is unschedulable as given. *)
+
+(** {1 Region-backed mode}
+
+    Instead of one multisection (≈ [precision] analyses) per question,
+    compute platform [resource]'s whole (α, Δ) schedulability region
+    once ({!Regions.Cell}) and answer any number of membership,
+    min-rate or max-delay questions from it — O(tree depth) or O(log)
+    per answer, with a probe fallback inside uncertified boundary
+    slivers that keeps every answer exact.  Bench X16 gates the
+    crossover: one region build plus 100 queries beats 100
+    multisections by ≥ 5×. *)
+
+type region_mode = {
+  cells : Regions.Cell.t;
+  frontier : Regions.Frontier.t;  (** certified Pareto staircase *)
+  refined : Regions.Frontier.point list;
+      (** affine-predicted frontier vertices (reported, never used to
+          answer queries) *)
+  region_probe : alpha:Rational.t -> delta:Rational.t -> bool;
+      (** one analysis at an explicit point, on the shared session *)
+}
+
+val region :
+  ?engine:Analysis.Engine.t ->
+  ?params:Analysis.Params.t ->
+  ?pool:Parallel.Pool.t ->
+  ?precision:int ->
+  ?limit:Rational.t ->
+  ?sink:(Regions.Cell.event -> unit) ->
+  Transaction.System.t ->
+  resource:int ->
+  region_mode
+(** Build the region of platform [resource] over
+    [α ∈ \[2{^-precision}, 1\] × Δ ∈ \[0, limit\]] (precision defaults
+    to 6, [limit] to the largest transaction deadline), with the
+    platform's β held at its current value.  Probes share one engine
+    session exactly like the multisection searches. *)
+
+val region_member : region_mode -> alpha:Rational.t -> delta:Rational.t -> bool
+(** Is the system schedulable with [resource] at [(alpha, delta)]?
+    Certified cells answer without analysis; boundary points run one
+    probe.  Agrees with a cold analysis at every point. *)
+
+val region_classify :
+  region_mode -> alpha:Rational.t -> delta:Rational.t -> Regions.Cell.verdict
+
+val region_max_delta : region_mode -> alpha:Rational.t -> Rational.t option
+(** Largest certified-feasible Δ at [alpha] ({!Regions.Frontier.max_delta}):
+    within one cell width below {!max_delta}'s multisection answer. *)
+
+val region_min_alpha : region_mode -> delta:Rational.t -> Rational.t option
+(** Smallest certified-feasible α at [delta]; within a cell width of
+    {!min_rate}'s multisection answer (the two grids differ: the region
+    spans [α ∈ \[2{^-precision}, 1\]], the multisection [k/2{^precision}],
+    so either side may certify the finer point). *)

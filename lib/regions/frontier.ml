@@ -1,0 +1,129 @@
+module Q = Rational
+module Sym = Symbolic
+
+type point = { f_alpha : Q.t; f_delta : Q.t; f_refined : bool }
+
+type t = { pts : point array }
+
+let points t = Array.to_list t.pts
+let size t = Array.length t.pts
+
+(* Pareto filter for the supply order: (α, Δ) is dominated when another
+   point has α' ≤ α and Δ' ≥ Δ.  Sort by (α asc, Δ desc), keep one
+   point per α (the highest Δ), then keep only strictly increasing Δ —
+   anything else is dominated by an earlier (smaller-α) point. *)
+let pareto pts =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Q.compare a.f_alpha b.f_alpha in
+        if c <> 0 then c else Q.compare b.f_delta a.f_delta)
+      pts
+  in
+  let rec keep best acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        if
+          (match acc with
+          | q :: _ -> Q.(q.f_alpha = p.f_alpha)
+          | [] -> false)
+          || Q.(p.f_delta <= best)
+        then keep best acc rest
+        else keep p.f_delta (p :: acc) rest
+  in
+  keep Q.(of_int (-1)) [] sorted
+
+let of_region cells =
+  let corners =
+    Cell.fold_leaves cells ~init: [] ~f:(fun acc (l : Cell.leaf) ->
+        match l.Cell.l_verdict with
+        | Cell.Feasible ->
+            {
+              f_alpha = l.Cell.l_box.Sym.a_lo;
+              f_delta = l.Cell.l_box.Sym.d_hi;
+              f_refined = false;
+            }
+            :: acc
+        | Cell.Infeasible | Cell.Boundary -> acc)
+  in
+  { pts = Array.of_list (pareto corners) }
+
+(* Last index with f_alpha <= alpha, by binary search over the sorted
+   vertex array. *)
+let max_delta t ~alpha =
+  let n = Array.length t.pts in
+  if n = 0 || Q.(t.pts.(0).f_alpha > alpha) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: pts.(lo).f_alpha <= alpha *)
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if Q.(t.pts.(mid).f_alpha <= alpha) then lo := mid else hi := mid - 1
+    done;
+    Some t.pts.(!lo).f_delta
+  end
+
+(* First index with f_delta >= delta; deltas increase with the index. *)
+let min_alpha t ~delta =
+  let n = Array.length t.pts in
+  let last_delta = if n = 0 then Q.zero else t.pts.(n - 1).f_delta in
+  if n = 0 || Q.(last_delta < delta) then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* invariant: pts.(hi).f_delta >= delta *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if Q.(t.pts.(mid).f_delta >= delta) then hi := mid else lo := mid + 1
+    done;
+    Some t.pts.(!hi).f_alpha
+  end
+
+(* Largest Δ in the box keeping every validated slack nonpositive at
+   rate [alpha], or None when some constraint cannot be satisfied on
+   the edge. *)
+let delta_max_at (box : Sym.box) cs ~alpha =
+  List.fold_left
+    (fun acc (c : Cell.constraint_) ->
+      match acc with
+      | None -> None
+      | Some d ->
+          if Q.(Sym.eval c.Cell.c_slack ~alpha ~delta:d <= zero) then Some d
+          else (
+            match Sym.crossing_delta c.Cell.c_slack ~alpha with
+            | Some x when Q.(x >= box.Sym.d_lo) -> Some (Q.min d x)
+            | Some _ | None -> None))
+    (Some box.Sym.d_hi) cs
+
+let refined cells =
+  let pts =
+    Cell.fold_leaves cells ~init:[] ~f:(fun acc (l : Cell.leaf) ->
+        match (l.Cell.l_verdict, l.Cell.l_constraints) with
+        | Cell.Boundary, (_ :: _ as cs) ->
+            let box = l.Cell.l_box in
+            List.fold_left
+              (fun acc alpha ->
+                match delta_max_at box cs ~alpha with
+                | Some d when Q.(d < box.Sym.d_hi) ->
+                    { f_alpha = alpha; f_delta = d; f_refined = true } :: acc
+                | Some _ | None -> acc)
+              acc
+              [ box.Sym.a_lo; box.Sym.a_hi ]
+        | _ -> acc)
+  in
+  (* adjacent cells share their edge αs and often predict the same
+     crossing there: sort, then drop exact duplicates *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Q.compare a.f_alpha b.f_alpha in
+        if c <> 0 then c else Q.compare a.f_delta b.f_delta)
+      pts
+  in
+  let rec uniq = function
+    | a :: (b :: _ as rest) ->
+        if Q.(a.f_alpha = b.f_alpha) && Q.(a.f_delta = b.f_delta) then
+          uniq rest
+        else a :: uniq rest
+    | rest -> rest
+  in
+  uniq sorted

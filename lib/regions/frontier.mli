@@ -1,0 +1,47 @@
+(** Pareto-minimal supply frontiers over a computed region.
+
+    A supply point (α, Δ) is weaker — cheaper to provision — the
+    smaller its rate and the larger its delay.  The frontier of a
+    region is the set of Pareto-minimal supplies that still keep every
+    deadline: no listed point is dominated by another feasible point
+    with [α' ≤ α] and [Δ' ≥ Δ].  Because schedulability is monotone,
+    the frontier of the certified cells is the staircase of outer
+    corners [(a_lo, d_hi)] of the feasible leaves, filtered for
+    domination — each vertex is a corner the builder actually probed,
+    so every frontier answer is backed by an analysis.
+
+    {!refined} additionally extracts the affine-predicted frontier
+    vertices inside validated boundary cells ({!Cell.constraint_}):
+    exact rational crossings of the reconstructed slack forms, strictly
+    finer than the probe grid but conditional on the validated
+    reconstruction — they are reported (flagged) and never used to
+    answer {!max_delta}/{!min_alpha}. *)
+
+module Q = Rational
+
+type point = { f_alpha : Q.t; f_delta : Q.t; f_refined : bool }
+
+type t
+
+val points : t -> point list
+(** Sorted by strictly increasing α (and, by Pareto-minimality,
+    strictly increasing Δ). *)
+
+val of_region : Cell.t -> t
+(** The certified staircase: Pareto filter over the feasible leaves'
+    outer corners.  Empty when no cell is certified feasible. *)
+
+val size : t -> int
+
+val max_delta : t -> alpha:Q.t -> Q.t option
+(** Largest certified-feasible delay at rate [alpha] (monotonicity
+    extends each vertex leftwards in Δ and rightwards in α):
+    the Δ of the last vertex with [f_alpha ≤ alpha].  O(log) lookup. *)
+
+val min_alpha : t -> delta:Q.t -> Q.t option
+(** Smallest certified-feasible rate tolerating delay [delta]: the α of
+    the first vertex with [f_delta ≥ delta].  O(log) lookup. *)
+
+val refined : Cell.t -> point list
+(** Affine-predicted frontier vertices on the vertical edges of
+    validated boundary cells, sorted by α, flagged [f_refined = true]. *)

@@ -1,0 +1,13 @@
+(** Parametric platform interfaces (the paper's §5 future work, made
+    concrete): exact (α, Δ) schedulability regions per platform, built
+    from monotone corner certificates over symbolic affine forms, with
+    Pareto-minimal supply frontiers.  {!Symbolic} is the affine-form
+    arithmetic, {!Cell} the adaptive region tree, {!Frontier} the
+    staircase extraction.  The design-space entry point is
+    [Design.Param_search.region]; the service serves regions through
+    the [region] verb.  docs/REGIONS.md has the full exactness
+    argument. *)
+
+module Symbolic = Symbolic
+module Cell = Cell
+module Frontier = Frontier

@@ -1,0 +1,78 @@
+module Q = Rational
+
+type t = { ia : Q.t; dl : Q.t; k : Q.t }
+
+let make ~ia ~dl ~k = { ia; dl; k }
+let const k = { ia = Q.zero; dl = Q.zero; k }
+let zero = const Q.zero
+let inv_alpha = { ia = Q.one; dl = Q.zero; k = Q.zero }
+let delta = { ia = Q.zero; dl = Q.one; k = Q.zero }
+
+let add a b = { ia = Q.add a.ia b.ia; dl = Q.add a.dl b.dl; k = Q.add a.k b.k }
+let sub a b = { ia = Q.sub a.ia b.ia; dl = Q.sub a.dl b.dl; k = Q.sub a.k b.k }
+let scale s a = { ia = Q.mul s a.ia; dl = Q.mul s a.dl; k = Q.mul s a.k }
+
+let equal a b = Q.equal a.ia b.ia && Q.equal a.dl b.dl && Q.equal a.k b.k
+
+let eval f ~alpha ~delta = Q.(f.ia / alpha + (f.dl * delta) + f.k)
+
+let pp ppf f =
+  Format.fprintf ppf "%a·α⁻¹ + %a·Δ + %a" Q.pp f.ia Q.pp f.dl Q.pp f.k
+
+type box = { a_lo : Q.t; a_hi : Q.t; d_lo : Q.t; d_hi : Q.t }
+
+let box ~a_lo ~a_hi ~d_lo ~d_hi =
+  if not Q.(zero < a_lo && a_lo <= a_hi) then
+    invalid_arg "Regions.Symbolic.box: need 0 < a_lo <= a_hi";
+  if not Q.(zero <= d_lo && d_lo <= d_hi) then
+    invalid_arg "Regions.Symbolic.box: need 0 <= d_lo <= d_hi";
+  { a_lo; a_hi; d_lo; d_hi }
+
+let mem b ~alpha ~delta =
+  Q.(b.a_lo <= alpha && alpha <= b.a_hi && b.d_lo <= delta && delta <= b.d_hi)
+
+(* α⁻¹ ranges over [1/a_hi, 1/a_lo]; each term is monotone in its own
+   coordinate, so the extremum of the sum is the sum of per-coordinate
+   extrema, each attained at a box corner. *)
+let inf_on b f =
+  let x = if Q.(f.ia >= zero) then Q.inv b.a_hi else Q.inv b.a_lo in
+  let d = if Q.(f.dl >= zero) then b.d_lo else b.d_hi in
+  Q.((f.ia * x) + (f.dl * d) + f.k)
+
+let sup_on b f =
+  let x = if Q.(f.ia >= zero) then Q.inv b.a_lo else Q.inv b.a_hi in
+  let d = if Q.(f.dl >= zero) then b.d_hi else b.d_lo in
+  Q.((f.ia * x) + (f.dl * d) + f.k)
+
+let nonpos_on b f = Q.(sup_on b f <= zero)
+let nonneg_on b f = Q.(inf_on b f >= zero)
+
+(* Cramer's rule on the 3×3 system [ia·xᵢ + dl·Δᵢ + k = vᵢ] with
+   xᵢ = αᵢ⁻¹. *)
+let fit (a1, d1, v1) (a2, d2, v2) (a3, d3, v3) =
+  let x1 = Q.inv a1 and x2 = Q.inv a2 and x3 = Q.inv a3 in
+  let det3 b1 c1 b2 c2 b3 c3 =
+    Q.(
+      (b1 * (c2 - c3)) - (c1 * (b2 - b3)) + ((b2 * c3) - (b3 * c2)))
+  in
+  let det = det3 x1 d1 x2 d2 x3 d3 in
+  if Q.(det = zero) then None
+  else
+    let ia = Q.(det3 v1 d1 v2 d2 v3 d3 / det) in
+    let dl = Q.(det3 x1 v1 x2 v2 x3 v3 / det) in
+    let k = Q.(v1 - (ia * x1) - (dl * d1)) in
+    Some { ia; dl; k }
+
+let crossing_delta f ~alpha =
+  if Q.(f.dl = zero) then None
+  else Some Q.(neg ((f.ia / alpha) + f.k) / f.dl)
+
+let crossing_alpha f ~delta =
+  if Q.(f.ia = zero) then None
+  else
+    let rhs = Q.(neg ((f.dl * delta) + f.k)) in
+    (* ia/α = rhs → α = ia/rhs, meaningful only when positive *)
+    if Q.(rhs = zero) then None
+    else
+      let a = Q.(f.ia / rhs) in
+      if Q.(a > zero) then Some a else None

@@ -1,0 +1,88 @@
+(** Symbolic affine forms over the platform-interface parameters.
+
+    For a fixed scenario structure — frozen ceilings/floors, job counts
+    and priority decisions — every quantity of the holistic analysis
+    (busy periods, interference, response times, jitters) is an affine
+    function of the supply parameters [a·α⁻¹ + b·Δ + c] with
+    nonnegative [a] and [b]: demands enter scaled by [C/α] and the
+    delay enters additively (Section 3's [t ↦ Δ + W/α] recurrences).
+    This module is the arithmetic of those forms over exact
+    {!Rational.t}s, plus interval bounds over parameter boxes and the
+    three-point reconstruction the region builder uses to recover the
+    binding response form of a boundary cell from probe values.
+
+    The nonnegative-coefficient shape is also the exactness argument of
+    the region subsystem (docs/REGIONS.md): every response bound is
+    monotone nondecreasing in (α⁻¹, Δ), so schedulability over a box is
+    certified by its extreme corners. *)
+
+module Q = Rational
+
+type t = private { ia : Q.t; dl : Q.t; k : Q.t }
+(** The form [ia·α⁻¹ + dl·Δ + k]. *)
+
+val make : ia:Q.t -> dl:Q.t -> k:Q.t -> t
+
+val const : Q.t -> t
+
+val zero : t
+
+val inv_alpha : t
+(** The form [α⁻¹]. *)
+
+val delta : t
+(** The form [Δ]. *)
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : Q.t -> t -> t
+
+val equal : t -> t -> bool
+
+val eval : t -> alpha:Q.t -> delta:Q.t -> Q.t
+(** @raise Rational.Division_by_zero when [alpha] is zero. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Parameter boxes} *)
+
+type box = private { a_lo : Q.t; a_hi : Q.t; d_lo : Q.t; d_hi : Q.t }
+(** The rectangle [α ∈ \[a_lo, a_hi\] × Δ ∈ \[d_lo, d_hi\]]. *)
+
+val box : a_lo:Q.t -> a_hi:Q.t -> d_lo:Q.t -> d_hi:Q.t -> box
+(** @raise Invalid_argument unless [0 < a_lo <= a_hi] and
+    [0 <= d_lo <= d_hi]. *)
+
+val mem : box -> alpha:Q.t -> delta:Q.t -> bool
+
+val inf_on : box -> t -> Q.t
+(** Exact infimum of the form over the box.  [α⁻¹] ranges over
+    [\[1/a_hi, 1/a_lo\]]; each coordinate attains its extreme at a box
+    corner, whichever the coefficient signs select. *)
+
+val sup_on : box -> t -> Q.t
+
+val nonpos_on : box -> t -> bool
+(** Does [f ≤ 0] hold everywhere on the box? *)
+
+val nonneg_on : box -> t -> bool
+
+(** {1 Reconstruction} *)
+
+val fit :
+  (Q.t * Q.t * Q.t) -> (Q.t * Q.t * Q.t) -> (Q.t * Q.t * Q.t) -> t option
+(** [fit (α₁,Δ₁,v₁) (α₂,Δ₂,v₂) (α₃,Δ₃,v₃)] is the unique affine form
+    through the three samples, or [None] when the sample points are
+    affinely dependent in the [(α⁻¹, Δ)] plane.  The region builder
+    samples three corners of a cell and validates the fit on the
+    remaining corner before trusting it ({!Cell}). *)
+
+val crossing_delta : t -> alpha:Q.t -> Q.t option
+(** The Δ solving [f(α, Δ) = 0] at fixed [α], when the form actually
+    depends on Δ ([dl ≠ 0]). *)
+
+val crossing_alpha : t -> delta:Q.t -> Q.t option
+(** The α > 0 solving [f(α, Δ) = 0] at fixed [Δ], when the form
+    depends on α and the solution is positive. *)

@@ -3,6 +3,7 @@ type t = {
   mutable revokes : int;
   mutable queries : int;
   mutable what_ifs : int;
+  mutable regions : int;
   mutable stats_reqs : int;
   mutable errors : int;
   mutable committed : int;
@@ -29,6 +30,7 @@ let create () =
     revokes = 0;
     queries = 0;
     what_ifs = 0;
+    regions = 0;
     stats_reqs = 0;
     errors = 0;
     committed = 0;
@@ -54,6 +56,7 @@ let count_request t = function
   | Protocol.Revoke _ -> t.revokes <- t.revokes + 1
   | Protocol.Query -> t.queries <- t.queries + 1
   | Protocol.What_if _ -> t.what_ifs <- t.what_ifs + 1
+  | Protocol.Region _ -> t.regions <- t.regions + 1
   | Protocol.Stats -> t.stats_reqs <- t.stats_reqs + 1
 
 let record_latency t ms =
@@ -70,6 +73,7 @@ let merged ms =
       a.revokes <- a.revokes + m.revokes;
       a.queries <- a.queries + m.queries;
       a.what_ifs <- a.what_ifs + m.what_ifs;
+      a.regions <- a.regions + m.regions;
       a.stats_reqs <- a.stats_reqs + m.stats_reqs;
       a.errors <- a.errors + m.errors;
       a.committed <- a.committed + m.committed;
@@ -102,6 +106,7 @@ let fields t ~workers ~entries ~kernel_sessions ~fallback_count ~pool =
             ("revoke", Json.Int t.revokes);
             ("query", Json.Int t.queries);
             ("what_if", Json.Int t.what_ifs);
+            ("region", Json.Int t.regions);
             ("stats", Json.Int t.stats_reqs);
             ("errors", Json.Int t.errors);
           ] );

@@ -13,6 +13,7 @@ type t = {
   mutable revokes : int;
   mutable queries : int;
   mutable what_ifs : int;
+  mutable regions : int;  (** [region] requests *)
   mutable stats_reqs : int;
   mutable errors : int;  (** unparseable request lines *)
   mutable committed : int;  (** admissions + revocations committed *)

@@ -11,7 +11,15 @@ type request =
   | Revoke of { uid : string }
   | Query
   | What_if of { uid : string; spec : string }
+  | Region of { resource : string; precision : int }
   | Stats
+
+(* Region grids have 4^precision cells; beyond 10 bits one request
+   could monopolise a shard for minutes, so the parser bounds it the
+   way the CLI bounds --grid. *)
+let max_region_precision = 10
+
+let default_region_precision = 5
 
 type envelope = {
   seq : int;
@@ -28,6 +36,7 @@ let op_name = function
   | Revoke _ -> "revoke"
   | Query -> "query"
   | What_if _ -> "what_if"
+  | Region _ -> "region"
   | Stats -> "stats"
 
 let parse line =
@@ -64,6 +73,18 @@ let parse line =
               Option.value (Json.string_field "id" j) ~default:"probe"
             in
             Result.map (fun spec -> What_if { uid; spec }) (field "spec")
+        | Some "region" ->
+            Result.bind (field "resource") (fun resource ->
+                match Json.member "precision" j with
+                | None ->
+                    Ok (Region { resource; precision = default_region_precision })
+                | Some (Json.Int p) when p >= 1 && p <= max_region_precision ->
+                    Ok (Region { resource; precision = p })
+                | Some _ ->
+                    Error
+                      (Printf.sprintf
+                         "field \"precision\" must be an integer in [1, %d]"
+                         max_region_precision))
         | Some "stats" -> Ok Stats
         | Some op -> Error (Printf.sprintf "unknown op %S" op)
       in
@@ -98,6 +119,24 @@ type summary = {
   s_iterations : int;
   s_bounds : task_bound list;
   s_violations : violation list;
+}
+
+(* The cacheable outcome of one region computation: cell statistics,
+   the membership verdict at the platform's current parameters and the
+   Pareto frontier vertices (exact rationals as strings, like every
+   other analysis quantity on the wire). *)
+type region_summary = {
+  r_hash : string;
+  r_platform : string;
+  r_precision : int;
+  r_schedulable : bool;
+  r_cells : int;
+  r_feasible : int;
+  r_infeasible : int;
+  r_boundary : int;
+  r_refined : int;
+  r_probes : int;
+  r_frontier : (Q.t * Q.t) list;
 }
 
 let bound_to_string = function
@@ -272,6 +311,34 @@ let what_if_ok ?tenant ~seq ~uid ~cached ~candidate_instances s =
     if s.s_violations = [] then []
     else
       [ ("violations", violations_json ~candidate_instances s.s_violations) ])
+
+let region_ok ?tenant ~seq ~cached r =
+  Json.Obj
+    (head ?tenant seq "region"
+    @ [
+        ("status", Json.String "ok");
+        ("hash", Json.String r.r_hash);
+        ("platform", Json.String r.r_platform);
+        ("precision", Json.Int r.r_precision);
+        ("schedulable", Json.Bool r.r_schedulable);
+        ("cells", Json.Int r.r_cells);
+        ("feasible", Json.Int r.r_feasible);
+        ("infeasible", Json.Int r.r_infeasible);
+        ("boundary", Json.Int r.r_boundary);
+        ("refined", Json.Int r.r_refined);
+        ("probes", Json.Int r.r_probes);
+        ("cached", Json.Bool cached);
+        ( "frontier",
+          Json.List
+            (List.map
+               (fun (a, d) ->
+                 Json.Obj
+                   [
+                     ("alpha", Json.String (Q.to_string a));
+                     ("delta", Json.String (Q.to_string d));
+                   ])
+               r.r_frontier) );
+      ])
 
 let shed ?tenant ~seq ~op ~reason () =
   Json.Obj

@@ -20,7 +20,19 @@ type request =
   | What_if of { uid : string; spec : string }
       (** Trial admission: analyzed exactly like {!Admit} but never
           committed.  First to be shed under overload. *)
+  | Region of { resource : string; precision : int }
+      (** The named platform's exact (α, Δ) schedulability region over
+          the tenant's current store ({!Regions.Cell}), with its Pareto
+          supply frontier.  Read-only; cached per tenant on the store
+          hash; shed together with {!What_if} under overload. *)
   | Stats  (** Service metrics; never sheds. *)
+
+val max_region_precision : int
+(** 10 — parse-time bound on the [precision] field (grids are
+    4{^precision} cells). *)
+
+val default_region_precision : int
+(** 5 — the [precision] used when the request omits the field. *)
 
 type envelope = {
   seq : int;  (** assigned in arrival order; echoed in the response *)
@@ -79,6 +91,23 @@ val summarize : store:Store.t -> model:Analysis.Model.t -> Analysis.Report.t -> 
 (** [model] must be the model the report was computed from (it supplies
     the task names). *)
 
+type region_summary = {
+  r_hash : string;  (** hash of the snapshot the region was built on *)
+  r_platform : string;
+  r_precision : int;
+  r_schedulable : bool;
+      (** membership of the platform's current (α, Δ) point *)
+  r_cells : int;
+  r_feasible : int;
+  r_infeasible : int;
+  r_boundary : int;
+  r_refined : int;
+  r_probes : int;
+  r_frontier : (Rational.t * Rational.t) list;
+      (** Pareto staircase vertices, α ascending *)
+}
+(** The cacheable outcome of one [region] request. *)
+
 (** {1 Responses}
 
     Builders for every response shape.  [candidate_instances] marks
@@ -132,6 +161,9 @@ val what_if_ok :
   candidate_instances:string list ->
   summary ->
   Json.t
+
+val region_ok :
+  ?tenant:string -> seq:int -> cached:bool -> region_summary -> Json.t
 
 val shed :
   ?tenant:string -> seq:int -> op:string -> reason:string -> unit -> Json.t

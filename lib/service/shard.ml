@@ -27,6 +27,11 @@ type eval =
           (* the analysis actually run, for the baseline update the
              finalizer performs on the shard's driving domain *)
     }
+  | Region_evaluated of {
+      result : P.region_summary;
+      cache_hit : bool;
+      kind : session_kind option;  (* None on a cache hit *)
+    }
 
 type t = {
   id : int;
@@ -175,6 +180,77 @@ let analyze_snapshot t slot (ten : Tenant.t) (snap : Store.t) =
         delta,
         Some (model, report) )
 
+(* One region computation on [slot]'s session: the tenant's region
+   cache first (keyed by snapshot hash, platform and grid — several
+   regions can coexist per snapshot), then a [Design.Param_search]
+   region build whose probe analyses all run through the slot session
+   exactly like the multisection searches.  The region's wire summary
+   reports membership of the platform's current (α, Δ) point, the cell
+   statistics and the Pareto frontier. *)
+let region_snapshot t slot (ten : Tenant.t) (snap : Store.t) ~resource
+    ~precision =
+  match
+    Tenant.region_find ten ~hash:snap.Store.hash ~resource ~precision
+  with
+  | Some r -> Region_evaluated { result = r; cache_hit = true; kind = None }
+  | None -> (
+      let sys = snap.Store.sys in
+      let resources = sys.Transaction.System.resources in
+      let idx = ref (-1) in
+      Array.iteri
+        (fun i (r : Platform.Resource.t) ->
+          if r.Platform.Resource.name = resource then idx := i)
+        resources;
+      match !idx with
+      | -1 -> Invalid [ Printf.sprintf "no platform named %s" resource ]
+      | idx ->
+          (* Rebind the slot session to this snapshot's model first —
+             [D.region] probes through the engine's current model, and
+             the slot may have last served another tenant. *)
+          let model = Analysis.Model.of_system sys in
+          let session, kind =
+            match slot.session with
+            | None ->
+                ( Analysis.Engine.create ~params:t.params
+                    ?sink:(engine_sink t) model,
+                  Cold )
+            | Some s ->
+                let warm =
+                  Analysis.Ir.compatible (Analysis.Engine.ir s) model
+                in
+                ( Analysis.Engine.with_model s model,
+                  if warm then Warm else Rebound )
+          in
+          slot.session <- Some session;
+          let module D = Design.Param_search in
+          let rm = D.region ~engine:session ~precision sys ~resource:idx in
+          let b = resources.(idx).Platform.Resource.bound in
+          let member =
+            D.region_member rm ~alpha:b.Platform.Linear_bound.alpha
+              ~delta:b.Platform.Linear_bound.delta
+          in
+          let st = Regions.Cell.stats rm.D.cells in
+          let result =
+            {
+              P.r_hash = snap.Store.hash;
+              r_platform = resource;
+              r_precision = precision;
+              r_schedulable = member;
+              r_cells = st.Regions.Cell.cells;
+              r_feasible = st.Regions.Cell.feasible;
+              r_infeasible = st.Regions.Cell.infeasible;
+              r_boundary = st.Regions.Cell.boundary;
+              r_refined = st.Regions.Cell.refined;
+              r_probes = st.Regions.Cell.probes;
+              r_frontier =
+                List.map
+                  (fun (p : Regions.Frontier.point) ->
+                    (p.Regions.Frontier.f_alpha, p.Regions.Frontier.f_delta))
+                  (Regions.Frontier.points rm.D.frontier);
+            }
+          in
+          Region_evaluated { result; cache_hit = false; kind = Some kind })
+
 (* Evaluate one read-only request against the frozen [snap]; runs on a
    worker domain. *)
 let evaluate t slot ten snap req =
@@ -193,6 +269,8 @@ let evaluate t slot ten snap req =
           in
           Evaluated
             { candidate = Some cand; summary; cache_hit; kind; delta; fresh })
+  | P.Region { resource; precision } ->
+      region_snapshot t slot ten snap ~resource ~precision
   | P.Admit _ | P.Revoke _ | P.Stats -> assert false
 
 let session_label = function
@@ -276,7 +354,7 @@ let process_batch t envs =
     done
   in
   if !over > 0 then (
-    shed_class (function P.What_if _ -> true | _ -> false);
+    shed_class (function P.What_if _ | P.Region _ -> true | _ -> false);
     shed_class (function P.Query -> true | _ -> false);
     shed_class (function P.Admit _ | P.Revoke _ -> true | _ -> false));
   let results = Array.make n Not_run in
@@ -323,7 +401,10 @@ let process_batch t envs =
         | Invalid errors ->
             t.metrics.Metrics.rejected <- t.metrics.Metrics.rejected + 1;
             let uid =
-              match env.P.req with P.What_if { uid; _ } -> uid | _ -> "?"
+              match env.P.req with
+              | P.What_if { uid; _ } -> uid
+              | P.Region { resource; _ } -> resource
+              | _ -> "?"
             in
             finish i ~status:"rejected" ~cache_hit:false ~session:None
               (P.rejected ?tenant ~seq ~op:(P.op_name env.P.req) ~uid
@@ -348,7 +429,14 @@ let process_batch t envs =
                 finish i ~status:"ok" ~cache_hit ~session
                   (P.what_if_ok ?tenant ~seq ~uid ~cached:cache_hit
                      ~candidate_instances summary)
-            | P.Admit _ | P.Revoke _ | P.Stats -> assert false))
+            | P.Region _ | P.Admit _ | P.Revoke _ | P.Stats -> assert false)
+        | Region_evaluated { result; cache_hit; kind } ->
+            record_kind t kind;
+            record_cache t cache_hit;
+            Tenant.region_add ten result;
+            finish i ~status:"ok" ~cache_hit
+              ~session:(Option.map session_label kind)
+              (P.region_ok ?tenant ~seq ~cached:cache_hit result))
   in
   (* Pending read-only group: [to_run] are the indices to execute on the
      workers, [pending] additionally carries the shed ones so they are
@@ -456,7 +544,7 @@ let process_batch t envs =
         match Store.revoke ten.Tenant.store ~uid with
         | Error errors -> invalid ~op:"revoke" ~uid errors
         | Ok cand -> commit_barrier i uid ~op:`Revoke cand)
-    | P.Query | P.What_if _ -> assert false
+    | P.Query | P.What_if _ | P.Region _ -> assert false
   in
   (* Pending admission/revocation group: consecutive commit requests are
      speculatively analyzed in parallel against each tenant's store as
@@ -489,7 +577,7 @@ let process_batch t envs =
                   match Store.revoke snaps.(j) ~uid with
                   | Error es -> `Invalid (uid, "revoke", es)
                   | Ok c -> `Cand (uid, `Revoke, c))
-              | P.Query | P.What_if _ | P.Stats -> assert false)
+              | P.Query | P.What_if _ | P.Region _ | P.Stats -> assert false)
             idxs
         in
         let spec_results = Array.make m None in
@@ -559,7 +647,7 @@ let process_batch t envs =
         pending := i :: !pending)
       else
         match env.P.req with
-        | P.Query | P.What_if _ ->
+        | P.Query | P.What_if _ | P.Region _ ->
             flush_admits ();
             pending := i :: !pending;
             to_run := i :: !to_run

@@ -15,6 +15,7 @@ type t = {
          rows from.  Per tenant, so interleaved traffic from other
          assemblies cannot evict a tenant's warm fixed point. *)
   cache : (string, Protocol.summary) Hashtbl.t;
+  region_cache : (string, Protocol.region_summary) Hashtbl.t;
   cache_mu : Mutex.t;
 }
 
@@ -26,6 +27,7 @@ let create ~id store =
     store;
     baseline = None;
     cache = Hashtbl.create 16;
+    region_cache = Hashtbl.create 4;
     cache_mu = Mutex.create ();
   }
 
@@ -48,6 +50,26 @@ let cache_add t (s : Protocol.summary) =
   Mutex.unlock t.cache_mu
 
 let cache_entries t = Hashtbl.length t.cache
+
+(* Regions are cached like summaries, but the key must also pin the
+   platform and the grid: one store hash can carry several regions. *)
+let region_key ~hash ~resource ~precision =
+  Printf.sprintf "%s#%s#%d" hash resource precision
+
+let region_find t ~hash ~resource ~precision =
+  Mutex.lock t.cache_mu;
+  let r = Hashtbl.find_opt t.region_cache (region_key ~hash ~resource ~precision) in
+  Mutex.unlock t.cache_mu;
+  r
+
+let region_add t (r : Protocol.region_summary) =
+  let key =
+    region_key ~hash:r.Protocol.r_hash ~resource:r.Protocol.r_platform
+      ~precision:r.Protocol.r_precision
+  in
+  Mutex.lock t.cache_mu;
+  if not (Hashtbl.mem t.region_cache key) then Hashtbl.add t.region_cache key r;
+  Mutex.unlock t.cache_mu
 
 (* Any converged (model, report) pair of this tenant is a valid
    warm-start source — what_if candidates included: the delta planner

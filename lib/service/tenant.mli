@@ -15,6 +15,9 @@ type t = {
   mutable baseline : (Analysis.Model.t * Analysis.Report.t) option;
       (** warm-start source for {!Analysis.Engine.analyze_delta} *)
   cache : (string, Protocol.summary) Hashtbl.t;
+  region_cache : (string, Protocol.region_summary) Hashtbl.t;
+      (** keyed [hash#platform#precision] — one store snapshot can
+          carry several regions *)
   cache_mu : Mutex.t;
 }
 
@@ -28,6 +31,12 @@ val cache_find : t -> string -> Protocol.summary option
 val cache_add : t -> Protocol.summary -> unit
 
 val cache_entries : t -> int
+
+val region_find :
+  t -> hash:string -> resource:string -> precision:int ->
+  Protocol.region_summary option
+
+val region_add : t -> Protocol.region_summary -> unit
 
 val update_baseline : t -> (Analysis.Model.t * Analysis.Report.t) option -> unit
 (** Adopt a freshly computed (model, report) pair as the new baseline

@@ -185,11 +185,17 @@ let mutations t =
   Mutex.unlock t.mu;
   m
 
+exception Injected_crash
+
 (* Rewrite the log as one snapshot record per non-empty tenant (sorted,
    so compaction output is deterministic), via a temp file and an
    atomic rename: a crash mid-compaction leaves the old log intact.
-   Returns the number of snapshot records written. *)
-let compact t ~tenants =
+   Returns the number of snapshot records written.
+
+   [fault] injects a crash at the most dangerous point — after the
+   snapshot temp file is durable but before the rename — so tests can
+   pin the crash-safety claim instead of trusting the comment above. *)
+let compact ?fault t ~tenants =
   Mutex.lock t.mu;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mu)
@@ -214,6 +220,9 @@ let compact t ~tenants =
         tenants;
       flush oc;
       close_out oc;
+      (match fault with
+      | Some `Crash_before_rename -> raise Injected_crash
+      | None -> ());
       close_out_noerr t.oc;
       Sys.rename tmp t.path;
       t.oc <- open_out_gen [ Open_append; Open_wronly ] 0o644 t.path;

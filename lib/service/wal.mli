@@ -36,11 +36,21 @@ val mutations : t -> int
 (** Admit/revoke records currently on disk — the replay cost that
     {!compact} resets to zero. *)
 
-val compact : t -> tenants:(string * Store.t) list -> int
+exception Injected_crash
+(** Raised by {!compact} at its injected fault point; never escapes in
+    production use (no [fault] argument). *)
+
+val compact :
+  ?fault:[ `Crash_before_rename ] -> t -> tenants:(string * Store.t) list -> int
 (** Rewrite the log as one [snapshot] record per non-empty tenant
     (sorted by id), via temp file + atomic rename, and return how many
     snapshot records were written.  Must be called at a quiescent
-    point: no concurrent {!append}. *)
+    point: no concurrent {!append}.
+
+    [fault] is test-only crash injection: [`Crash_before_rename] raises
+    {!Injected_crash} after the snapshot temp file is written and
+    closed but before the atomic rename — the window where a real crash
+    must leave the original log intact and fully replayable. *)
 
 val close : t -> unit
 

@@ -79,6 +79,38 @@ Unknown transaction names are reported:
   $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --history Nope | tail -1
   no transaction named Nope
 
+The region backend computes a platform's whole (α, Δ) schedulability
+region; the paper's P3 point lies inside it (exit 0) and the Pareto
+frontier comes out as CSV vertices:
+
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --region P3 --grid 3 --csv
+  kind,alpha,delta
+  frontier,15/64,35/4
+  refined,11/32,161/11
+  refined,29/64,455/29
+  refined,1,35/2
+
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --region Nope
+  no platform named Nope
+  [1]
+
+design and sensitivity reject bad job counts and grid precisions at
+parse time, exactly like analyze (exit 124):
+
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --jobs=-1
+  hsched: option '--jobs': must be >= 0 (0 = all cores), got -1
+  Usage: hsched design [OPTION]… FILE
+  Try 'hsched design --help' or 'hsched --help' for more information.
+  [124]
+  $ ../bin/hsched_cli.exe sensitivity ../examples/sensor_fusion.hsc --jobs many 2>&1 | head -1
+  hsched: option '--jobs': expected an integer, got many
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --grid 0 2>&1 | head -1
+  hsched: option '--grid': must be >= 1, got 0
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --precision lots 2>&1 | head -1
+  hsched: option '--precision': expected an integer, got lots
+  $ ../bin/hsched_cli.exe sensitivity ../examples/sensor_fusion.hsc --precision 1000 2>&1 | head -1
+  hsched: option '--precision': must be <= 24, got 1000
+
 Simulation stays within bounds and meets every deadline:
 
   $ ../bin/hsched_cli.exe simulate ../examples/sensor_fusion.hsc --horizon 2000 | grep misses

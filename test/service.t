@@ -42,7 +42,29 @@ line is filtered; everything else is exact.
   {"seq":8,"op":"query","status":"ok","hash":"6d12b8e9e010ec2cdc135c6be39eb734","schedulable":true,"converged":true,"iterations":1,"cached":true,"bounds":[{"transaction":"A.T","task":"A.T.mix","response":"6","deadline":"8","meets":true}]}
   {"seq":9,"op":"invalid","status":"error","error":"unknown op \"nonsense\""}
   {"seq":10,"op":"what_if","status":"shed","reason":"deadline"}
-  {"seq":11,"op":"stats","status":"ok","admitted":1,"hash":"6d12b8e9e010ec2cdc135c6be39eb734","workers":2,"requests":{"admit":3,"revoke":1,"query":3,"what_if":2,"stats":1,"errors":1},"committed":3,"rejected":1,"shed":{"deadline":1,"overload":0},"cache":{"hits":3,"misses":5,"entries":5},"sessions":{"created":1,"rebound":4,"ir_warm":0},"delta":{"warm":2,"cold":2,"dirty_tasks":1,"carried_tasks":2},"kernel_sessions":1,"fallback_count":0,"pool":{"steals":0,"splits":0,"idle_slots":0},"batches":"-","latency_ms":"-"}
+  {"seq":11,"op":"stats","status":"ok","admitted":1,"hash":"6d12b8e9e010ec2cdc135c6be39eb734","workers":2,"requests":{"admit":3,"revoke":1,"query":3,"what_if":2,"region":0,"stats":1,"errors":1},"committed":3,"rejected":1,"shed":{"deadline":1,"overload":0},"cache":{"hits":3,"misses":5,"entries":5},"sessions":{"created":1,"rebound":4,"ir_warm":0},"delta":{"warm":2,"cold":2,"dirty_tasks":1,"carried_tasks":2},"kernel_sessions":1,"fallback_count":0,"pool":{"steals":0,"splits":0,"idle_slots":0},"batches":"-","latency_ms":"-"}
+
+The `region` verb serves a platform's exact (α, Δ) schedulability
+region over the tenant's current store: cell statistics, membership of
+the current parameters and the Pareto frontier as exact rationals.
+Results are cached per tenant on the store hash (the rejected admit
+never commits, so the second request hits the cache); unknown platforms
+and out-of-range precisions are rejected like any other bad request:
+
+  $ cat > regions.jsonl <<'EOF'
+  > {"op":"admit","id":"audio","spec":"component Audio { implementation: scheduler fixed_priority; thread T periodic(period = 8, deadline = 8) priority 1 { task mix(wcet = 1, bcet = 1); } } instance A : Audio on Pb;"}
+  > {"op":"region","resource":"Pb","precision":3}
+  > {"op":"admit","id":"bulk","spec":"component Bulk { implementation: scheduler fixed_priority; thread T periodic(period = 10, deadline = 10) priority 3 { task crunch(wcet = 9, bcet = 9); } } instance B : Bulk on Pb;"}
+  > {"op":"region","resource":"Pb","precision":3}
+  > {"op":"region","resource":"Nope"}
+  > {"op":"region","resource":"Pb","precision":99}
+  > EOF
+
+  $ ../bin/hsched_cli.exe serve base.hsc --workers 2 < regions.jsonl | sed -n '2p;4,6p'
+  {"seq":2,"op":"region","status":"ok","hash":"6d12b8e9e010ec2cdc135c6be39eb734","platform":"Pb","precision":3,"schedulable":true,"cells":34,"feasible":10,"infeasible":9,"boundary":15,"refined":11,"probes":47,"cached":false,"frontier":[{"alpha":"15/64","delta":"3"},{"alpha":"11/32","delta":"5"},{"alpha":"9/16","delta":"6"}]}
+  {"seq":4,"op":"region","status":"ok","hash":"6d12b8e9e010ec2cdc135c6be39eb734","platform":"Pb","precision":3,"schedulable":true,"cells":34,"feasible":10,"infeasible":9,"boundary":15,"refined":11,"probes":47,"cached":true,"frontier":[{"alpha":"15/64","delta":"3"},{"alpha":"11/32","delta":"5"},{"alpha":"9/16","delta":"6"}]}
+  {"seq":5,"op":"region","id":"Nope","status":"rejected","reason":"invalid","hash":"6d12b8e9e010ec2cdc135c6be39eb734","errors":["no platform named Nope"]}
+  {"seq":6,"op":"invalid","status":"error","error":"field \"precision\" must be an integer in [1, 10]"}
 
 The hash after revoking `video` with `audio` still in place is NOT the
 hash before `video` was admitted — content hashing is over the admitted
@@ -135,12 +157,15 @@ the tenant-to-shard map (latencies and batch counts filtered as above):
   >   | grep -o '"shard_map":.*'
   "shard_map":{"shards":2,"tenants":{"":1,"acme":1,"globex":0}}}
 
-The log now holds the version header and one record per commit:
+The log now holds the version header and one record per commit.  The
+two tenants live on different shards, which commit concurrently, so
+only each tenant's own order is meaningful — sorted here to keep the
+check deterministic:
 
-  $ sed 's/"spec":"[^"]*"/"spec":"-"/' wal.jsonl
-  {"rec":"wal","version":1}
+  $ sed 's/"spec":"[^"]*"/"spec":"-"/' wal.jsonl | sort
   {"rec":"admit","tenant":"acme","id":"video","spec":"-","hash":"dc0bbe6a59f475e9efde2037ccb06ce4"}
   {"rec":"admit","tenant":"globex","id":"audio","spec":"-","hash":"6d12b8e9e010ec2cdc135c6be39eb734"}
+  {"rec":"wal","version":1}
 
 Restarting from the log — at a different shard count — replays to the
 exact recorded hashes and serves the replayed stores:

@@ -691,6 +691,72 @@ let test_wal_compaction () =
   Alcotest.(check string) "default" (fst finals) (Server.store srv).Store.hash;
   Alcotest.(check string) "acme" (snd finals) (tenant_hash srv "acme")
 
+(* A crash between writing the snapshot temp file and the atomic rename
+   must leave the original log untouched and fully replayable.  The
+   injected fault raises exactly in that window. *)
+let test_wal_compact_crash () =
+  with_wal @@ fun log ->
+  let module Wal = Service.Wal in
+  let boot = boot_store () in
+  let admit store ~uid i =
+    match Store.admit store ~uid ~spec:(unit_spec i) with
+    | Ok c -> c
+    | Error es -> Alcotest.failf "admit: %s" (String.concat "; " es)
+  in
+  let wal, existing =
+    match Wal.open_ ~path:log with
+    | Ok r -> r
+    | Error es -> Alcotest.failf "open: %s" (String.concat "; " es)
+  in
+  Alcotest.(check int) "fresh log" 0 (List.length existing);
+  (* genuine store transitions so the recorded hashes replay for real *)
+  let a1 = admit boot ~uid:"a1" 1 in
+  let a2 = admit a1 ~uid:"a2" 2 in
+  let b1 = admit boot ~uid:"b1" 3 in
+  Wal.append wal
+    (Wal.Admit { tenant = "acme"; uid = "a1"; spec = unit_spec 1; hash = a1.Store.hash });
+  Wal.append wal
+    (Wal.Admit { tenant = "acme"; uid = "a2"; spec = unit_spec 2; hash = a2.Store.hash });
+  Wal.append wal
+    (Wal.Admit { tenant = "bulk"; uid = "b1"; spec = unit_spec 3; hash = b1.Store.hash });
+  Alcotest.(check int) "three mutations" 3 (Wal.mutations wal);
+  let tenants = [ ("acme", a2); ("bulk", b1) ] in
+  (* crash in the window: temp file written, rename never happens *)
+  Alcotest.check_raises "injected crash fires" Wal.Injected_crash (fun () ->
+      ignore (Wal.compact ~fault:`Crash_before_rename wal ~tenants));
+  Alcotest.(check bool) "temp file left behind" true
+    (Sys.file_exists (log ^ ".tmp"));
+  (* the original log is intact: loads and replays to the recorded hashes *)
+  let replayed records =
+    match Wal.replay ~boot records with
+    | Ok ts -> ts
+    | Error es -> Alcotest.failf "replay: %s" (String.concat "; " es)
+  in
+  let check_tenants what ts =
+    Alcotest.(check (list (pair string string)))
+      what
+      [ ("acme", a2.Store.hash); ("bulk", b1.Store.hash) ]
+      (List.map (fun (id, (s : Store.t)) -> (id, s.Store.hash)) ts)
+  in
+  (match Wal.open_ ~path:log with
+  | Error es -> Alcotest.failf "reopen after crash: %s" (String.concat "; " es)
+  | Ok (wal2, records) ->
+      Alcotest.(check int) "mutations survive the crash" 3 (List.length records);
+      check_tenants "replay after crash" (replayed records);
+      Wal.close wal2);
+  (* the crashed Wal.t is still usable: a real compact then succeeds *)
+  Alcotest.(check int) "compact writes both snapshots" 2
+    (Wal.compact wal ~tenants);
+  Alcotest.(check int) "mutations reset" 0 (Wal.mutations wal);
+  Wal.close wal;
+  Alcotest.(check bool) "temp file consumed by rename" false
+    (Sys.file_exists (log ^ ".tmp"));
+  match Wal.open_ ~path:log with
+  | Error es -> Alcotest.failf "reopen after compact: %s" (String.concat "; " es)
+  | Ok (wal3, records) ->
+      check_tenants "replay from snapshots" (replayed records);
+      Wal.close wal3
+
 (* --- qcheck: kill at a commit boundary, restart, compare --- *)
 
 let boot_hash = lazy (boot_store ()).Store.hash
@@ -852,6 +918,8 @@ let () =
           Alcotest.test_case "tampered log is refused" `Quick test_wal_tamper;
           Alcotest.test_case "compaction keeps replay exact" `Quick
             test_wal_compaction;
+          Alcotest.test_case "crash before compaction rename is safe" `Quick
+            test_wal_compact_crash;
           test_crash_replay;
         ] );
     ]
