@@ -101,6 +101,17 @@ let no_steal_flag =
            Reports are identical either way; this only trades speed for a \
            reference measurement.")
 
+let no_warm_probes_flag =
+  Arg.(
+    value & flag
+    & info [ "no-warm-probes" ]
+        ~doc:
+          "Run every design-space probe analysis cold instead of certifying \
+           or warm-seeding it from previously converged probes at dominating \
+           parameter points (the probe ladder).  Verdicts and reports are \
+           identical either way; this only trades speed for a reference \
+           measurement.")
+
 (* Domains are heavyweight OS threads: a job count beyond any plausible
    machine is a typo, not a request, so reject it at parse time along
    with negatives and non-integers (cmdliner parse errors exit 124). *)
@@ -232,7 +243,7 @@ let csv_flag =
 
 let analyze_cmd =
   let run file exact history csv jobs trace no_prune no_incremental
-      no_int_kernel no_history no_steal =
+      no_int_kernel no_history no_steal no_warm_probes =
     let sys = or_die (load_system file) in
     let m = Analysis.Model.of_system sys in
     let params =
@@ -243,6 +254,7 @@ let analyze_cmd =
         incremental = not no_incremental;
         int_kernel = not no_int_kernel;
         steal = not no_steal;
+        warm_probes = not no_warm_probes;
         (* --history needs the matrices; printing wins over --no-history *)
         keep_history = (not no_history) || history <> None;
       }
@@ -303,7 +315,8 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ exact_flag $ history_arg $ csv_flag $ jobs_arg
       $ engine_trace_arg $ no_prune_flag $ no_incremental_flag
-      $ no_int_kernel_flag $ no_history_flag $ no_steal_flag)
+      $ no_int_kernel_flag $ no_history_flag $ no_steal_flag
+      $ no_warm_probes_flag)
 
 (* --- simulate --- *)
 
@@ -505,6 +518,7 @@ let print_region ~csv ~name ~grid rm current_alpha current_delta member =
   else begin
     let st = C.stats rm.D.cells in
     let dom = C.domain rm.D.cells in
+    let ls = Regions.Probe_ladder.stats rm.D.ladder in
     let vertices pts =
       String.concat ","
         (List.map
@@ -515,7 +529,7 @@ let print_region ~csv ~name ~grid rm current_alpha current_delta member =
            pts)
     in
     Printf.printf
-      {|{"platform":"%s","grid":%d,"domain":{"alpha":["%s","%s"],"delta":["%s","%s"]},"cells":%d,"feasible":%d,"infeasible":%d,"boundary":%d,"refined":%d,"probes":%d,"probe_hits":%d,"current":{"alpha":"%s","delta":"%s","member":%b},"frontier":[%s],"refined_vertices":[%s]}|}
+      {|{"platform":"%s","grid":%d,"domain":{"alpha":["%s","%s"],"delta":["%s","%s"]},"cells":%d,"feasible":%d,"infeasible":%d,"boundary":%d,"refined":%d,"probes":%d,"probe_hits":%d,"warm_probes":%b,"probe_ladder":{"probes":%d,"seeded":%d,"cold":%d,"cert_feasible":%d,"cert_infeasible":%d},"current":{"alpha":"%s","delta":"%s","member":%b},"frontier":[%s],"refined_vertices":[%s]}|}
       name grid
       (Q.to_string dom.S.a_lo)
       (Q.to_string dom.S.a_hi)
@@ -523,6 +537,10 @@ let print_region ~csv ~name ~grid rm current_alpha current_delta member =
       (Q.to_string dom.S.d_hi)
       st.C.cells st.C.feasible st.C.infeasible st.C.boundary st.C.refined
       st.C.probes st.C.probe_hits
+      (Regions.Probe_ladder.enabled rm.D.ladder)
+      ls.Regions.Probe_ladder.probes ls.Regions.Probe_ladder.seeded
+      ls.Regions.Probe_ladder.cold ls.Regions.Probe_ladder.cert_feasible
+      ls.Regions.Probe_ladder.cert_infeasible
       (Q.to_string current_alpha)
       (Q.to_string current_delta)
       member (vertices frontier)
@@ -531,14 +549,21 @@ let print_region ~csv ~name ~grid rm current_alpha current_delta member =
   end
 
 let design_cmd =
-  let run file precision server_period region grid csv jobs trace =
+  let run file precision server_period region grid csv jobs trace
+      no_warm_probes =
     let sys = or_die (load_system file) in
     with_jobs jobs @@ fun pool ->
     with_trace trace @@ fun writer ->
     let sink = engine_sink writer in
+    let params =
+      {
+        Analysis.Params.default with
+        Analysis.Params.warm_probes = not no_warm_probes;
+      }
+    in
     (* One session for the whole command: every probe of the rate search
        and the breakdown sweep reuses the model compiled here. *)
-    let engine = Analysis.Engine.create_system ~pool ?sink sys in
+    let engine = Analysis.Engine.create_system ~params ~pool ?sink sys in
     let resources = sys.Transaction.System.resources in
     match region with
     | Some name -> (
@@ -616,7 +641,8 @@ let design_cmd =
           exact (α, Δ) schedulability region ($(b,--region)).")
     Term.(
       const run $ file_arg $ precision_arg $ server_period_arg $ region_arg
-      $ grid_arg $ csv_flag $ jobs_arg $ engine_trace_arg)
+      $ grid_arg $ csv_flag $ jobs_arg $ engine_trace_arg
+      $ no_warm_probes_flag)
 
 (* --- serve --- *)
 
@@ -692,7 +718,7 @@ let accept_limit_arg =
 
 let serve_cmd =
   let run file workers shards log exact max_batch trace socket accept_limit
-      no_steal =
+      no_steal no_warm_probes =
     let src =
       try Ok (In_channel.with_open_bin file In_channel.input_all)
       with Sys_error e -> Error e
@@ -712,6 +738,7 @@ let serve_cmd =
             (params_of_exact exact) with
             Analysis.Params.keep_history = false;
             steal = not no_steal;
+            warm_probes = not no_warm_probes;
           }
         in
         match
@@ -742,7 +769,7 @@ let serve_cmd =
     Term.(
       const run $ file_arg $ workers_arg $ shards_arg $ log_arg $ exact_flag
       $ max_batch_arg $ engine_trace_arg $ socket_arg $ accept_limit_arg
-      $ no_steal_flag)
+      $ no_steal_flag $ no_warm_probes_flag)
 
 (* --- format --- *)
 

@@ -10,6 +10,7 @@ type event =
   | Kernel_fallback of { reason : string }
   | Analysis_started of { variant : Params.variant }
   | Delta of { dirty : int; total : int; carried : int }
+  | Seeded of { distance : Q.t; iterations : int; saved : int }
   | Sweep of { iteration : int; recomputed : int; carried : int }
   | Finished of { iterations : int; converged : bool; schedulable : bool }
   | Pool_stats of { steals : int; splits : int; idle : int }
@@ -35,6 +36,10 @@ let event_to_json = function
   | Delta { dirty; total; carried } ->
       Printf.sprintf {|{"event":"delta","dirty":%d,"total":%d,"carried":%d}|}
         dirty total carried
+  | Seeded { distance; iterations; saved } ->
+      Printf.sprintf
+        {|{"event":"seeded","distance":"%s","iterations":%d,"saved":%d}|}
+        (Q.to_string distance) iterations saved
   | Sweep { iteration; recomputed; carried } ->
       Printf.sprintf
         {|{"event":"sweep","iteration":%d,"recomputed":%d,"carried":%d}|}
@@ -177,8 +182,12 @@ let with_model t m =
   let ir = if Ir.compatible t.ir m then t.ir else Ir.compile m in
   (* Memoised interference values embed the model's demands and platform
      rates; a rebound model always starts from a fresh memo.  Likewise
-     the timebase embeds every numeric constant, so it is recompiled —
-     cheap next to the IR — and the overflow verdict reset. *)
+     the timebase embeds every numeric constant, so it is recompiled and
+     the overflow verdict reset.  The rebind therefore only ever saves
+     the IR compilation: profiled on the X11 probe workload the timebase
+     scan is the dominant term and both a rebind and a fresh [create]
+     pay it, so on small stores the two cost about the same — X11 bounds
+     the gap instead of asserting a win. *)
   let timebase = timebase_for m t.params in
   {
     t with
@@ -697,39 +706,55 @@ module Delta = struct
       let n = Model.n_txns m in
       let seed = Array.make n false in
       let old_of = Array.make n (-1) in
+      let matched = ref 0 in
       for a = 0 to n - 1 do
         match Model.find_txn prev_model m.Model.txns.(a).Model.tname with
-        | Some oa when txn_clean ~prev_model ~model:m ~prev_a:oa ~a ->
-            old_of.(a) <- oa
-        | Some _ | None -> seed.(a) <- true
+        | Some oa ->
+            incr matched;
+            if txn_clean ~prev_model ~model:m ~prev_a:oa ~a then
+              old_of.(a) <- oa
+            else seed.(a) <- true
+        | None -> seed.(a) <- true
       done;
-      (* A removed transaction's interference is gone from equations the
-         new dependency rows cannot see any more; conservatively seed
-         every survivor that shares a platform with it.  Clean survivors
-         keep their resource indices (the task chains compared equal),
-         so the overlap test in the old model's indexing is exact. *)
-      let surviving =
-        Array.to_list m.Model.txns
-        |> List.map (fun (tx : Model.txn) -> tx.Model.tname)
-      in
-      Array.iter
-        (fun (ot : Model.txn) ->
-          if not (List.mem ot.Model.tname surviving) then
-            Array.iter
-              (fun (otk : Model.task) ->
-                Array.iteri
-                  (fun a (tx : Model.txn) ->
-                    if
-                      (not seed.(a))
-                      && Array.exists
-                           (fun (tk : Model.task) ->
-                             tk.Model.res = otk.Model.res)
-                           tx.Model.tasks
-                    then seed.(a) <- true)
-                  m.Model.txns)
-              ot.Model.tasks)
-        prev_model.Model.txns;
-      let dirty = Ir.dirty_closure t.ir ~seed in
+      (* dirty = total already: every row restarts from bottom and the
+         remaining diff bookkeeping has nothing left to mark, so skip
+         straight to the cold path — this is where the planning overhead
+         used to exceed the work it saved on small stores (bench X13) *)
+      if Array.for_all Fun.id seed then Error "all-dirty"
+      else begin
+        (* A removed transaction's interference is gone from equations
+           the new dependency rows cannot see any more; conservatively
+           seed every survivor that shares a platform with it.  Clean
+           survivors keep their resource indices (the task chains
+           compared equal), so the overlap test in the old model's
+           indexing is exact.  Transaction names are unique, so every
+           previous transaction survived iff each one matched some new
+           transaction above — the admission-heavy common case, which
+           skips this quadratic scan entirely. *)
+        if !matched < Array.length prev_model.Model.txns then
+          Array.iter
+            (fun (ot : Model.txn) ->
+              if
+                not
+                  (Array.exists
+                     (fun (tx : Model.txn) -> tx.Model.tname = ot.Model.tname)
+                     m.Model.txns)
+              then
+                Array.iter
+                  (fun (otk : Model.task) ->
+                    Array.iteri
+                      (fun a (tx : Model.txn) ->
+                        if
+                          (not seed.(a))
+                          && Array.exists
+                               (fun (tk : Model.task) ->
+                                 tk.Model.res = otk.Model.res)
+                               tx.Model.tasks
+                        then seed.(a) <- true)
+                      m.Model.txns)
+                  ot.Model.tasks)
+            prev_model.Model.txns;
+        let dirty = Ir.dirty_closure t.ir ~seed in
       if Array.for_all Fun.id dirty then Error "all-dirty"
       else begin
         let w_jit =
@@ -763,6 +788,7 @@ module Delta = struct
             total_tasks = Ir.n_tasks t.ir;
           }
       end
+      end
     end
 
   let dirty_tasks p = p.dirty_tasks
@@ -788,6 +814,221 @@ let analyze_delta t ~prev_model ~prev_report =
          non-converged report matches the cold iterates exactly. *)
       if report.Report.converged then
         (report, Delta_warm { dirty; total; carried })
+      else begin
+        Rta.record_delta_fallback t.counters;
+        (analyze t, Delta_cold { reason = "warm-not-converged" })
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Seeded analysis: warm fixed points across parameter points          *)
+(* ------------------------------------------------------------------ *)
+
+(* A seed report comes from a *different* parameter point, so its
+   jitters rarely lie on this session's scaled-integer lattice.  Unlike
+   the delta warm start nothing is pinned — every transaction is dirty,
+   the seeded responses are never read — so rounding each jitter *down*
+   onto the lattice keeps the start below the least fixed point and the
+   run stays sound.  Row 0 (the release jitter) is a model constant and
+   already exact on the lattice. *)
+let iwarm_floor_of tb w =
+  let scale = Timebase.scale tb in
+  try
+    Some
+      {
+        iw_dirty = w.w_dirty;
+        iw_jit =
+          Array.map (Array.map (fun j -> Q.floor Q.(j * of_int scale))) w.w_jit;
+        iw_resp = Array.map (Array.map (fun _ -> Rta.IDivergent)) w.w_resp;
+      }
+  with Q.Overflow -> None
+
+let seeded_dispatch t warm =
+  match t.timebase with
+  | Some tb when not !(t.kernel_poisoned) -> (
+      match iwarm_floor_of tb warm with
+      | None -> analyze_rational t ~warm:(Some warm)
+      | Some iw -> (
+          Rta.record_kernel_run t.counters;
+          try analyze_int t tb ~warm:(Some iw)
+          with Q.Overflow ->
+            Rta.record_kernel_fallback t.counters;
+            t.kernel_poisoned := true;
+            emit t (Kernel_fallback { reason = "overflow" });
+            analyze_rational t ~warm:(Some warm)))
+  | _ -> analyze_rational t ~warm:(Some warm)
+
+module Seeded = struct
+  (* Seeding across parameter points keeps the structure fixed — same
+     transactions in the same order, same chains on the same platforms
+     — and only the knobs the design-space searches turn may differ:
+     the linear supply bounds and the task demands.  Alignment is
+     positional (probe models are [{m with bounds}] rebinds or demand
+     rescalings of one base model), with physical-equality fast paths
+     for the arrays such rebinds share. *)
+  let task_structure_eq (o : Model.task) (n : Model.task) =
+    o == n
+    || String.equal o.Model.name n.Model.name
+       && o.Model.res = n.Model.res && o.Model.prio = n.Model.prio
+
+  let txn_structure_eq (ot : Model.txn) (nt : Model.txn) =
+    ot == nt
+    || String.equal ot.Model.tname nt.Model.tname
+       && Q.equal ot.Model.period nt.Model.period
+       && Q.equal ot.Model.deadline nt.Model.deadline
+       && Array.length ot.Model.tasks = Array.length nt.Model.tasks
+       && Array.for_all2 task_structure_eq ot.Model.tasks nt.Model.tasks
+
+  let same_structure (sm : Model.t) (tm : Model.t) =
+    sm == tm
+    || Array.length sm.Model.txns = Array.length tm.Model.txns
+       && Array.length sm.Model.bounds = Array.length tm.Model.bounds
+       && sm.Model.release_jitter = tm.Model.release_jitter
+       && sm.Model.blocking = tm.Model.blocking
+       && (sm.Model.txns == tm.Model.txns
+          || Array.for_all2 txn_structure_eq sm.Model.txns tm.Model.txns)
+
+  (* The seed platform must be easier coordinatewise: more rate, less
+     delay.  Burstiness must be *equal* — a larger β shrinks the
+     best-case responses, which *grows* the jitters J = R − Rbest, so
+     the verdict is not monotone in β and a β-easier point is not a
+     sound seed (the frontier machinery in {!Regions} fixes β for the
+     same reason). *)
+  let bound_dominates (s : Platform.Linear_bound.t) (t : Platform.Linear_bound.t)
+      =
+    s == t
+    || Q.(s.Platform.Linear_bound.alpha >= t.Platform.Linear_bound.alpha)
+       && Q.(s.Platform.Linear_bound.delta <= t.Platform.Linear_bound.delta)
+       && Q.equal s.Platform.Linear_bound.beta t.Platform.Linear_bound.beta
+
+  (* Demands: the jitter map J = R − Rbest grows with C (through R, at
+     platform rate 1/α per unit) and *shrinks* with Cb (through Rbest,
+     at the same rate at most).  A seed task is therefore easier only
+     when both shrink together and the worst case shrinks at least as
+     much as the best case: Cb_s ≤ Cb and C − C_s ≥ Cb − Cb_s (demand
+     *scalings* f·(C, Cb) with f ≤ 1 satisfy this automatically since
+     Cb ≤ C). *)
+  let task_dominates (o : Model.task) (n : Model.task) =
+    o == n
+    || Q.(o.Model.cb <= n.Model.cb)
+       && Q.(n.Model.c - o.Model.c >= n.Model.cb - o.Model.cb)
+
+  let txn_dominates (ot : Model.txn) (nt : Model.txn) =
+    ot == nt || Array.for_all2 task_dominates ot.Model.tasks nt.Model.tasks
+
+  let dominates ~seed target =
+    same_structure seed target
+    && Array.for_all2 bound_dominates seed.Model.bounds target.Model.bounds
+    && (seed.Model.txns == target.Model.txns
+       || Array.for_all2 txn_dominates seed.Model.txns target.Model.txns)
+
+  (* L1 gap between the two parameter points, used to pick the nearest
+     dominating seed (fewest warm iterations to close) and reported in
+     the [Seeded] event.  [gap] assumes [dominates ~seed target] (every
+     summand is then non-negative) — callers that already tested
+     dominance, like the [Regions.Probe_ladder] frontier scan, skip the
+     re-test. *)
+  let gap ~seed target =
+    begin
+      let d = ref Q.zero in
+      Array.iteri
+        (fun r (sb : Platform.Linear_bound.t) ->
+          let tb = target.Model.bounds.(r) in
+          if sb != tb then
+            d :=
+              Q.(
+                !d
+                + (sb.Platform.Linear_bound.alpha
+                  - tb.Platform.Linear_bound.alpha)
+                + (tb.Platform.Linear_bound.delta
+                  - sb.Platform.Linear_bound.delta)))
+        seed.Model.bounds;
+      if seed.Model.txns != target.Model.txns then
+        Array.iteri
+          (fun a (st : Model.txn) ->
+            let tt = target.Model.txns.(a) in
+            if st != tt then
+              Array.iteri
+                (fun b (stk : Model.task) ->
+                  let ttk = tt.Model.tasks.(b) in
+                  if stk != ttk then
+                    d :=
+                      Q.(
+                        !d + (ttk.Model.c - stk.Model.c)
+                        + (ttk.Model.cb - stk.Model.cb)))
+                st.Model.tasks)
+          seed.Model.txns;
+      !d
+    end
+
+  let distance ~seed target =
+    if dominates ~seed target then Some (gap ~seed target) else None
+
+  let plan t ~seed_model ~seed_report =
+    let params = t.params in
+    if not seed_report.Report.converged then Error "seed-not-converged"
+    else if params.Params.best_case <> Params.Simple then
+      Error "refined-best-case"
+    else if params.Params.keep_history then Error "history-requested"
+    else if not (same_structure seed_model t.model) then
+      Error "seed-structure-mismatch"
+    else if not (dominates ~seed:seed_model t.model) then
+      Error "seed-not-dominating"
+    else begin
+      let m = t.model in
+      let n = Model.n_txns m in
+      (* Everything is dirty — the parameter point changed under every
+         transaction — so only the jitters seed the sweep; the seeded
+         responses are never read and stay at bottom. *)
+      let w_jit =
+        Array.init n (fun a ->
+            Array.init (Model.n_tasks m a) (fun b ->
+                seed_report.Report.results.(a).(b).Report.jitter))
+      in
+      let w_resp =
+        Array.init n (fun a -> Array.make (Model.n_tasks m a) Report.Divergent)
+      in
+      let distance =
+        Option.value ~default:Q.zero (distance ~seed:seed_model m)
+      in
+      Ok ({ w_dirty = Array.make n true; w_jit; w_resp }, distance)
+    end
+end
+
+let analyze_seeded ?(verdict_only = false) t ~seed_model ~seed_report =
+  match Seeded.plan t ~seed_model ~seed_report with
+  | Error reason -> (analyze t, Delta_cold { reason })
+  | Ok (warm, distance) ->
+      Rta.record_delta_run t.counters;
+      let before = Parallel.Pool.stats t.pool in
+      let report = seeded_dispatch t warm in
+      let after = Parallel.Pool.stats t.pool in
+      let steals = after.Parallel.Pool.steals - before.Parallel.Pool.steals
+      and splits = after.Parallel.Pool.splits - before.Parallel.Pool.splits
+      and idle = after.Parallel.Pool.idle_slots - before.Parallel.Pool.idle_slots
+      in
+      if steals > 0 || splits > 0 || idle > 0 then
+        emit t (Pool_stats { steals; splits; idle });
+      let iterations = report.Report.outer_iterations in
+      emit t
+        (Seeded
+           {
+             distance;
+             iterations;
+             saved = max 0 (seed_report.Report.outer_iterations - iterations);
+           });
+      let total = Ir.n_tasks t.ir in
+      (* The seed jitters sit between bottom and the least fixed point,
+         so the warm iterates are squeezed between the cold iterates
+         and the fixed point (docs/THEORY.md): a converged warm run
+         *is* the cold report bit for bit, and even a non-converged
+         warm iterate decides the verdict exactly as cold would —
+         early exit fires only on responses the fixed point also
+         exceeds, and a capped warm run caps cold too.  Under
+         [verdict_only] callers accept the warm numbers as-is (they
+         only read [schedulable]); otherwise a non-converged run is
+         rerun cold so the reported iterates match cold exactly. *)
+      if report.Report.converged || verdict_only then
+        (report, Delta_warm { dirty = total; total; carried = 0 })
       else begin
         Rta.record_delta_fallback t.counters;
         (analyze t, Delta_cold { reason = "warm-not-converged" })

@@ -58,6 +58,14 @@ type event =
           Followed by the warm run's ordinary [Analysis_started] /
           [Sweep] / [Finished] stream (and, on a warm fallback, by a
           second full cold stream). *)
+  | Seeded of { distance : Rational.t; iterations : int; saved : int }
+      (** Emitted by {!analyze_seeded} after a warm run: the outer fixed
+          point was seeded from a converged report at a dominating
+          (easier) parameter point at L1 parameter [distance],
+          [iterations] outer sweeps were run, and [saved] is the seed
+          trajectory length beyond them — a proxy for the cold sweeps
+          the warm start skipped (the exact cold count would cost the
+          cold run the seeding avoids). *)
   | Sweep of { iteration : int; recomputed : int; carried : int }
       (** One outer Jacobi iteration finished; [recomputed] tasks had a
           dirty dependency row, [carried] reused their previous response
@@ -235,6 +243,72 @@ val analyze_delta :
     transparently ({!Rta.delta_fallbacks}).  On a kernel session the
     warm start is scaled onto the integer timeline when the previous
     values lie on its lattice, and runs on exact rationals otherwise. *)
+
+(** {1 Seeded analysis}
+
+    {!analyze_delta} warms the fixed point across *model edits* at a
+    fixed parameter point; {!analyze_seeded} warms it across *parameter
+    points* of the same structure — the design-space case, where probe
+    models differ only in platform bounds and demands.  A converged
+    report at a point that *dominates* the target (per-resource rate ≥,
+    delay ≤, burstiness equal; per-task demands no larger, the worst
+    case shrinking at least as much as the best case) lies pointwise
+    below the target's least fixed point, so its jitters are a sound
+    Kleene seed: the warm iterates are squeezed between the cold
+    iterates and the fixed point.  Lemma and proof: docs/THEORY.md. *)
+
+(** The dominance tests and planning half of {!analyze_seeded}, exposed
+    for the {!Regions.Probe_ladder} (which indexes converged probes by
+    dominance) and for tests. *)
+module Seeded : sig
+  val dominates : seed:Model.t -> Model.t -> bool
+  (** [dominates ~seed target]: same structure (transactions, chains,
+      placement, priorities, periods, deadlines, jitters, blocking) and
+      [seed] is coordinatewise easier — per resource α ≥, Δ ≤, β equal
+      (the verdict is not monotone in β: a larger burstiness grows the
+      jitters); per task Cb no larger and C shrinking by at least as
+      much as Cb.  Reflexive. *)
+
+  val distance : seed:Model.t -> Model.t -> Rational.t option
+  (** L1 gap between the two parameter points (bounds and demands),
+      [None] unless [dominates ~seed].  The ladder picks the nearest
+      dominating seed — fewest warm sweeps to close the gap. *)
+
+  val gap : seed:Model.t -> Model.t -> Rational.t
+  (** The gap alone, assuming [dominates ~seed] already holds
+      (meaningless otherwise).  For scans that tested dominance a step
+      earlier — one pass instead of two per frontier entry. *)
+end
+
+val analyze_seeded :
+  ?verdict_only:bool ->
+  t ->
+  seed_model:Model.t ->
+  seed_report:Report.t ->
+  Report.t * delta_outcome
+(** {!analyze}, warm-started from a converged analysis of a dominating
+    parameter point.  Planning refuses — and the call transparently
+    runs cold, returning [Delta_cold] with reason
+    ["seed-not-converged"], ["refined-best-case"],
+    ["history-requested"], ["seed-structure-mismatch"] or
+    ["seed-not-dominating"] — whenever the squeeze argument does not
+    apply; a non-dominating seed is never silently used.  On a warm run
+    every transaction is dirty (the parameter point changed under all
+    of them): only the seed's jitters carry over, rounded *down* onto
+    the integer lattice on a kernel session (sound because nothing is
+    pinned), and the [Seeded] event reports the seed distance and
+    iterations saved.  A converged warm run returns the cold report bit
+    for bit ([Delta_warm] with [carried = 0]).  A warm run that does
+    not converge is rerun cold ([Delta_cold "warm-not-converged"]) —
+    unless [verdict_only] is set, in which case the warm report is
+    returned as-is: its [schedulable] verdict is provably the cold
+    verdict (a warm early exit overran a deadline the fixed point also
+    overruns; a warm iteration cap implies the cold cap), but its
+    response iterates are only cold-identical when [converged].
+    Boolean probes ({!Design.Param_search} multisection) use
+    [verdict_only]; report-returning probes (region corner samples)
+    use the default.  Counted by {!Rta.delta_runs} /
+    {!Rta.delta_fallbacks} alongside delta re-analysis. *)
 
 val response_time :
   t ->

@@ -14,6 +14,7 @@ type t = {
   keep_history : bool;
   int_kernel : bool;
   steal : bool;
+  warm_probes : bool;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     keep_history = true;
     int_kernel = true;
     steal = true;
+    warm_probes = true;
   }
 
 let exact = { default with variant = Exact }

@@ -89,12 +89,26 @@ type t = {
           report — reports are bit-identical with stealing on or off
           (asserted by the test suite and bench X14).  Disable only to
           benchmark the scheduler itself. *)
+  warm_probes : bool;
+      (** Let design-space probe sweeps ({!Design.Param_search},
+          {!Design.Sensitivity}, {!Regions.Cell} builds) seed each
+          probe's outer fixed point from the nearest previously
+          converged probe at a dominating (easier) parameter point,
+          through {!Engine.analyze_seeded} and a
+          {!Regions.Probe_ladder}.  A dominated seed lies pointwise
+          below the target's least fixed point, so the warm iteration
+          converges to the same fixed point — verdicts and converged
+          reports are bit-identical to cold probes (asserted by the
+          test suite and bench X17).  Plain {!Engine.analyze} calls
+          ignore this switch.  Disable only to benchmark the ladder
+          itself ([--no-warm-probes] on the CLI). *)
 }
 
 val default : t
 (** [Reduced], [Simple], horizon factor 64, at most 256 outer
     iterations, early exit on, memoisation on, pruning on, incremental
-    sweeps on, history kept, integer kernel on, work stealing on. *)
+    sweeps on, history kept, integer kernel on, work stealing on, warm
+    probes on. *)
 
 val exact : t
 (** [default] with [variant = Exact]. *)

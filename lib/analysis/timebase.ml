@@ -37,6 +37,19 @@ let fits v = abs v <= max_int asr headroom_bits
 let of_model (m : Model.t) ~horizon_factor =
   let n = Model.n_txns m in
   try
+    (* The platform-transformed demands are the only *derived* rationals
+       on the lattice — normalising each quotient is the expensive part
+       of this scan (engine rebinds pay it per probe), so compute every
+       quotient once and share it between the scale scan and the scaled
+       tables below. *)
+    let quot f =
+      Array.init n (fun a ->
+          Array.init (Model.n_tasks m a) (fun b ->
+              let tk = Model.task m a b in
+              Q.(f tk / Model.alpha m tk)))
+    in
+    let qc = quot (fun tk -> tk.Model.c) in
+    let qcb = quot (fun tk -> tk.Model.cb) in
     let scale = ref 1 in
     let see v = scale := Q.lcm_den !scale v in
     for a = 0 to n - 1 do
@@ -49,8 +62,8 @@ let of_model (m : Model.t) ~horizon_factor =
         see m.Model.blocking.(a).(b);
         see (Model.delta m tk);
         see (Model.beta m tk);
-        see Q.(tk.Model.c / Model.alpha m tk);
-        see Q.(tk.Model.cb / Model.alpha m tk)
+        see qc.(a).(b);
+        see qcb.(a).(b)
       done
     done;
     let scale = !scale in
@@ -85,8 +98,8 @@ let of_model (m : Model.t) ~horizon_factor =
           per_site (fun a b tk ->
               Q.(Model.delta m tk + m.Model.blocking.(a).(b)));
         sbeta = per_site (fun _ _ tk -> Model.beta m tk);
-        sc = per_site (fun _ _ tk -> Q.(tk.Model.c / Model.alpha m tk));
-        scb = per_site (fun _ _ tk -> Q.(tk.Model.cb / Model.alpha m tk));
+        sc = per_site (fun a b _ -> qc.(a).(b));
+        scb = per_site (fun a b _ -> qcb.(a).(b));
       }
   with Q.Overflow -> None
 

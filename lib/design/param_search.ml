@@ -42,12 +42,25 @@ let probe_engine ?engine ?params ?pool sys =
       Engine.create ~params:(probe_params params) ?pool
         (Analysis.Model.of_system sys)
 
-let probe_schedulable e ~bounds =
-  let m = { (Engine.model e) with Analysis.Model.bounds } in
-  (Engine.analyze (Engine.with_model e m)).Analysis.Report.schedulable
+(* Every boolean probe goes through a {!Regions.Probe_ladder}: stored
+   converged probes certify or warm-seed later ones (bit-identical
+   verdicts either way).  Callers that chain several searches over one
+   system pass [?ladder] to share the store across them; otherwise each
+   search gets a fresh ladder, enabled by the probe session's
+   [Params.warm_probes]. *)
+let ladder_for probe = function
+  | Some l -> l
+  | None ->
+      Regions.Probe_ladder.create
+        ~enabled:(Engine.params probe).Analysis.Params.warm_probes ()
 
-let schedulable_with ?engine ?params ?pool sys ~bounds =
-  probe_schedulable (probe_engine ?engine ?params ?pool sys) ~bounds
+let probe_schedulable ~ladder e ~bounds =
+  let m = { (Engine.model e) with Analysis.Model.bounds } in
+  Regions.Probe_ladder.schedulable ladder e m
+
+let schedulable_with ?engine ?params ?pool ?ladder sys ~bounds =
+  let probe = probe_engine ?engine ?params ?pool sys in
+  probe_schedulable ~ladder:(ladder_for probe ladder) probe ~bounds
 
 let current_bounds (sys : Transaction.System.t) =
   Array.map
@@ -78,6 +91,13 @@ let multisection_round ~pool ~ok_at_hi ok (lo, hi) =
       |> List.sort_uniq Stdlib.compare
       |> List.filter (fun p -> p > lo && p < hi)
     in
+    (* Easiest point first: when [ok] holds at the [hi] end the high
+       grid points are the easy ones, so probe them first — a
+       warm-seeding [ok] (Probe_ladder) then meets each harder point
+       with its easier neighbours already converged.  The bracket fold
+       below is order-insensitive, so the round's result is
+       unchanged. *)
+    let probes = if ok_at_hi then List.rev probes else probes in
     Parallel.Pool.map_list pool (fun p -> (p, ok p)) probes
     |> List.fold_left
          (fun (lo, hi) (p, okp) ->
@@ -104,26 +124,30 @@ let search_min_rate ?(pool = Parallel.Pool.sequential) ~precision ok =
     Some (Q.make (snd !bracket) den)
   end
 
-let min_rate ?engine ?params ?pool ?(precision = 10) sys ~resource ~family =
+let min_rate ?engine ?params ?pool ?ladder ?(precision = 10) sys ~resource
+    ~family =
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe ladder in
   let base = current_bounds sys in
   let ok alpha =
     let bounds = Array.copy base in
     bounds.(resource) <- family.bound_of_rate alpha;
-    probe_schedulable probe ~bounds
+    probe_schedulable ~ladder probe ~bounds
   in
   search_min_rate ~pool:(Engine.pool probe) ~precision ok
 
-let minimize_rates ?engine ?params ?pool ?(precision = 10) sys ~families =
+let minimize_rates ?engine ?params ?pool ?ladder ?(precision = 10) sys ~families
+    =
   let n = Array.length families in
   if n <> Array.length sys.Transaction.System.resources then
     invalid_arg "Design.minimize_rates: one family per platform required";
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe ladder in
   let rates = Array.make n Q.one in
   let bounds_of rates =
     Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
   in
-  if not (probe_schedulable probe ~bounds:(bounds_of rates)) then None
+  if not (probe_schedulable ~ladder probe ~bounds:(bounds_of rates)) then None
   else begin
     let changed = ref true in
     while !changed do
@@ -132,7 +156,7 @@ let minimize_rates ?engine ?params ?pool ?(precision = 10) sys ~families =
         let ok alpha =
           let attempt = Array.copy rates in
           attempt.(i) <- alpha;
-          probe_schedulable probe ~bounds:(bounds_of attempt)
+          probe_schedulable ~ladder probe ~bounds:(bounds_of attempt)
         in
         match search_min_rate ~pool:(Engine.pool probe) ~precision ok with
         | Some alpha when Q.(alpha < rates.(i)) ->
@@ -144,17 +168,18 @@ let minimize_rates ?engine ?params ?pool ?(precision = 10) sys ~families =
     Some rates
   end
 
-let balance_rates ?engine ?params ?pool ?(precision = 6) sys ~families =
+let balance_rates ?engine ?params ?pool ?ladder ?(precision = 6) sys ~families =
   let n = Array.length families in
   if n <> Array.length sys.Transaction.System.resources then
     invalid_arg "Design.balance_rates: one family per platform required";
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe ladder in
   let den = 1 lsl precision in
   let rates = Array.make n Q.one in
   let bounds_of rates =
     Array.init n (fun i -> families.(i).bound_of_rate rates.(i))
   in
-  if not (probe_schedulable probe ~bounds:(bounds_of rates)) then None
+  if not (probe_schedulable ~ladder probe ~bounds:(bounds_of rates)) then None
   else begin
     let step = Q.make 1 den in
     let progress = ref true in
@@ -165,7 +190,8 @@ let balance_rates ?engine ?params ?pool ?(precision = 6) sys ~families =
         if Q.(candidate > zero) then begin
           let attempt = Array.copy rates in
           attempt.(i) <- candidate;
-          if probe_schedulable probe ~bounds:(bounds_of attempt) then begin
+          if probe_schedulable ~ladder probe ~bounds:(bounds_of attempt)
+          then begin
             rates.(i) <- candidate;
             progress := true
           end
@@ -213,14 +239,14 @@ let scale_demands (m : Analysis.Model.t) factor =
         m.Analysis.Model.txns;
   }
 
-let breakdown_utilization ?engine ?params ?pool ?(precision = 10) sys =
+let breakdown_utilization ?engine ?params ?pool ?ladder ?(precision = 10) sys =
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe ladder in
   let m = Engine.model probe in
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Engine.analyze (Engine.with_model probe (scale_demands m factor)))
-        .Analysis.Report.schedulable
+      Regions.Probe_ladder.schedulable ladder probe (scale_demands m factor)
   in
   let pool = Engine.pool probe in
   if not (ok Q.one) then
@@ -237,8 +263,10 @@ let breakdown_utilization ?engine ?params ?pool ?(precision = 10) sys =
     if ok limit then limit else search_max ~pool ~precision ~limit ok
   end
 
-let max_delta ?engine ?params ?pool ?(precision = 10) ?limit sys ~resource =
+let max_delta ?engine ?params ?pool ?ladder ?(precision = 10) ?limit sys
+    ~resource =
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe ladder in
   let base = current_bounds sys in
   let default_limit =
     Array.fold_left
@@ -250,7 +278,7 @@ let max_delta ?engine ?params ?pool ?(precision = 10) ?limit sys ~resource =
     let bounds = Array.copy base in
     let b = bounds.(resource) in
     bounds.(resource) <- LB.make ~alpha:b.LB.alpha ~delta ~beta:b.LB.beta;
-    probe_schedulable probe ~bounds
+    probe_schedulable ~ladder probe ~bounds
   in
   if not (ok Q.zero) then None
   else Some (search_max ~pool:(Engine.pool probe) ~precision ~limit ok)
@@ -270,6 +298,7 @@ type region_mode = {
   frontier : Regions.Frontier.t;
   refined : Regions.Frontier.point list;
   region_probe : alpha:Q.t -> delta:Q.t -> bool;
+  ladder : Regions.Probe_ladder.t;
 }
 
 let default_delta_limit (sys : Transaction.System.t) =
@@ -277,25 +306,38 @@ let default_delta_limit (sys : Transaction.System.t) =
     (fun acc (x : Transaction.Txn.t) -> Q.max acc x.Transaction.Txn.deadline)
     Q.one sys.Transaction.System.transactions
 
-let region ?engine ?params ?pool ?(precision = 6) ?limit ?sink sys ~resource =
+let region ?engine ?params ?pool ?ladder ?(precision = 6) ?limit ?sink sys
+    ~resource =
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe ladder in
   let base = current_bounds sys in
   let beta = base.(resource).LB.beta in
   let limit = Option.value limit ~default:(default_delta_limit sys) in
-  let sample = Regions.Cell.sample_of_engine probe ~resource ~beta in
+  (* Corner samples feed the boundary refinement, which fits the slack
+     *iterates* of non-converged corners too — so they go through the
+     ladder's report path, whose results are cold bit for bit (seeded
+     runs that do not converge are rerun cold). *)
+  let model = Engine.model probe in
+  let sample ~alpha ~delta =
+    let bounds = Array.copy model.Analysis.Model.bounds in
+    bounds.(resource) <- LB.make ~alpha ~delta ~beta;
+    let m = { model with Analysis.Model.bounds } in
+    Regions.Cell.sample_of_report model (Regions.Probe_ladder.analyze ladder probe m)
+  in
   let cells =
     Regions.Cell.build ?sink ~precision ~sample ~resource ~beta ~limit ()
   in
   let region_probe ~alpha ~delta =
     let bounds = Array.copy base in
     bounds.(resource) <- LB.make ~alpha ~delta ~beta;
-    probe_schedulable probe ~bounds
+    probe_schedulable ~ladder probe ~bounds
   in
   {
     cells;
     frontier = Regions.Frontier.of_region cells;
     refined = Regions.Frontier.refined cells;
     region_probe;
+    ladder;
   }
 
 let region_member rm ~alpha ~delta =

@@ -27,7 +27,17 @@
     analyses for the exact scenario enumeration whenever the sweep
     itself has not saturated it (the pool self-serialises nested
     regions).  A monotone predicate has a unique flip point, so results
-    are independent of the job count — see docs/PERFORMANCE.md. *)
+    are independent of the job count — see docs/PERFORMANCE.md.
+
+    Under [Params.warm_probes] (the default) every boolean probe runs
+    through a {!Regions.Probe_ladder}: converged probes at dominating
+    (easier) parameter points certify or warm-seed later ones, with
+    verdicts bit-identical to cold probes (docs/PERFORMANCE.md, bench
+    X17).  Multisection rounds probe their grid points easiest-first
+    for the same reason.  Pass [ladder] to share one store across
+    several searches over the same system — the region + query
+    workload of bench X17 — or leave it out for a private, per-search
+    ladder. *)
 
 type family = {
   describe : string;
@@ -45,6 +55,7 @@ val schedulable_with :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   Transaction.System.t ->
   bounds:Platform.Linear_bound.t array ->
   bool
@@ -54,6 +65,7 @@ val min_rate :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   ?precision:int ->
   Transaction.System.t ->
   resource:int ->
@@ -67,6 +79,7 @@ val minimize_rates :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   ?precision:int ->
   Transaction.System.t ->
   families:family array ->
@@ -80,6 +93,7 @@ val balance_rates :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   ?precision:int ->
   Transaction.System.t ->
   families:family array ->
@@ -94,6 +108,7 @@ val breakdown_utilization :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   ?precision:int ->
   Transaction.System.t ->
   Rational.t
@@ -106,6 +121,7 @@ val max_delta :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   ?precision:int ->
   ?limit:Rational.t ->
   Transaction.System.t ->
@@ -135,12 +151,17 @@ type region_mode = {
           answer queries) *)
   region_probe : alpha:Rational.t -> delta:Rational.t -> bool;
       (** one analysis at an explicit point, on the shared session *)
+  ladder : Regions.Probe_ladder.t;
+      (** the probe ladder the build (and every later
+          [region_member]/[region_probe] fallback) runs through;
+          {!Regions.Probe_ladder.stats} reports its hit/seed counts *)
 }
 
 val region :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   ?precision:int ->
   ?limit:Rational.t ->
   ?sink:(Regions.Cell.event -> unit) ->

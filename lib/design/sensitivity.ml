@@ -63,19 +63,31 @@ let probe_engine ?engine ?params ?pool sys =
       in
       Engine.create ~params ?pool (Model.of_system sys)
 
-let task_scaling ?engine ?params ?pool ?(precision = 7) sys ~txn ~task =
+(* Scaling probes along one task's factor axis form a dominance chain —
+   a smaller factor shrinks (c, cb) together with c moving at least as
+   fast — so the bisection's probes certify and warm-seed each other
+   through a ladder (bit-identical verdicts; see Param_search). *)
+let ladder_for probe = function
+  | Some l -> l
+  | None ->
+      Regions.Probe_ladder.create
+        ~enabled:(Engine.params probe).Analysis.Params.warm_probes ()
+
+let task_scaling ?engine ?params ?pool ?ladder ?(precision = 7) sys ~txn ~task =
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe ladder in
   let m = Engine.model probe in
   let ok factor =
     if Q.(factor <= zero) then true
     else
-      (Engine.analyze (Engine.with_model probe (scale_one m ~txn ~task factor)))
-        .Report.schedulable
+      Regions.Probe_ladder.schedulable ladder probe
+        (scale_one m ~txn ~task factor)
   in
   search_scaling ~precision ok
 
 let all_task_margins ?engine ?params ?pool ?precision sys =
   let probe = probe_engine ?engine ?params ?pool sys in
+  let ladder = ladder_for probe None in
   let m = Engine.model probe in
   let sites = ref [] in
   Array.iteri
@@ -90,7 +102,12 @@ let all_task_margins ?engine ?params ?pool ?precision sys =
      self-serialise while the sweep holds it. *)
   Parallel.Pool.map_list (Engine.pool probe)
     (fun (txn, task, name) ->
-      { txn; task; name; factor = task_scaling ~engine:probe ?precision sys ~txn ~task })
+      {
+        txn;
+        task;
+        name;
+        factor = task_scaling ~engine:probe ~ladder ?precision sys ~txn ~task;
+      })
     !sites
   |> List.sort (fun a b -> Q.compare a.factor b.factor)
 

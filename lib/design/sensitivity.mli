@@ -6,7 +6,14 @@
     shared throughout).  Pass [engine] to reuse a session you already
     hold — it must be a session over the given system's model; its
     parameters and pool are adopted.  Without [engine], a fresh session
-    is built from [params] and [pool]. *)
+    is built from [params] and [pool].
+
+    Under [Params.warm_probes] scaling probes run through a
+    {!Regions.Probe_ladder} — probes along one task's factor axis form
+    a dominance chain, so the bisection's points certify and warm-seed
+    each other with bit-identical verdicts (see
+    {!Design.Param_search}).  [ladder] shares a store across calls;
+    {!all_task_margins} shares one over all its per-task searches. *)
 
 type task_margin = {
   txn : int;
@@ -21,6 +28,7 @@ val task_scaling :
   ?engine:Analysis.Engine.t ->
   ?params:Analysis.Params.t ->
   ?pool:Parallel.Pool.t ->
+  ?ladder:Regions.Probe_ladder.t ->
   ?precision:int ->
   Transaction.System.t ->
   txn:int ->

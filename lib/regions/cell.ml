@@ -82,12 +82,7 @@ let event_to_json = function
       Printf.sprintf {|{"event":"region_built","cells":%d,"probes":%d}|} cells
         probes
 
-let sample_of_engine engine ~resource ~beta ~alpha ~delta =
-  let model = Analysis.Engine.model engine in
-  let bounds = Array.copy model.Analysis.Model.bounds in
-  bounds.(resource) <- LB.make ~alpha ~delta ~beta;
-  let m = { model with Analysis.Model.bounds } in
-  let report = Analysis.Engine.analyze (Analysis.Engine.with_model engine m) in
+let sample_of_report (model : Analysis.Model.t) report =
   let s_slacks =
     Array.to_list
       (Array.mapi
@@ -103,6 +98,14 @@ let sample_of_engine engine ~resource ~beta ~alpha ~delta =
          model.Analysis.Model.txns)
   in
   { s_schedulable = report.Analysis.Report.schedulable; s_slacks }
+
+let sample_of_engine engine ~resource ~beta ~alpha ~delta =
+  let model = Analysis.Engine.model engine in
+  let bounds = Array.copy model.Analysis.Model.bounds in
+  bounds.(resource) <- LB.make ~alpha ~delta ~beta;
+  let m = { model with Analysis.Model.bounds } in
+  let report = Analysis.Engine.analyze (Analysis.Engine.with_model engine m) in
+  sample_of_report model report
 
 (* The slack of every transaction at the three sample corners, fitted
    into affine forms and validated at the fourth.  Any transaction that
@@ -136,6 +139,38 @@ let fit_constraints ~sample_at (box : Sym.box) =
   match zip [] (ll.s_slacks, hl.s_slacks, lh.s_slacks, hh.s_slacks) with
   | Some cs -> cs
   | None -> []
+
+(* Mutable assembly slots for the breadth-first build: a split is
+   allocated before its children are classified, then the finished
+   graph is frozen into the immutable [tree]. *)
+type build_node =
+  | Pending
+  | Built of tree
+  | Branch of {
+      a_mid : Q.t;
+      d_mid : Q.t;
+      sw : build_slot;
+      se : build_slot;
+      nw : build_slot;
+      ne : build_slot;
+    }
+
+and build_slot = { mutable b_node : build_node }
+
+let rec freeze slot =
+  match slot.b_node with
+  | Built t -> t
+  | Branch { a_mid; d_mid; sw; se; nw; ne } ->
+      Split
+        {
+          a_mid;
+          d_mid;
+          sw = freeze sw;
+          se = freeze se;
+          nw = freeze nw;
+          ne = freeze ne;
+        }
+  | Pending -> assert false
 
 let build ?sink ?(precision = 6) ~sample ~resource ~beta ~limit () =
   if precision < 1 then invalid_arg "Regions.Cell.build: precision must be >= 1";
@@ -173,38 +208,70 @@ let build ?sink ?(precision = 6) ~sample ~resource ~beta ~limit () =
     emit (Classified { box; verdict; refined = constraints <> [] });
     Leaf { l_box = box; l_verdict = verdict; l_constraints = constraints }
   in
-  let rec go (box : Sym.box) depth =
+  (* The tree is grown breadth-first, each generation of boxes walked
+     in dominance order — (d_lo ascending, a_hi descending), a linear
+     extension of "easier box first" — instead of split (depth-first)
+     order, so a warm [sample] closure (Probe_ladder) finds the corners
+     of easier neighbours already converged when it probes a harder
+     box.  Per-box classification is untouched: verdicts, cell and
+     probe counts, and the assembled tree are identical to the old
+     recursive walk (the driving [sample] is a pure function of the
+     point), only the probe order changes. *)
+  let classify (box : Sym.box) depth slot =
     (* monotone corner certificates: the worst corner feasible makes
        the whole box feasible, the best corner infeasible makes it all
        infeasible (docs/REGIONS.md) *)
-    if ok ~alpha:box.Sym.a_lo ~delta:box.Sym.d_hi then leaf box Feasible []
-    else if not (ok ~alpha:box.Sym.a_hi ~delta:box.Sym.d_lo) then
-      leaf box Infeasible []
-    else if depth <= 0 then leaf box Boundary (fit_constraints ~sample_at box)
-    else
+    if ok ~alpha:box.Sym.a_lo ~delta:box.Sym.d_hi then begin
+      slot.b_node <- Built (leaf box Feasible []);
+      []
+    end
+    else if not (ok ~alpha:box.Sym.a_hi ~delta:box.Sym.d_lo) then begin
+      slot.b_node <- Built (leaf box Infeasible []);
+      []
+    end
+    else if depth <= 0 then begin
+      slot.b_node <- Built (leaf box Boundary (fit_constraints ~sample_at box));
+      []
+    end
+    else begin
       let a_mid = Q.div_int (Q.add box.Sym.a_lo box.Sym.a_hi) 2 in
       let d_mid = Q.div_int (Q.add box.Sym.d_lo box.Sym.d_hi) 2 in
       let sub ~a_lo ~a_hi ~d_lo ~d_hi = Sym.box ~a_lo ~a_hi ~d_lo ~d_hi in
       let d = depth - 1 in
-      Split
-        {
-          a_mid;
-          d_mid;
-          sw =
-            go (sub ~a_lo:box.Sym.a_lo ~a_hi:a_mid ~d_lo:box.Sym.d_lo ~d_hi:d_mid) d;
-          se =
-            go (sub ~a_lo:a_mid ~a_hi:box.Sym.a_hi ~d_lo:box.Sym.d_lo ~d_hi:d_mid) d;
-          nw =
-            go (sub ~a_lo:box.Sym.a_lo ~a_hi:a_mid ~d_lo:d_mid ~d_hi:box.Sym.d_hi) d;
-          ne =
-            go (sub ~a_lo:a_mid ~a_hi:box.Sym.a_hi ~d_lo:d_mid ~d_hi:box.Sym.d_hi) d;
-        }
+      let sw = { b_node = Pending }
+      and se = { b_node = Pending }
+      and nw = { b_node = Pending }
+      and ne = { b_node = Pending } in
+      slot.b_node <- Branch { a_mid; d_mid; sw; se; nw; ne };
+      [
+        ( sub ~a_lo:box.Sym.a_lo ~a_hi:a_mid ~d_lo:box.Sym.d_lo ~d_hi:d_mid,
+          d, sw );
+        ( sub ~a_lo:a_mid ~a_hi:box.Sym.a_hi ~d_lo:box.Sym.d_lo ~d_hi:d_mid,
+          d, se );
+        ( sub ~a_lo:box.Sym.a_lo ~a_hi:a_mid ~d_lo:d_mid ~d_hi:box.Sym.d_hi,
+          d, nw );
+        ( sub ~a_lo:a_mid ~a_hi:box.Sym.a_hi ~d_lo:d_mid ~d_hi:box.Sym.d_hi,
+          d, ne );
+      ]
+    end
+  in
+  let dominance_order ((b1 : Sym.box), _, _) ((b2 : Sym.box), _, _) =
+    match Q.compare b1.Sym.d_lo b2.Sym.d_lo with
+    | 0 -> Q.compare b2.Sym.a_hi b1.Sym.a_hi
+    | c -> c
   in
   let domain =
     Sym.box ~a_lo:(Q.make 1 (1 lsl precision)) ~a_hi:Q.one ~d_lo:Q.zero
       ~d_hi:limit
   in
-  let tree = go domain precision in
+  let root = { b_node = Pending } in
+  let generation = ref [ (domain, precision, root) ] in
+  while !generation <> [] do
+    let sorted = List.stable_sort dominance_order !generation in
+    generation :=
+      List.concat_map (fun (box, depth, slot) -> classify box depth slot) sorted
+  done;
+  let tree = freeze root in
   emit (Built { cells = !n_cells; probes = !probes });
   {
     resource;

@@ -78,6 +78,13 @@ type event =
 val event_to_json : event -> string
 (** One-line JSON rendering for JSON Lines trace files. *)
 
+val sample_of_report : Analysis.Model.t -> Analysis.Report.t -> sample
+(** Reduce a report over [model] to the verdict and per-transaction
+    slacks a corner sample carries.  The report must be *cold-exact*
+    for its point (a plain {!Analysis.Engine.analyze} or a
+    {!Probe_ladder.analyze}): boundary refinement fits the slack
+    iterates of non-converged corners too. *)
+
 val sample_of_engine :
   Analysis.Engine.t ->
   resource:int ->
@@ -100,7 +107,13 @@ val build :
   t
 (** Build the region over [α ∈ \[2{^-precision}, 1\] × Δ ∈ \[0, limit\]]
     (default precision 6).  [sample] is memoized by exact point; the
-    builder never probes the same corner twice. *)
+    builder never probes the same corner twice.  Cells are walked
+    breadth-first with each generation in dominance order — lowest
+    [d_lo] first, highest [a_hi] breaking ties, i.e. easiest box first
+    — so a warm-seeding [sample] (a {!Probe_ladder}) meets easier
+    points before the harder points they can seed.  The order does not
+    affect the result: verdicts, counts and the tree are those of any
+    other walk. *)
 
 val classify : t -> alpha:Q.t -> delta:Q.t -> verdict
 (** O(tree depth) lookup.  Points outside the built domain are

@@ -1,0 +1,70 @@
+(** Dominance-indexed store of converged probe analyses.
+
+    Design-space sweeps ({!Design.Param_search} multisection and
+    descent, {!Design.Sensitivity} scaling searches, {!Cell} region
+    builds) analyse hundreds of models that differ only in platform
+    bounds or demands.  The ladder keeps the Pareto frontiers of the
+    probes already answered — the hardest points found schedulable and
+    the easiest found unschedulable — and serves later probes from
+    them, three ways, all exact:
+
+    - {b certificates}: verdict monotonicity under dominance — a probe
+      dominated by a stored infeasible point is infeasible, a probe
+      dominating a stored feasible point is feasible — answers boolean
+      probes with zero analyses;
+    - {b seeding}: otherwise the nearest stored report at a dominating
+      (easier) point warms the probe's outer fixed point through
+      {!Engine.analyze_seeded};
+    - {b cold}: no usable neighbour, plain {!Engine.analyze}.
+
+    Verdicts and converged reports are bit-identical to cold probes in
+    every case (asserted by the test suite and bench X17); only the
+    work to reach them changes.  Callers order their probe batches
+    easiest-first (dominance order) so each probe finds its
+    predecessors already stored.
+
+    Entries dominated in their store's direction are pruned on insert:
+    everything they could certify or seed, their dominator certifies or
+    seeds at least as well (the L1 seed distance is additive along the
+    dominance order, so the nearest dominating seed always survives).
+    The scans therefore stay proportional to the frontier staircase,
+    not to the number of probes run — the ladder pays for itself even
+    on workloads whose cold analysis takes only microseconds.
+
+    The store is mutex-protected and shared freely across
+    {!Parallel.Pool} workers; answers are order-independent, the
+    {!stats} may vary with scheduling. *)
+
+type t
+
+type stats = {
+  probes : int;  (** Probes answered, by any path. *)
+  seeded : int;  (** Probes answered by a warm seeded run. *)
+  cold : int;  (** Probes that ran a cold analysis. *)
+  cert_feasible : int;  (** Feasibility certificates (zero analyses). *)
+  cert_infeasible : int;  (** Infeasibility certificates. *)
+  entries : int;
+      (** Points on the two stored Pareto frontiers (feasible +
+          infeasible). *)
+}
+
+val create : ?enabled:bool -> unit -> t
+(** A fresh empty ladder.  [~enabled:false] (from
+    [Params.warm_probes = false]) makes both probe entry points plain
+    cold passthroughs that still count {!stats} — the benchmarking
+    baseline. *)
+
+val enabled : t -> bool
+
+val schedulable : t -> Analysis.Engine.t -> Analysis.Model.t -> bool
+(** Boolean probe: the verdict of analysing [m] on a session derived
+    from [engine] ({!Analysis.Engine.with_model}).  Certificates first,
+    then verdict-only seeding, then cold.  Always the cold verdict. *)
+
+val analyze : t -> Analysis.Engine.t -> Analysis.Model.t -> Analysis.Report.t
+(** Report probe: the full report of analysing [m], bit-identical to
+    cold ({!Analysis.Engine.analyze_seeded} in default mode reruns cold
+    whenever the warm run does not converge).  Used where iterate
+    values are consumed — region corner slacks. *)
+
+val stats : t -> stats

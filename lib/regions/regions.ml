@@ -11,3 +11,4 @@
 module Symbolic = Symbolic
 module Cell = Cell
 module Frontier = Frontier
+module Probe_ladder = Probe_ladder

@@ -19,6 +19,10 @@ type t = {
   mutable delta_cold : int;
   mutable delta_dirty_tasks : int;
   mutable delta_carried_tasks : int;
+  mutable probe_probes : int;
+  mutable probe_seeded : int;
+  mutable probe_cold : int;
+  mutable probe_certified : int;
   mutable batches : int;
   mutable latency_total_ms : float;
   mutable latency_max_ms : float;
@@ -46,6 +50,10 @@ let create () =
     delta_cold = 0;
     delta_dirty_tasks = 0;
     delta_carried_tasks = 0;
+    probe_probes = 0;
+    probe_seeded = 0;
+    probe_cold = 0;
+    probe_certified = 0;
     batches = 0;
     latency_total_ms = 0.;
     latency_max_ms = 0.;
@@ -89,6 +97,10 @@ let merged ms =
       a.delta_cold <- a.delta_cold + m.delta_cold;
       a.delta_dirty_tasks <- a.delta_dirty_tasks + m.delta_dirty_tasks;
       a.delta_carried_tasks <- a.delta_carried_tasks + m.delta_carried_tasks;
+      a.probe_probes <- a.probe_probes + m.probe_probes;
+      a.probe_seeded <- a.probe_seeded + m.probe_seeded;
+      a.probe_cold <- a.probe_cold + m.probe_cold;
+      a.probe_certified <- a.probe_certified + m.probe_certified;
       a.batches <- a.batches + m.batches;
       a.latency_total_ms <- a.latency_total_ms +. m.latency_total_ms;
       if m.latency_max_ms > a.latency_max_ms then
@@ -139,6 +151,14 @@ let fields t ~workers ~entries ~kernel_sessions ~fallback_count ~pool =
             ("cold", Json.Int t.delta_cold);
             ("dirty_tasks", Json.Int t.delta_dirty_tasks);
             ("carried_tasks", Json.Int t.delta_carried_tasks);
+          ] );
+      ( "probe_ladder",
+        Json.Obj
+          [
+            ("probes", Json.Int t.probe_probes);
+            ("seeded", Json.Int t.probe_seeded);
+            ("cold", Json.Int t.probe_cold);
+            ("certified", Json.Int t.probe_certified);
           ] );
       ("kernel_sessions", Json.Int kernel_sessions);
       ("fallback_count", Json.Int fallback_count);

@@ -38,6 +38,16 @@ type t = {
   mutable delta_carried_tasks : int;
       (** tasks carried without recomputation across all warm delta
           analyses — the O(affected) saving, observable on the wire *)
+  mutable probe_probes : int;
+      (** design-space probe analyses run through the region builds'
+          {!Regions.Probe_ladder}, by any path *)
+  mutable probe_seeded : int;
+      (** ladder probes served by a warm seeded fixed point
+          ({!Analysis.Engine.analyze_seeded}) *)
+  mutable probe_cold : int;  (** ladder probes that ran cold *)
+  mutable probe_certified : int;
+      (** ladder probes answered by a dominance certificate — zero
+          analyses *)
   mutable batches : int;
   mutable latency_total_ms : float;
   mutable latency_max_ms : float;

@@ -31,6 +31,9 @@ type eval =
       result : P.region_summary;
       cache_hit : bool;
       kind : session_kind option;  (* None on a cache hit *)
+      ladder : Regions.Probe_ladder.stats option;
+          (* the build's probe-ladder counters, for the metrics the
+             finalizer records on the driving domain (None: cache hit) *)
     }
 
 type t = {
@@ -192,7 +195,9 @@ let region_snapshot t slot (ten : Tenant.t) (snap : Store.t) ~resource
   match
     Tenant.region_find ten ~hash:snap.Store.hash ~resource ~precision
   with
-  | Some r -> Region_evaluated { result = r; cache_hit = true; kind = None }
+  | Some r ->
+      Region_evaluated
+        { result = r; cache_hit = true; kind = None; ladder = None }
   | None -> (
       let sys = snap.Store.sys in
       let resources = sys.Transaction.System.resources in
@@ -249,7 +254,13 @@ let region_snapshot t slot (ten : Tenant.t) (snap : Store.t) ~resource
                   (Regions.Frontier.points rm.D.frontier);
             }
           in
-          Region_evaluated { result; cache_hit = false; kind = Some kind })
+          Region_evaluated
+            {
+              result;
+              cache_hit = false;
+              kind = Some kind;
+              ladder = Some (Regions.Probe_ladder.stats rm.D.ladder);
+            })
 
 (* Evaluate one read-only request against the frozen [snap]; runs on a
    worker domain. *)
@@ -294,6 +305,20 @@ let record_kind t = function
 let record_cache t hit =
   if hit then t.metrics.Metrics.cache_hits <- t.metrics.Metrics.cache_hits + 1
   else t.metrics.Metrics.cache_misses <- t.metrics.Metrics.cache_misses + 1
+
+let record_ladder t = function
+  | None -> ()
+  | Some (s : Regions.Probe_ladder.stats) ->
+      t.metrics.Metrics.probe_probes <-
+        t.metrics.Metrics.probe_probes + s.Regions.Probe_ladder.probes;
+      t.metrics.Metrics.probe_seeded <-
+        t.metrics.Metrics.probe_seeded + s.Regions.Probe_ladder.seeded;
+      t.metrics.Metrics.probe_cold <-
+        t.metrics.Metrics.probe_cold + s.Regions.Probe_ladder.cold;
+      t.metrics.Metrics.probe_certified <-
+        t.metrics.Metrics.probe_certified
+        + s.Regions.Probe_ladder.cert_feasible
+        + s.Regions.Probe_ladder.cert_infeasible
 
 let record_delta t = function
   | None -> ()
@@ -430,9 +455,10 @@ let process_batch t envs =
                   (P.what_if_ok ?tenant ~seq ~uid ~cached:cache_hit
                      ~candidate_instances summary)
             | P.Region _ | P.Admit _ | P.Revoke _ | P.Stats -> assert false)
-        | Region_evaluated { result; cache_hit; kind } ->
+        | Region_evaluated { result; cache_hit; kind; ladder } ->
             record_kind t kind;
             record_cache t cache_hit;
+            record_ladder t ladder;
             Tenant.region_add ten result;
             finish i ~status:"ok" ~cache_hit
               ~session:(Option.map session_label kind)

@@ -94,6 +94,27 @@ frontier comes out as CSV vertices:
   no platform named Nope
   [1]
 
+The warm probe ladder is exact, so --no-warm-probes changes the stats
+flag and nothing else — the region comes out bit for bit the same:
+
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --region P3 --grid 3 --csv > warm.csv
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --region P3 --grid 3 --csv \
+  >   --no-warm-probes > cold.csv
+  $ cmp warm.csv cold.csv
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --region P3 --grid 3 \
+  >   | grep -o '"warm_probes":[a-z]*'
+  "warm_probes":true
+  $ ../bin/hsched_cli.exe design ../examples/sensor_fusion.hsc --region P3 --grid 3 \
+  >   --no-warm-probes | grep -o '"warm_probes":[a-z]*'
+  "warm_probes":false
+
+analyze accepts the flag too (it gates any probe ladder the session
+may feed, not the plain analysis):
+
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --no-warm-probes --csv > nowarm.csv
+  $ ../bin/hsched_cli.exe analyze ../examples/sensor_fusion.hsc --csv > plain.csv
+  $ cmp nowarm.csv plain.csv
+
 design and sensitivity reject bad job counts and grid precisions at
 parse time, exactly like analyze (exit 124):
 

@@ -42,7 +42,7 @@ line is filtered; everything else is exact.
   {"seq":8,"op":"query","status":"ok","hash":"6d12b8e9e010ec2cdc135c6be39eb734","schedulable":true,"converged":true,"iterations":1,"cached":true,"bounds":[{"transaction":"A.T","task":"A.T.mix","response":"6","deadline":"8","meets":true}]}
   {"seq":9,"op":"invalid","status":"error","error":"unknown op \"nonsense\""}
   {"seq":10,"op":"what_if","status":"shed","reason":"deadline"}
-  {"seq":11,"op":"stats","status":"ok","admitted":1,"hash":"6d12b8e9e010ec2cdc135c6be39eb734","workers":2,"requests":{"admit":3,"revoke":1,"query":3,"what_if":2,"region":0,"stats":1,"errors":1},"committed":3,"rejected":1,"shed":{"deadline":1,"overload":0},"cache":{"hits":3,"misses":5,"entries":5},"sessions":{"created":1,"rebound":4,"ir_warm":0},"delta":{"warm":2,"cold":2,"dirty_tasks":1,"carried_tasks":2},"kernel_sessions":1,"fallback_count":0,"pool":{"steals":0,"splits":0,"idle_slots":0},"batches":"-","latency_ms":"-"}
+  {"seq":11,"op":"stats","status":"ok","admitted":1,"hash":"6d12b8e9e010ec2cdc135c6be39eb734","workers":2,"requests":{"admit":3,"revoke":1,"query":3,"what_if":2,"region":0,"stats":1,"errors":1},"committed":3,"rejected":1,"shed":{"deadline":1,"overload":0},"cache":{"hits":3,"misses":5,"entries":5},"sessions":{"created":1,"rebound":4,"ir_warm":0},"delta":{"warm":2,"cold":2,"dirty_tasks":1,"carried_tasks":2},"probe_ladder":{"probes":0,"seeded":0,"cold":0,"certified":0},"kernel_sessions":1,"fallback_count":0,"pool":{"steals":0,"splits":0,"idle_slots":0},"batches":"-","latency_ms":"-"}
 
 The `region` verb serves a platform's exact (α, Δ) schedulability
 region over the tenant's current store: cell statistics, membership of

@@ -976,6 +976,172 @@ let test_delta_plan_gates () =
     (Engine.Delta.plan (Engine.create ~params:delta_params far)
        ~prev_model:m ~prev_report:converged)
 
+(* --- seeded analysis --- *)
+
+(* A strictly dominating parameter point for [m]: every platform gains
+   rate and loses delay (β stays equal — the verdict is not monotone in
+   burstiness), every task shrinks both demands by a quarter, so the
+   worst case drops at least as much as the best case (c/4 >= cb/4). *)
+let dominating_seed (m : Model.t) =
+  let easier (lb : LB.t) =
+    LB.make
+      ~alpha:Q.((lb.LB.alpha + one) / of_int 2)
+      ~delta:Q.(lb.LB.delta / of_int 2)
+      ~beta:lb.LB.beta
+  in
+  let shrink (tk : Model.task) =
+    {
+      tk with
+      Model.c = Q.(tk.Model.c * make 3 4);
+      cb = Q.(tk.Model.cb * make 3 4);
+    }
+  in
+  {
+    m with
+    Model.bounds = Array.map easier m.Model.bounds;
+    txns =
+      Array.map
+        (fun (tx : Model.txn) ->
+          { tx with Model.tasks = Array.map shrink tx.Model.tasks })
+        m.Model.txns;
+  }
+
+(* The probe-ladder identity: a fixed point seeded from a converged
+   report at a dominating parameter point reproduces the cold analysis
+   bit for bit — results, convergence, verdict — for both variants,
+   sequential and 4-domain pools.  Seeds whose own analysis did not
+   converge exercise the transparent cold fallback through the same
+   property.  [verdict_only] must still return the cold verdict even
+   when its report is not converged. *)
+let seeded_identity_prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make
+       ~name:"seeded warm = cold analysis, exact and reduced, jobs 1 and 4"
+       ~count:10
+       (QCheck.int_range 1 1000)
+       (fun seed ->
+         let spec =
+           {
+             Workload.Gen.default_spec with
+             Workload.Gen.n_txns = 3;
+             max_tasks_per_txn = 3;
+           }
+         in
+         let sys = Workload.Gen.system ~seed spec in
+         let target = Model.of_system sys in
+         QCheck.assume (scenario_total target < 20_000);
+         let seed_model = dominating_seed target in
+         let agrees base =
+           let params = { base with P.keep_history = false } in
+           let seed_report = Holistic.analyze ~params seed_model in
+           let reference = Holistic.analyze ~params target in
+           List.for_all
+             (fun jobs ->
+               Parallel.Pool.with_pool ~jobs (fun pool ->
+                   let e = Engine.create ~params ~pool target in
+                   let r, _ = Engine.analyze_seeded e ~seed_model ~seed_report in
+                   let rv, _ =
+                     Engine.analyze_seeded ~verdict_only:true e ~seed_model
+                       ~seed_report
+                   in
+                   same_verdict r reference
+                   && rv.Report.schedulable = reference.Report.schedulable))
+             [ 1; 4 ]
+         in
+         agrees P.exact && agrees P.default))
+
+let test_seeded_dominance () =
+  let m = two_platform_model () in
+  let s = dominating_seed m in
+  Alcotest.(check bool) "derived seed dominates" true
+    (Engine.Seeded.dominates ~seed:s m);
+  Alcotest.(check bool) "reflexive" true (Engine.Seeded.dominates ~seed:m m);
+  Alcotest.(check bool) "antisymmetric for a strict drop" false
+    (Engine.Seeded.dominates ~seed:m s);
+  (* burstiness must match exactly in both directions: a larger β grows
+     the jitters, so neither side of a β change is a sound seed *)
+  let bursty =
+    {
+      m with
+      Model.bounds =
+        Array.map
+          (fun (lb : LB.t) ->
+            LB.make ~alpha:lb.LB.alpha ~delta:lb.LB.delta
+              ~beta:Q.(lb.LB.beta + one))
+          m.Model.bounds;
+    }
+  in
+  Alcotest.(check bool) "larger beta does not dominate" false
+    (Engine.Seeded.dominates ~seed:bursty m);
+  Alcotest.(check bool) "smaller beta does not dominate either" false
+    (Engine.Seeded.dominates ~seed:m bursty);
+  (* the worst case must shrink at least as much as the best case: a
+     seed whose cb drops while c stays put can raise the jitters *)
+  let cb_only =
+    {
+      m with
+      Model.txns =
+        Array.map
+          (fun (tx : Model.txn) ->
+            {
+              tx with
+              Model.tasks =
+                Array.map
+                  (fun (tk : Model.task) ->
+                    { tk with Model.cb = Q.(tk.Model.cb / of_int 2) })
+                  tx.Model.tasks;
+            })
+          m.Model.txns;
+    }
+  in
+  Alcotest.(check bool) "cb-only drop does not dominate" false
+    (Engine.Seeded.dominates ~seed:cb_only m)
+
+(* A non-dominating seed must be rejected into the cold path — never
+   silently used — and the report must still be the cold one. *)
+let test_seeded_rejects_non_dominating () =
+  let target = two_platform_model () in
+  (* harder, not easier: half the rate on every platform *)
+  let seed_model =
+    {
+      target with
+      Model.bounds =
+        Array.map
+          (fun (lb : LB.t) ->
+            LB.make
+              ~alpha:Q.(lb.LB.alpha / of_int 2)
+              ~delta:lb.LB.delta ~beta:lb.LB.beta)
+          target.Model.bounds;
+    }
+  in
+  let seed_report = Holistic.analyze ~params:delta_params seed_model in
+  Alcotest.(check bool) "harder seed still converged" true
+    seed_report.Report.converged;
+  let e = Engine.create ~params:delta_params target in
+  let r, outcome = Engine.analyze_seeded e ~seed_model ~seed_report in
+  (match outcome with
+  | Engine.Delta_cold { reason } ->
+      Alcotest.(check string) "cold reason" "seed-not-dominating" reason
+  | Engine.Delta_warm _ -> Alcotest.fail "non-dominating seed was used");
+  Alcotest.(check bool) "cold report returned" true
+    (same_verdict r (Holistic.analyze ~params:delta_params target));
+  (* structure changes are their own reason: the squeeze argument needs
+     the same transactions and chains on both sides *)
+  match delta_perturbations target with
+  | admit_like :: _ -> (
+      let seed_report = Holistic.analyze ~params:delta_params target in
+      match
+        Engine.analyze_seeded
+          (Engine.create ~params:delta_params admit_like)
+          ~seed_model:target ~seed_report
+      with
+      | _, Engine.Delta_cold { reason } ->
+          Alcotest.(check string) "mismatch reason" "seed-structure-mismatch"
+            reason
+      | _, Engine.Delta_warm _ ->
+          Alcotest.fail "structure mismatch was not rejected")
+  | [] -> Alcotest.fail "no perturbations"
+
 let () =
   Alcotest.run "analysis"
     [
@@ -1059,5 +1225,12 @@ let () =
           Alcotest.test_case "revoke re-iterates the survivors" `Quick
             test_delta_revoke;
           Alcotest.test_case "plan gates" `Quick test_delta_plan_gates;
+        ] );
+      ( "seeded",
+        [
+          seeded_identity_prop;
+          Alcotest.test_case "dominance order" `Quick test_seeded_dominance;
+          Alcotest.test_case "non-dominating seed runs cold" `Quick
+            test_seeded_rejects_non_dominating;
         ] );
     ]
